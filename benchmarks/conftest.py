@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows it measured (the table/series the
+corresponding experiment in EXPERIMENTS.md reports) in addition to the
+pytest-benchmark timing, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper-vs-measured tables directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.drivers import SweepRow, format_table
+
+
+def emit(title: str, rows) -> None:
+    """Print an experiment's rows under a recognisable banner."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`emit` to benchmark bodies."""
+    return emit

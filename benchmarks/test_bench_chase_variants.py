@@ -1,0 +1,49 @@
+"""E12 — semi-oblivious vs restricted vs oblivious chase.
+
+The introduction motivates the semi-oblivious chase as the variant of
+choice for RDBMS-backed implementations; this benchmark quantifies the
+materialisation-size and runtime differences between the three
+variants on the OBDA and data-exchange scenarios.
+"""
+
+import pytest
+
+from repro.bench.drivers import variant_comparison_rows
+from repro.chase.engine import ChaseBudget
+from repro.chase.restricted import restricted_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.generators.scenarios import data_exchange_scenario, university_ontology_scenario
+
+
+@pytest.mark.benchmark(group="E12-chase-variants")
+def test_variant_sizes_on_scenarios(benchmark, report):
+    university = university_ontology_scenario(students=30, courses=6, professors=4)
+    exchange = data_exchange_scenario(employees=30, departments=5)
+    workloads = [
+        ("university", university.database, university.tgds),
+        ("data_exchange", exchange.database, exchange.tgds),
+    ]
+    rows = variant_comparison_rows(workloads, budget=ChaseBudget(max_atoms=50_000))
+    report("E12: chase variants — materialisation size and time", rows)
+    for row in rows:
+        semi = row.measured["semi_oblivious_size"]
+        restricted = row.measured["restricted_size"]
+        oblivious = row.measured["oblivious_size"]
+        assert isinstance(semi, int) and isinstance(restricted, int) and isinstance(oblivious, int)
+        assert restricted <= semi <= oblivious
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(university.database, university.tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E12-chase-variants")
+def test_restricted_chase_on_university(benchmark):
+    university = university_ontology_scenario(students=30, courses=6, professors=4)
+    result = benchmark.pedantic(
+        lambda: restricted_chase(university.database, university.tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.terminated

@@ -1,0 +1,50 @@
+"""E5/E6 — term depth (Proposition 4.5 and Lemmas 6.2 / 7.4 / 8.2).
+
+E5 reproduces the Proposition 4.5 series: for the (non-guarded) family
+``{D_n}`` the maximal term depth equals ``n − 1``, i.e. it grows with
+the database — the behaviour that guardedness rules out.  E6 checks the
+database-independent depth bounds ``d_C(Σ)`` on terminating workloads.
+"""
+
+import pytest
+
+from repro.bench.drivers import depth_bound_rows, depth_sweep
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.generators.families import example_7_1, linear_lower_bound, prop45_family, sl_lower_bound
+from repro.generators.scenarios import data_exchange_scenario, university_ontology_scenario
+
+PROP45_SIZES = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.benchmark(group="E5-depth-growth")
+def test_prop45_depth_growth(benchmark, report):
+    rows = depth_sweep(PROP45_SIZES)
+    report("E5: Proposition 4.5 — maxdepth(D_n, Σ) vs |D_n|", rows)
+    assert all(row.measured["matches"] for row in rows)
+    database, tgds = prop45_family(PROP45_SIZES[-1])
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E6-depth-bounds")
+def test_depth_bounds_hold(benchmark, report):
+    university = university_ontology_scenario(students=20, courses=5, professors=3)
+    exchange = data_exchange_scenario(employees=20, departments=4)
+    workloads = [
+        ("sl_lower_bound(2,2)", *sl_lower_bound(2, 2, 1)),
+        ("linear_lower_bound(1,2)", *linear_lower_bound(1, 2, 1)),
+        ("example_7_1", *example_7_1()),
+        ("university", university.database, university.tgds),
+        ("data_exchange", exchange.database, exchange.tgds),
+    ]
+    rows = depth_bound_rows(workloads)
+    report("E6: measured maxdepth vs the database-independent bound d_C(Σ)", rows)
+    assert all(row.measured["within_bound"] for row in rows)
+    benchmark.pedantic(
+        lambda: depth_bound_rows(workloads[:2]),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""E1 — chase size is linear in |D| (Theorems 6.4 / 7.5 / 8.3, item 2).
+
+The paper's characterisations say that for ``Σ ∈ C ∩ CT_D`` the chase
+has at most ``|D| · f_C(Σ)`` atoms, i.e. it grows *linearly* with the
+database for a fixed ontology.  Each benchmark fixes a family, sweeps
+the database size and reports the expansion ratio, which must stay flat.
+"""
+
+import pytest
+
+from repro.bench.drivers import chase_size_sweep
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.generators.families import linear_lower_bound, sl_lower_bound
+from repro.generators.scenarios import university_ontology_scenario
+
+SL_SIZES = [1, 2, 4, 8, 16]
+LINEAR_SIZES = [1, 2, 4, 8]
+
+
+def sl_family(size):
+    return sl_lower_bound(2, 2, size)
+
+
+def linear_family(size):
+    return linear_lower_bound(1, 2, size)
+
+
+def university_family(size):
+    scenario = university_ontology_scenario(students=size, courses=4, professors=3)
+    return scenario.database, scenario.tgds
+
+
+@pytest.mark.benchmark(group="E1-size-linearity")
+def test_sl_size_vs_db(benchmark, report):
+    rows = chase_size_sweep(sl_family, SL_SIZES)
+    report("E1a: |chase| vs |D| for the SL family (n=2, m=2)", rows)
+    ratios = [row.measured["ratio"] for row in rows]
+    assert max(ratios) == pytest.approx(min(ratios), rel=0.01), "expansion ratio must be flat"
+    database, tgds = sl_family(SL_SIZES[-1])
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E1-size-linearity")
+def test_linear_size_vs_db(benchmark, report):
+    rows = chase_size_sweep(linear_family, LINEAR_SIZES)
+    report("E1b: |chase| vs |D| for the linear family (n=1, m=2)", rows)
+    ratios = [row.measured["ratio"] for row in rows]
+    assert max(ratios) == pytest.approx(min(ratios), rel=0.01)
+    database, tgds = linear_family(LINEAR_SIZES[-1])
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E1-size-linearity")
+def test_guarded_scenario_size_vs_db(benchmark, report):
+    rows = chase_size_sweep(university_family, [10, 20, 40, 80])
+    report("E1c: |chase| vs |D| for the university OBDA scenario", rows)
+    # The ratio depends mildly on the random data distribution; it must
+    # stay bounded rather than exactly flat.
+    ratios = [row.measured["ratio"] for row in rows]
+    assert max(ratios) <= 2 * min(ratios)
+    database, tgds = university_family(80)
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,101 @@
+"""E10/E11 — simplification and linearization preserve the chase.
+
+Propositions 7.3 and 8.1 are the technical backbone of the paper's
+characterisations.  These benchmarks measure the transformation cost
+and verify, per workload, that finiteness and maximal depth carry over.
+"""
+
+import pytest
+
+from repro.bench.drivers import SweepRow
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.linearization import linearize
+from repro.core.simplification import simplify_database, simplify_program
+from repro.generators.families import example_7_1, linear_lower_bound
+from repro.generators.random_programs import random_database, random_guarded_program, random_linear_program
+
+BUDGET = ChaseBudget(max_atoms=5_000)
+
+
+def _simplification_rows(cases):
+    rows = []
+    for name, database, tgds in cases:
+        original = semi_oblivious_chase(database, tgds, budget=BUDGET, record_derivation=False)
+        transformed = semi_oblivious_chase(
+            simplify_database(database), simplify_program(tgds), budget=BUDGET, record_derivation=False
+        )
+        rows.append(
+            SweepRow(
+                label="simplification",
+                parameters={"workload": name},
+                measured={
+                    "original_terminated": original.terminated,
+                    "simplified_terminated": transformed.terminated,
+                    "original_depth": original.max_depth,
+                    "simplified_depth": transformed.max_depth,
+                    "preserved": original.terminated == transformed.terminated
+                    and (not original.terminated or original.max_depth == transformed.max_depth),
+                },
+            )
+        )
+    return rows
+
+
+def _linearization_rows(cases):
+    rows = []
+    for name, database, tgds in cases:
+        original = semi_oblivious_chase(database, tgds, budget=BUDGET, record_derivation=False)
+        linearized_input = linearize(database, tgds)
+        transformed = semi_oblivious_chase(
+            linearized_input.database, linearized_input.program, budget=BUDGET, record_derivation=False
+        )
+        rows.append(
+            SweepRow(
+                label="linearization",
+                parameters={"workload": name},
+                measured={
+                    "types": len(linearized_input.types),
+                    "linear_rules": len(linearized_input.program),
+                    "original_terminated": original.terminated,
+                    "linearized_terminated": transformed.terminated,
+                    "original_depth": original.max_depth,
+                    "linearized_depth": transformed.max_depth,
+                    "preserved": original.terminated == transformed.terminated
+                    and (not original.terminated or original.max_depth == transformed.max_depth),
+                },
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E10-simplification")
+def test_simplification_preservation(benchmark, report):
+    cases = [("example_7_1", *example_7_1()), ("linear_lower_bound(1,2)", *linear_lower_bound(1, 2, 1))]
+    for seed in (3, 7, 11):
+        tgds = random_linear_program(seed)
+        cases.append((f"random_linear(seed={seed})", random_database(tgds, seed, fact_count=5), tgds))
+    rows = _simplification_rows(cases)
+    report("E10: Proposition 7.3 — simplification preserves finiteness and depth", rows)
+    assert all(row.measured["preserved"] for row in rows)
+    _, database, tgds = cases[1]
+    benchmark(lambda: simplify_program(tgds))
+
+
+@pytest.mark.benchmark(group="E11-linearization")
+def test_linearization_preservation(benchmark, report):
+    cases = []
+    for seed in (1, 5, 9):
+        tgds = random_guarded_program(seed, predicate_count=3, max_arity=2, rule_count=3)
+        cases.append(
+            (
+                f"random_guarded(seed={seed})",
+                random_database(tgds, seed, fact_count=3, constant_count=3),
+                tgds,
+            )
+        )
+    rows = _linearization_rows(cases)
+    report("E11: Proposition 8.1 — linearization preserves finiteness and depth", rows)
+    assert all(row.measured["preserved"] for row in rows)
+    _, database, tgds = cases[0]
+    benchmark.pedantic(lambda: linearize(database, tgds), rounds=3, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""OBDA materialisation: answer queries over a guarded ontology.
+
+The introduction of the paper motivates chase termination through
+ontology-based data access: if the chase of the data w.r.t. the
+ontology is finite, query answering reduces to evaluating the query
+over the materialised instance.  This example
+
+1. checks non-uniform termination for the university ontology,
+2. materialises the chase with the three engine variants, and
+3. answers a conjunctive query over the materialisation.
+
+Run with::
+
+    python examples/obda_materialization.py
+"""
+
+from repro import semi_oblivious_chase
+from repro.chase import oblivious_chase, restricted_chase
+from repro.core import decide_termination
+from repro.model.homomorphism import find_homomorphisms
+from repro.model.parser import parse_atom
+from repro.generators.scenarios import university_ontology_scenario
+
+
+def answer_query(instance, query_text: str):
+    """Evaluate a conjunctive query (comma-separated atoms) over an instance."""
+    atoms = [parse_atom(part.strip()) for part in query_text.split("&")]
+    answers = set()
+    for match in find_homomorphisms(atoms, instance):
+        answers.add(tuple(sorted((v.name, str(t)) for v, t in match.items())))
+    return answers
+
+
+def main() -> None:
+    scenario = university_ontology_scenario(students=40, courses=8, professors=5)
+    print(f"scenario: {scenario.description}")
+    print(f"database: {len(scenario.database)} facts, ontology: {len(scenario.tgds)} rules")
+
+    verdict = decide_termination(scenario.database, scenario.tgds)
+    print(f"non-uniform termination: {verdict.terminates} via {verdict.method.value}")
+
+    semi = semi_oblivious_chase(scenario.database, scenario.tgds, record_derivation=False)
+    restricted = restricted_chase(scenario.database, scenario.tgds, record_derivation=False)
+    oblivious = oblivious_chase(scenario.database, scenario.tgds, record_derivation=False)
+    print("materialisation sizes:")
+    print(f"   restricted      : {restricted.size} atoms")
+    print(f"   semi-oblivious  : {semi.size} atoms")
+    print(f"   oblivious       : {oblivious.size} atoms")
+
+    # Who attends a class and has a tutor?  (Query variables are free.)
+    query = "AttendsClassOf(s, c) & HasTutor(s, t)"
+    answers = answer_query(semi.instance, query)
+    print(f"query {query!r}: {len(answers)} answers; sample:")
+    for answer in sorted(answers)[:5]:
+        print("   ", dict(answer))
+
+
+if __name__ == "__main__":
+    main()

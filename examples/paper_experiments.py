@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper-vs-measured tables of EXPERIMENTS.md from the CLI.
+
+This drives the same sweep functions as the benchmark harness but
+without pytest, so the tables can be produced (and eyeballed) directly::
+
+    python examples/paper_experiments.py
+"""
+
+from repro.bench import (
+    chase_size_sweep,
+    decision_scaling_sweep,
+    depth_sweep,
+    format_table,
+    lower_bound_rows,
+    variant_comparison_rows,
+)
+from repro.chase.engine import ChaseBudget
+from repro.generators.families import linear_lower_bound, sl_lower_bound
+from repro.generators.scenarios import data_exchange_scenario, university_ontology_scenario
+
+
+def main() -> None:
+    print("E1 — chase size is linear in |D| (SL family, n=2, m=2)")
+    print(format_table(chase_size_sweep(lambda size: sl_lower_bound(2, 2, size), [1, 2, 4, 8])))
+    print()
+
+    print("E2 — Theorem 6.5 lower bound (SL)")
+    print(format_table(lower_bound_rows("sl", [(1, 1, 1), (1, 2, 1), (2, 2, 1), (1, 3, 1)])))
+    print()
+
+    print("E3 — Theorem 7.6 lower bound (L)")
+    print(format_table(lower_bound_rows("linear", [(1, 1, 1), (1, 2, 1), (2, 1, 1), (2, 2, 1)])))
+    print()
+
+    print("E4 — Theorem 8.4 lower bound (G)")
+    print(
+        format_table(
+            lower_bound_rows("guarded", [(1, 1, 1), (1, 1, 2)], budget=ChaseBudget(max_atoms=400_000))
+        )
+    )
+    print()
+
+    print("E5 — Proposition 4.5 depth growth")
+    print(format_table(depth_sweep([2, 4, 8, 16])))
+    print()
+
+    print("E7 — decision procedure scaling (SL family)")
+    print(
+        format_table(
+            decision_scaling_sweep(lambda size: sl_lower_bound(2, 2, size), [1, 4, 16, 64])
+        )
+    )
+    print()
+
+    print("E12 — chase variants on the scenarios")
+    university = university_ontology_scenario(students=30, courses=6, professors=4)
+    exchange = data_exchange_scenario(employees=30, departments=5)
+    print(
+        format_table(
+            variant_comparison_rows(
+                [
+                    ("university", university.database, university.tgds),
+                    ("data_exchange", exchange.database, exchange.tgds),
+                ]
+            )
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: parse a database and an ontology, chase, decide termination.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ChaseBudget,
+    decide_termination,
+    parse_database,
+    parse_program,
+    semi_oblivious_chase,
+)
+from repro.core import certify
+
+
+def main() -> None:
+    # An ontology (a set of TGDs / existential rules).  Whether its chase
+    # terminates depends on the database — this is exactly the
+    # *non-uniform* termination problem the library answers.
+    ontology = parse_program(
+        """
+        % every employee works in some department
+        Employee(x) -> exists d . WorksIn(x, d)
+        % departments have a manager, who is an employee
+        WorksIn(x, d) -> exists m . Manages(m, d), Employee(m)
+        """
+    )
+
+    database = parse_database(
+        """
+        Employee(alice).
+        Employee(bob).
+        WorksIn(carol, sales).
+        """
+    )
+
+    # 1. Decide termination *without* running the chase (Theorem 8.3).
+    verdict = decide_termination(database, ontology)
+    print(f"chase terminates: {verdict.terminates}  (method: {verdict.method.value})")
+
+    # 2. Materialise the semi-oblivious chase.
+    result = semi_oblivious_chase(database, ontology, budget=ChaseBudget(max_atoms=10_000))
+    print(f"chase size: {result.size} atoms, maximal term depth: {result.max_depth}")
+    for atom in sorted(result.instance, key=str)[:10]:
+        print("   ", atom)
+
+    # 3. Cross-check the three faces of the paper's characterisation.
+    certificate = certify(database, ontology)
+    print(f"size bound |D|*f_C(Sigma): {certificate.size_bound}")
+    print(f"measured size within bound: {certificate.size_within_bound}")
+    print(f"measured depth within bound: {certificate.depth_within_bound}")
+    print(f"certificate consistent: {certificate.consistent}")
+
+    # 4. The same ontology over a cyclic database keeps the chase finite
+    #    too (the rules above are weakly acyclic); a feedback rule makes
+    #    termination genuinely database-dependent.
+    feedback = parse_program(
+        """
+        Employee(x) -> exists d . WorksIn(x, d)
+        WorksIn(x, d) -> exists m . Manages(m, d), Employee(m)
+        Manages(m, d) -> exists e . WorksIn(e, d), Reports(e, m), Employee(e)
+        """
+    )
+    for database_text in ["Project(p1).", "Employee(alice)."]:
+        small = parse_database(database_text)
+        verdict = decide_termination(small, feedback)
+        print(f"feedback ontology over {{{database_text}}} terminates: {verdict.terminates}")
+
+
+if __name__ == "__main__":
+    main()

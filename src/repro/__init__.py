@@ -1,0 +1,98 @@
+"""repro: the non-uniformly terminating semi-oblivious chase.
+
+A from-scratch reproduction of
+
+    Marco Calautti, Georg Gottlob, Andreas Pieris.
+    "Non-Uniformly Terminating Chase: Size and Complexity", PODS 2022.
+
+The package has four layers:
+
+* :mod:`repro.model` — the relational substrate (terms, atoms, TGDs,
+  instances, homomorphisms, a concrete syntax);
+* :mod:`repro.chase` — the semi-oblivious chase engine plus the
+  oblivious and restricted baselines, the guarded chase forest and the
+  depth machinery;
+* :mod:`repro.core` — the paper's contribution: dependency graphs,
+  non-uniform weak-acyclicity, simplification, linearization, the size
+  bounds, the UCQ-based data-complexity procedure and the ChTrm
+  deciders;
+* :mod:`repro.generators` — the paper's lower-bound families, the
+  Turing-machine encoding of Appendix A, random program generators and
+  realistic OBDA / data-exchange scenarios.
+
+Quickstart::
+
+    from repro import parse_database, parse_program, decide_termination
+
+    database = parse_database("R(a, b).")
+    program = parse_program("R(x, y) -> exists z . R(y, z)")
+    verdict = decide_termination(database, program)
+    assert not verdict.terminates
+"""
+
+from repro.model import (
+    Atom,
+    Constant,
+    Database,
+    Instance,
+    Null,
+    Predicate,
+    TGD,
+    TGDSet,
+    Variable,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_tgd,
+)
+from repro.chase import (
+    ChaseBudget,
+    ChaseResult,
+    oblivious_chase,
+    restricted_chase,
+    semi_oblivious_chase,
+)
+from repro.core import (
+    TerminationVerdict,
+    chase_size_bound,
+    classify,
+    decide_termination,
+    is_weakly_acyclic,
+    linearize_database,
+    linearize_program,
+    simplify_database,
+    simplify_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Instance",
+    "Null",
+    "Predicate",
+    "TGD",
+    "TGDSet",
+    "Variable",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_tgd",
+    "ChaseBudget",
+    "ChaseResult",
+    "semi_oblivious_chase",
+    "oblivious_chase",
+    "restricted_chase",
+    "TerminationVerdict",
+    "decide_termination",
+    "chase_size_bound",
+    "classify",
+    "is_weakly_acyclic",
+    "simplify_program",
+    "simplify_database",
+    "linearize_program",
+    "linearize_database",
+    "__version__",
+]

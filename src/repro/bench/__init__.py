@@ -1,0 +1,30 @@
+"""Benchmark drivers.
+
+The pytest-benchmark targets under ``benchmarks/`` stay thin; the
+workload construction, parameter sweeps and row formatting live here so
+they can also be used programmatically (see ``examples/``).
+"""
+
+from repro.bench.drivers import (
+    SweepRow,
+    chase_size_sweep,
+    decision_scaling_sweep,
+    depth_bound_rows,
+    depth_sweep,
+    format_table,
+    lower_bound_rows,
+    ucq_data_complexity_rows,
+    variant_comparison_rows,
+)
+
+__all__ = [
+    "SweepRow",
+    "chase_size_sweep",
+    "depth_sweep",
+    "depth_bound_rows",
+    "lower_bound_rows",
+    "decision_scaling_sweep",
+    "ucq_data_complexity_rows",
+    "variant_comparison_rows",
+    "format_table",
+]

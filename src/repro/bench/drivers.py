@@ -1,0 +1,284 @@
+"""Workload drivers shared by the benchmark harness and the examples.
+
+Each driver returns a list of :class:`SweepRow` — one row per
+(parameter point), mirroring the rows a table or the series of a figure
+would contain.  ``format_table`` renders them the way EXPERIMENTS.md
+reports paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.instance import Database
+from repro.model.tgd import TGDSet
+from repro.chase.engine import ChaseBudget, ChaseResult
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import (
+    depth_bound,
+    guarded_lower_bound_value,
+    linear_lower_bound_value,
+    sl_lower_bound_value,
+)
+from repro.core.decision import decide_termination, naive_decision, syntactic_decision, ucq_decision
+from repro.core.ucq import build_termination_ucq
+from repro.generators.families import (
+    guarded_lower_bound,
+    linear_lower_bound,
+    prop45_family,
+    sl_lower_bound,
+)
+
+
+@dataclass
+class SweepRow:
+    """One measured point of an experiment."""
+
+    label: str
+    parameters: Dict[str, object]
+    measured: Dict[str, object]
+
+    def as_flat_dict(self) -> Dict[str, object]:
+        flat: Dict[str, object] = {"label": self.label}
+        flat.update(self.parameters)
+        flat.update(self.measured)
+        return flat
+
+
+def format_table(rows: Sequence[SweepRow]) -> str:
+    """Render rows as a fixed-width text table (one line per row)."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row.as_flat_dict():
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(c) for c in columns}
+    rendered_rows = []
+    for row in rows:
+        flat = {k: str(v) for k, v in row.as_flat_dict().items()}
+        rendered_rows.append(flat)
+        for column in columns:
+            widths[column] = max(widths[column], len(flat.get(column, "")))
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    separator = "-+-".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        " | ".join(flat.get(c, "").ljust(widths[c]) for c in columns) for flat in rendered_rows
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def _count_predicate(result: ChaseResult, name: str) -> int:
+    return sum(1 for a in result.instance if a.predicate.name == name)
+
+
+# --------------------------------------------------------------------------
+# E1: chase size is linear in |D|
+# --------------------------------------------------------------------------
+
+
+def chase_size_sweep(
+    family: Callable[[int], Tuple[Database, TGDSet]],
+    database_sizes: Sequence[int],
+    budget: Optional[ChaseBudget] = None,
+) -> List[SweepRow]:
+    """Measure ``|chase(D_ℓ, Σ)|`` as the database grows (Theorems 6.4/7.5/8.3)."""
+    rows: List[SweepRow] = []
+    for size in database_sizes:
+        database, tgds = family(size)
+        result = semi_oblivious_chase(database, tgds, budget=budget, record_derivation=False)
+        rows.append(
+            SweepRow(
+                label="chase-size",
+                parameters={"|D|": len(database)},
+                measured={
+                    "|chase|": result.size,
+                    "ratio": round(result.expansion_ratio(), 2),
+                    "terminated": result.terminated,
+                    "seconds": round(result.statistics.wall_seconds, 4),
+                },
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E2-E4: lower-bound families
+# --------------------------------------------------------------------------
+
+
+def lower_bound_rows(
+    family: str,
+    parameters: Sequence[Tuple[int, int, int]],
+    budget: Optional[ChaseBudget] = None,
+) -> List[SweepRow]:
+    """Measure the lower-bound families against their closed-form bounds.
+
+    ``family`` is one of ``"sl"``, ``"linear"`` or ``"guarded"``;
+    ``parameters`` is a sequence of ``(n, m, ℓ)`` triples.
+    """
+    constructors = {
+        "sl": (sl_lower_bound, sl_lower_bound_value, lambda n: f"R{n}"),
+        "linear": (linear_lower_bound, linear_lower_bound_value, lambda n: f"R{n}"),
+        "guarded": (guarded_lower_bound, guarded_lower_bound_value, lambda n: "Node"),
+    }
+    constructor, bound_value, top_predicate = constructors[family]
+    rows: List[SweepRow] = []
+    for n, m, ell in parameters:
+        database, tgds = constructor(n, m, ell)
+        result = semi_oblivious_chase(database, tgds, budget=budget, record_derivation=False)
+        measured_count = _count_predicate(result, top_predicate(n))
+        paper_bound = bound_value(ell, n, m)
+        rows.append(
+            SweepRow(
+                label=f"{family}-lower-bound",
+                parameters={"n": n, "m": m, "|D|": ell},
+                measured={
+                    "paper_bound": paper_bound,
+                    "measured": measured_count,
+                    "total_chase": result.size,
+                    "meets_bound": measured_count >= paper_bound,
+                    "terminated": result.terminated,
+                    "seconds": round(result.statistics.wall_seconds, 4),
+                },
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E5/E6: term depth
+# --------------------------------------------------------------------------
+
+
+def depth_sweep(database_sizes: Sequence[int]) -> List[SweepRow]:
+    """Proposition 4.5: ``maxdepth(D_n, Σ) = n − 1`` grows with the database."""
+    rows: List[SweepRow] = []
+    for size in database_sizes:
+        database, tgds = prop45_family(size)
+        result = semi_oblivious_chase(database, tgds, record_derivation=False)
+        rows.append(
+            SweepRow(
+                label="prop45-depth",
+                parameters={"|D|": size},
+                measured={
+                    "maxdepth": result.max_depth,
+                    "expected": size - 1,
+                    "matches": result.max_depth == size - 1,
+                },
+            )
+        )
+    return rows
+
+
+def depth_bound_rows(
+    workloads: Sequence[Tuple[str, Database, TGDSet]],
+    budget: Optional[ChaseBudget] = None,
+) -> List[SweepRow]:
+    """Lemmas 6.2 / 7.4 / 8.2: measured maxdepth against ``d_C(Σ)``."""
+    rows: List[SweepRow] = []
+    for name, database, tgds in workloads:
+        result = semi_oblivious_chase(database, tgds, budget=budget, record_derivation=False)
+        bound = depth_bound(tgds)
+        rows.append(
+            SweepRow(
+                label="depth-bound",
+                parameters={"workload": name},
+                measured={
+                    "maxdepth": result.max_depth,
+                    "d_C": bound,
+                    "within_bound": (not result.terminated) or result.max_depth <= bound,
+                    "terminated": result.terminated,
+                },
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E7-E9, E13: decision procedures
+# --------------------------------------------------------------------------
+
+
+def decision_scaling_sweep(
+    family: Callable[[int], Tuple[Database, TGDSet]],
+    database_sizes: Sequence[int],
+    methods: Sequence[str] = ("syntactic", "naive"),
+    practical_cap: int = 200_000,
+) -> List[SweepRow]:
+    """Compare decision-procedure run times as the database grows."""
+    rows: List[SweepRow] = []
+    for size in database_sizes:
+        database, tgds = family(size)
+        measured: Dict[str, object] = {}
+        for method in methods:
+            start = time.perf_counter()
+            verdict = decide_termination(
+                database, tgds, method=method, practical_cap=practical_cap
+            )
+            elapsed = time.perf_counter() - start
+            measured[f"{method}_seconds"] = round(elapsed, 5)
+            measured[f"{method}_answer"] = verdict.terminates
+        rows.append(
+            SweepRow(label="decision-scaling", parameters={"|D|": len(database)}, measured=measured)
+        )
+    return rows
+
+
+def ucq_data_complexity_rows(
+    tgds: TGDSet,
+    databases: Sequence[Tuple[int, Database]],
+) -> List[SweepRow]:
+    """Split the UCQ procedure into its Σ-only and D-only costs (AC0 claim)."""
+    start = time.perf_counter()
+    ucq = build_termination_ucq(tgds)
+    build_seconds = time.perf_counter() - start
+    rows: List[SweepRow] = []
+    for size, database in databases:
+        start = time.perf_counter()
+        violated = ucq.witnessed_by(database)
+        evaluate_seconds = time.perf_counter() - start
+        rows.append(
+            SweepRow(
+                label="ucq-data-complexity",
+                parameters={"|D|": size},
+                measured={
+                    "ucq_disjuncts": len(ucq),
+                    "build_seconds": round(build_seconds, 5),
+                    "evaluate_seconds": round(evaluate_seconds, 6),
+                    "terminates": not violated,
+                },
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# E12: chase variants
+# --------------------------------------------------------------------------
+
+
+def variant_comparison_rows(
+    workloads: Sequence[Tuple[str, Database, TGDSet]],
+    budget: Optional[ChaseBudget] = None,
+) -> List[SweepRow]:
+    """Semi-oblivious vs restricted vs oblivious size and time."""
+    rows: List[SweepRow] = []
+    runners = {
+        "semi_oblivious": semi_oblivious_chase,
+        "restricted": restricted_chase,
+        "oblivious": oblivious_chase,
+    }
+    for name, database, tgds in workloads:
+        measured: Dict[str, object] = {"|D|": len(database)}
+        for variant, runner in runners.items():
+            result = runner(database, tgds, budget=budget, record_derivation=False)
+            measured[f"{variant}_size"] = result.size if result.terminated else f">{result.size}"
+            measured[f"{variant}_seconds"] = round(result.statistics.wall_seconds, 4)
+        rows.append(SweepRow(label="chase-variants", parameters={"workload": name}, measured=measured))
+    return rows

@@ -1,0 +1,32 @@
+"""Chase engines.
+
+Implements the semi-oblivious chase (the paper's object of study) plus
+the oblivious and restricted variants used as baselines, the guarded
+chase forest of Section 5, and depth bookkeeping (Definition 4.3).
+"""
+
+from repro.chase.trigger import Trigger
+from repro.chase.engine import ChaseBudget, ChaseResult, ChaseStatistics, DerivationStep
+from repro.chase.semi_oblivious import SemiObliviousChase, semi_oblivious_chase
+from repro.chase.oblivious import ObliviousChase, oblivious_chase
+from repro.chase.restricted import RestrictedChase, restricted_chase
+from repro.chase.forest import GuardedChaseForest, build_guarded_forest
+from repro.chase.depth import instance_max_depth, max_depth
+
+__all__ = [
+    "Trigger",
+    "ChaseBudget",
+    "ChaseResult",
+    "ChaseStatistics",
+    "DerivationStep",
+    "SemiObliviousChase",
+    "semi_oblivious_chase",
+    "ObliviousChase",
+    "oblivious_chase",
+    "RestrictedChase",
+    "restricted_chase",
+    "GuardedChaseForest",
+    "build_guarded_forest",
+    "instance_max_depth",
+    "max_depth",
+]

@@ -1,0 +1,31 @@
+"""Term and atom depth (Definition 4.3) and ``maxdepth(D, Σ)``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.instance import Database, Instance
+from repro.model.tgd import TGDSet
+from repro.chase.engine import ChaseBudget, ChaseResult
+from repro.chase.semi_oblivious import semi_oblivious_chase
+
+
+def instance_max_depth(instance: Instance) -> int:
+    """Maximum depth over all terms of the instance's active domain."""
+    return instance.max_depth()
+
+
+def max_depth(
+    database: Database,
+    tgds: TGDSet,
+    budget: Optional[ChaseBudget] = None,
+) -> Optional[int]:
+    """``maxdepth(D, Σ)`` computed by materialising the semi-oblivious chase.
+
+    Returns ``None`` when the chase did not terminate within budget
+    (the paper writes ``maxdepth(D, Σ) = ∞`` in that case).
+    """
+    result = semi_oblivious_chase(database, tgds, budget=budget, record_derivation=False)
+    if not result.terminated:
+        return None
+    return result.max_depth

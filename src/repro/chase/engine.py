@@ -1,0 +1,288 @@
+"""Shared chase machinery: budgets, derivation records, results.
+
+All chase variants share the same driver skeleton: rounds of semi-naive
+trigger enumeration, an applied-trigger memo, and a budget that bounds
+the materialised instance so that provably non-terminating runs fail
+fast instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.homomorphism import (
+    find_homomorphisms,
+    find_homomorphisms_with_forced_atom,
+)
+from repro.model.instance import Database, Instance
+from repro.model.tgd import TGD, TGDSet
+from repro.chase.trigger import Trigger
+
+
+class ChaseOutcome(Enum):
+    """Why a chase run stopped."""
+
+    TERMINATED = "terminated"
+    ATOM_BUDGET_EXCEEDED = "atom_budget_exceeded"
+    DEPTH_BUDGET_EXCEEDED = "depth_budget_exceeded"
+    ROUND_BUDGET_EXCEEDED = "round_budget_exceeded"
+    TIME_BUDGET_EXCEEDED = "time_budget_exceeded"
+
+
+@dataclass(frozen=True)
+class ChaseBudget:
+    """Resource limits for a chase run.
+
+    A finite chase needs no budget; the defaults are generous enough for
+    every terminating workload in the test-suite and benchmarks while
+    letting non-terminating runs stop deterministically.
+    """
+
+    max_atoms: int = 1_000_000
+    max_rounds: int = 1_000_000
+    max_depth: Optional[int] = None
+    max_seconds: Optional[float] = None
+    truncate_at_depth: bool = False
+
+    def with_max_atoms(self, max_atoms: int) -> "ChaseBudget":
+        return ChaseBudget(
+            max_atoms=max_atoms,
+            max_rounds=self.max_rounds,
+            max_depth=self.max_depth,
+            max_seconds=self.max_seconds,
+            truncate_at_depth=self.truncate_at_depth,
+        )
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One trigger application: the trigger, its guard image, the new atoms."""
+
+    trigger: Trigger
+    guard_image: Optional[Atom]
+    new_atoms: Tuple[Atom, ...]
+
+
+@dataclass
+class ChaseStatistics:
+    """Counters reported by a chase run."""
+
+    rounds: int = 0
+    triggers_considered: int = 0
+    triggers_applied: int = 0
+    atoms_created: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run.
+
+    Attributes
+    ----------
+    instance:
+        The materialised instance (the chase result if ``terminated``).
+    terminated:
+        True iff the run reached a fixpoint within budget, i.e. the
+        instance is ``chase(D, Σ)``.
+    outcome:
+        The precise stop reason.
+    max_depth:
+        ``maxdepth(D, Σ)`` of the materialised part (the true value if
+        ``terminated``).
+    derivation:
+        The sequence of trigger applications, used to build the guarded
+        chase forest; empty when recording was disabled.
+    """
+
+    instance: Instance
+    terminated: bool
+    outcome: ChaseOutcome
+    statistics: ChaseStatistics
+    max_depth: int
+    database_size: int
+    derivation: Tuple[DerivationStep, ...] = ()
+    depth_truncated: bool = False
+
+    @property
+    def size(self) -> int:
+        """Number of atoms in the materialised instance."""
+        return len(self.instance)
+
+    def expansion_ratio(self) -> float:
+        """``|chase(D, Σ)| / |D|`` (1.0 for an empty database)."""
+        if self.database_size == 0:
+            return 1.0
+        return self.size / self.database_size
+
+
+class BaseChaseEngine:
+    """Round-based, semi-naive chase driver.
+
+    Subclasses fix the two variant-specific choices: the identity of a
+    trigger (what makes two trigger applications "the same") and how a
+    trigger's result is produced (which binding labels its nulls, and
+    when the trigger counts as active).
+    """
+
+    def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
+                 record_derivation: bool = True) -> None:
+        self.tgds = tgds
+        self.budget = budget or ChaseBudget()
+        self.record_derivation = record_derivation
+
+    # -- variant hooks ------------------------------------------------------
+
+    def trigger_key(self, trigger: Trigger):
+        raise NotImplementedError
+
+    def is_active(self, trigger: Trigger, instance: Instance) -> bool:
+        raise NotImplementedError
+
+    def trigger_result(self, trigger: Trigger) -> List[Atom]:
+        raise NotImplementedError
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, database: Instance) -> ChaseResult:
+        """Chase ``database`` (a :class:`Database` or ground instance)."""
+        start = time.perf_counter()
+        instance = Instance(database)
+        statistics = ChaseStatistics()
+        derivation: List[DerivationStep] = []
+        applied: Set = set()
+        outcome = ChaseOutcome.TERMINATED
+        depth_truncated = False
+
+        delta: List[Atom] = list(instance)
+        first_round = True
+        while True:
+            if statistics.rounds >= self.budget.max_rounds:
+                outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
+                break
+            # Materialise the round's triggers up front: the instance is
+            # mutated while they are applied, so lazy enumeration would
+            # race against the indexes it reads.
+            triggers = list(self._collect_triggers(instance, delta, first_round))
+            first_round = False
+            new_atoms_this_round: List[Atom] = []
+            fired_any = False
+            over_budget = False
+            for trigger in triggers:
+                statistics.triggers_considered += 1
+                key = self.trigger_key(trigger)
+                if key in applied:
+                    continue
+                if not self.is_active(trigger, instance):
+                    applied.add(key)
+                    continue
+                result_atoms = self.trigger_result(trigger)
+                if (
+                    self.budget.truncate_at_depth
+                    and self.budget.max_depth is not None
+                ):
+                    kept = [a for a in result_atoms if a.depth() <= self.budget.max_depth]
+                    if len(kept) < len(result_atoms):
+                        depth_truncated = True
+                        # Do not memoise the trigger: it produced atoms we
+                        # refused to materialise, so it stays pending.
+                        result_atoms = kept
+                        if not result_atoms:
+                            continue
+                    else:
+                        applied.add(key)
+                else:
+                    applied.add(key)
+                added = instance.add_all(result_atoms)
+                statistics.triggers_applied += 1
+                statistics.atoms_created += len(added)
+                fired_any = True
+                if added:
+                    new_atoms_this_round.extend(added)
+                    if self.record_derivation:
+                        derivation.append(
+                            DerivationStep(
+                                trigger=trigger,
+                                guard_image=trigger.guard_image(),
+                                new_atoms=tuple(added),
+                            )
+                        )
+                if len(instance) > self.budget.max_atoms:
+                    outcome = ChaseOutcome.ATOM_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+                if self.budget.max_depth is not None and any(
+                    a.depth() > self.budget.max_depth for a in added
+                ):
+                    outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+                if (
+                    self.budget.max_seconds is not None
+                    and time.perf_counter() - start > self.budget.max_seconds
+                ):
+                    outcome = ChaseOutcome.TIME_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+            statistics.rounds += 1
+            if over_budget:
+                break
+            if not new_atoms_this_round:
+                if not fired_any:
+                    outcome = ChaseOutcome.TERMINATED
+                    break
+                # Triggers fired but produced no new atoms: fixpoint reached.
+                outcome = ChaseOutcome.TERMINATED
+                break
+            delta = new_atoms_this_round
+
+        statistics.wall_seconds = time.perf_counter() - start
+        return ChaseResult(
+            instance=instance,
+            terminated=outcome is ChaseOutcome.TERMINATED,
+            outcome=outcome,
+            statistics=statistics,
+            max_depth=instance.max_depth(),
+            database_size=len(database),
+            derivation=tuple(derivation),
+            depth_truncated=depth_truncated,
+        )
+
+    # -- trigger enumeration -----------------------------------------------------
+
+    def _collect_triggers(
+        self, instance: Instance, delta: Sequence[Atom], first_round: bool
+    ) -> Iterator[Trigger]:
+        """Enumerate candidate triggers, semi-naively after the first round.
+
+        In the first round every body homomorphism is considered.  In
+        later rounds only triggers whose body image uses at least one
+        atom from ``delta`` (the atoms derived in the previous round)
+        can be new, so each body atom is forced onto each delta atom in
+        turn.
+        """
+        if first_round:
+            for tgd in self.tgds:
+                for substitution in find_homomorphisms(tgd.body, instance):
+                    yield Trigger.from_substitution(tgd, substitution)
+            return
+        delta_by_predicate: Dict = {}
+        for a in delta:
+            delta_by_predicate.setdefault(a.predicate, []).append(a)
+        seen: Set = set()
+        for tgd in self.tgds:
+            for index, body_atom in enumerate(tgd.body):
+                for forced in delta_by_predicate.get(body_atom.predicate, ()):
+                    for substitution in find_homomorphisms_with_forced_atom(
+                        tgd.body, instance, index, forced
+                    ):
+                        trigger = Trigger.from_substitution(tgd, substitution)
+                        key = (tgd.rule_id, trigger.homomorphism)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield trigger

@@ -1,0 +1,49 @@
+"""The semi-oblivious chase (Section 3).
+
+The semi-oblivious chase identifies two triggers ``(σ, h)`` and
+``(σ, g)`` whenever ``h`` and ``g`` agree on the frontier of ``σ``: the
+nulls they invent carry the same label, so their results coincide and
+only one of them ever fires.  Its result ``chase(D, Σ)`` is unique
+(independent of the derivation order) which is what makes the
+termination problem well defined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.model.atoms import Atom
+from repro.model.instance import Database, Instance
+from repro.model.tgd import TGDSet
+from repro.chase.engine import BaseChaseEngine, ChaseBudget, ChaseResult
+from repro.chase.trigger import Trigger
+
+
+class SemiObliviousChase(BaseChaseEngine):
+    """Semi-oblivious chase engine: trigger identity is ``(σ, h|fr(σ))``."""
+
+    def trigger_key(self, trigger: Trigger):
+        return trigger.frontier_key()
+
+    def is_active(self, trigger: Trigger, instance: Instance) -> bool:
+        return trigger.is_active_semi_oblivious(instance)
+
+    def trigger_result(self, trigger: Trigger) -> List[Atom]:
+        return trigger.result()
+
+
+def semi_oblivious_chase(
+    database: Database,
+    tgds: TGDSet,
+    budget: Optional[ChaseBudget] = None,
+    record_derivation: bool = True,
+) -> ChaseResult:
+    """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
+
+    Returns a :class:`ChaseResult`; ``result.terminated`` is True iff
+    the chase reached a fixpoint within the budget, in which case
+    ``result.instance`` is ``chase(D, Σ)`` and ``result.max_depth`` is
+    ``maxdepth(D, Σ)``.
+    """
+    engine = SemiObliviousChase(tgds, budget=budget, record_derivation=record_derivation)
+    return engine.run(database)

@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main entry points::
+
+    python -m repro classify  ontology.rules
+    python -m repro decide    ontology.rules database.facts [--method auto|syntactic|naive|ucq]
+    python -m repro chase     ontology.rules database.facts [--variant semi-oblivious|restricted|oblivious]
+                                                            [--max-atoms N] [--output FILE]
+
+Rule files contain one TGD per line (``R(x, y) -> exists z . S(y, z)``),
+database files one fact per line (``R(a, b).``); ``%`` and ``#`` start
+comments.  ``decide`` exits with status 0 when the chase terminates,
+1 when it does not, and 2 when the method could not decide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import depth_bound, magnitude, size_bound_factor
+from repro.core.classify import TGDClass, classify
+from repro.core.decision import decide_termination
+from repro.model.parser import parse_database, parse_program
+from repro.model.serialization import instance_to_text
+
+_VARIANTS = {
+    "semi-oblivious": semi_oblivious_chase,
+    "restricted": restricted_chase,
+    "oblivious": oblivious_chase,
+}
+
+
+def _load_program(path: str):
+    return parse_program(Path(path).read_text(), name=Path(path).stem)
+
+
+def _load_database(path: str):
+    return parse_database(Path(path).read_text())
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    program = _load_program(args.rules)
+    tgd_class = classify(program)
+    print(f"class: {tgd_class.value}")
+    print(f"rules: {len(program)}")
+    print(f"schema: {len(program.schema())} predicates, max arity {program.arity()}")
+    if tgd_class is not TGDClass.ARBITRARY:
+        print(f"depth bound d_C(Sigma): {magnitude(depth_bound(program))}")
+        print(f"size bound factor f_C(Sigma): {magnitude(size_bound_factor(program))}")
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    program = _load_program(args.rules)
+    database = _load_database(args.database)
+    verdict = decide_termination(database, program, method=args.method)
+    answer = {True: "terminates", False: "does not terminate", None: "unknown"}[verdict.terminates]
+    print(f"chase of {args.database} w.r.t. {args.rules}: {answer}")
+    print(f"method: {verdict.method.value} (class {verdict.tgd_class.value})")
+    if verdict.terminates:
+        print(f"size bound: {magnitude(len(database) * size_bound_factor(program))}")
+        return 0
+    return 1 if verdict.terminates is False else 2
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    program = _load_program(args.rules)
+    database = _load_database(args.database)
+    runner = _VARIANTS[args.variant]
+    budget = ChaseBudget(max_atoms=args.max_atoms)
+    result = runner(database, program, budget=budget, record_derivation=False)
+    status = "terminated" if result.terminated else f"stopped ({result.outcome.value})"
+    print(
+        f"{status}: {result.size} atoms, max depth {result.max_depth}, "
+        f"{result.statistics.triggers_applied} trigger applications, "
+        f"{result.statistics.wall_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    text = instance_to_text(result.instance)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+    return 0 if result.terminated else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Non-uniformly terminating semi-oblivious chase toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = subparsers.add_parser("classify", help="classify an ontology (SL/L/G/TGD)")
+    classify_parser.add_argument("rules", help="file with one TGD per line")
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    decide_parser = subparsers.add_parser("decide", help="decide non-uniform chase termination")
+    decide_parser.add_argument("rules")
+    decide_parser.add_argument("database")
+    decide_parser.add_argument(
+        "--method", choices=["auto", "syntactic", "naive", "ucq"], default="auto"
+    )
+    decide_parser.set_defaults(handler=_cmd_decide)
+
+    chase_parser = subparsers.add_parser("chase", help="materialise the chase")
+    chase_parser.add_argument("rules")
+    chase_parser.add_argument("database")
+    chase_parser.add_argument("--variant", choices=sorted(_VARIANTS), default="semi-oblivious")
+    chase_parser.add_argument("--max-atoms", type=int, default=1_000_000)
+    chase_parser.add_argument("--output", help="write the materialised instance to a file")
+    chase_parser.set_defaults(handler=_cmd_chase)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

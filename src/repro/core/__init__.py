@@ -1,0 +1,80 @@
+"""Core contribution: non-uniform chase termination analysis.
+
+The modules in this subpackage implement the machinery of Sections 5–8
+of the paper: the dependency graph and (non-uniform) weak-acyclicity,
+the simplification and linearization transformations, the depth and
+size bounds, the UCQ-based data-complexity procedure, and the ChTrm
+decision procedures for simple linear, linear and guarded TGDs.
+"""
+
+from repro.core.classify import TGDClass, classify
+from repro.core.dependency_graph import DependencyGraph, PredicateGraph
+from repro.core.weak_acyclicity import (
+    WeakAcyclicityReport,
+    is_weakly_acyclic,
+    is_weakly_acyclic_wrt,
+    weak_acyclicity_report,
+)
+from repro.core.simplification import (
+    simplify_atom,
+    simplify_database,
+    simplify_program,
+    simplify_tgd,
+    specializations,
+)
+from repro.core.linearization import (
+    LinearizationResult,
+    linearize,
+    linearize_database,
+    linearize_program,
+)
+from repro.core.bounds import (
+    depth_bound,
+    generic_size_bound,
+    size_bound_factor,
+)
+from repro.core.ucq import TerminationUCQ, build_termination_ucq
+from repro.core.decision import (
+    DecisionMethod,
+    TerminationVerdict,
+    decide_termination,
+    naive_decision,
+    syntactic_decision,
+)
+from repro.core.termination import TerminationCertificate, certify, chase_size_bound
+from repro.core.uniform import critical_database, is_uniformly_terminating
+
+__all__ = [
+    "critical_database",
+    "is_uniformly_terminating",
+    "TGDClass",
+    "classify",
+    "DependencyGraph",
+    "PredicateGraph",
+    "WeakAcyclicityReport",
+    "is_weakly_acyclic",
+    "is_weakly_acyclic_wrt",
+    "weak_acyclicity_report",
+    "simplify_atom",
+    "simplify_tgd",
+    "simplify_program",
+    "simplify_database",
+    "specializations",
+    "LinearizationResult",
+    "linearize",
+    "linearize_program",
+    "linearize_database",
+    "depth_bound",
+    "size_bound_factor",
+    "generic_size_bound",
+    "TerminationUCQ",
+    "build_termination_ucq",
+    "DecisionMethod",
+    "TerminationVerdict",
+    "decide_termination",
+    "syntactic_decision",
+    "naive_decision",
+    "TerminationCertificate",
+    "certify",
+    "chase_size_bound",
+]

@@ -1,0 +1,98 @@
+"""The paper's depth and size bounds (Sections 5–8).
+
+* ``d_C(Σ)`` bounds ``maxdepth(D, Σ)`` for ``Σ ∈ C ∩ CT_D``:
+
+  - ``d_SL(Σ) = |sch(Σ)| · ar(Σ)``
+  - ``d_L(Σ)  = |sch(Σ)| · ar(Σ)^(ar(Σ)+1)``
+  - ``d_G(Σ)  = |sch(Σ)| · ar(Σ)^(2·ar(Σ)+1) · 2^(|sch(Σ)| · ar(Σ)^ar(Σ))``
+
+* ``f_C(Σ) = (d_C(Σ)+1) · ‖Σ‖^(2·ar(Σ)·(d_C(Σ)+1))`` bounds
+  ``|chase(D, Σ)| / |D|`` (Theorems 6.4, 7.5, 8.3).
+
+* the generic bound of Proposition 5.2 bounds ``|chase(D, Σ)|`` by
+  ``|D| · (d+1) · ‖Σ‖^(2·ar(Σ)·(d+1))`` for guarded Σ, where ``d`` is
+  the (measured) maximal depth.
+
+The values are exact Python integers; for guarded sets they become
+astronomically large, which is precisely the paper's point about the
+naive decision procedure.
+"""
+
+from __future__ import annotations
+
+from repro.model.tgd import TGDSet
+from repro.core.classify import TGDClass, classify
+
+
+def depth_bound(tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
+    """``d_C(Σ)`` for the given (or inferred) class ``C ∈ {SL, L, G}``."""
+    tgd_class = tgd_class or classify(tgds)
+    schema_size = len(tgds.schema())
+    arity = max(tgds.arity(), 1)
+    if tgd_class is TGDClass.SIMPLE_LINEAR:
+        return schema_size * arity
+    if tgd_class is TGDClass.LINEAR:
+        return schema_size * arity ** (arity + 1)
+    if tgd_class is TGDClass.GUARDED:
+        return schema_size * arity ** (2 * arity + 1) * 2 ** (schema_size * arity**arity)
+    raise ValueError(
+        "the paper provides depth bounds for SL, L and G only; "
+        f"got class {tgd_class}"
+    )
+
+
+def size_bound_factor(tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
+    """``f_C(Σ) = (d_C(Σ)+1) · ‖Σ‖^(2·ar(Σ)·(d_C(Σ)+1))``."""
+    tgd_class = tgd_class or classify(tgds)
+    depth = depth_bound(tgds, tgd_class)
+    norm = max(tgds.norm(), 1)
+    arity = max(tgds.arity(), 1)
+    return (depth + 1) * norm ** (2 * arity * (depth + 1))
+
+
+def generic_size_bound(database_size: int, tgds: TGDSet, max_depth: int) -> int:
+    """Proposition 5.2: ``|D| · (d+1) · ‖Σ‖^(2·ar(Σ)·(d+1))``."""
+    norm = max(tgds.norm(), 1)
+    arity = max(tgds.arity(), 1)
+    return database_size * (max_depth + 1) * norm ** (2 * arity * (max_depth + 1))
+
+
+def per_tree_depth_slice_bound(tgds: TGDSet, depth: int) -> int:
+    """Lemma 5.1: ``|gtree_i(δ, α)| ≤ ‖Σ‖^(2·ar(Σ)·(i+1))``."""
+    norm = max(tgds.norm(), 1)
+    arity = max(tgds.arity(), 1)
+    return norm ** (2 * arity * (depth + 1))
+
+
+def magnitude(value: int, threshold_digits: int = 30) -> str:
+    """A printable form of a possibly astronomically large bound.
+
+    Values with at most ``threshold_digits`` digits are rendered
+    exactly; larger ones as ``~10^k``.  (Python refuses to stringify
+    integers beyond a few thousand digits, and the guarded bounds
+    easily exceed that.)
+    """
+    bits = value.bit_length()
+    digits_estimate = int(bits * 0.30103) + 1
+    if digits_estimate <= threshold_digits:
+        return str(value)
+    return f"~10^{digits_estimate - 1}"
+
+
+def sl_lower_bound_value(database_size: int, predicates: int, arity: int) -> int:
+    """Theorem 6.5: ``|chase(D_ℓ, Σ_{n,m})| ≥ ℓ · m^(n·m)``.
+
+    ``predicates`` is the paper's ``n`` (one less than ``|sch(Σ)|``) and
+    ``arity`` its ``m``.
+    """
+    return database_size * arity ** (predicates * arity)
+
+
+def linear_lower_bound_value(database_size: int, predicates: int, arity: int) -> int:
+    """Theorem 7.6: ``|chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^(n·(2^m − 1))``."""
+    return database_size * 2 ** (predicates * (2**arity - 1))
+
+
+def guarded_lower_bound_value(database_size: int, predicates: int, arity: int) -> int:
+    """Theorem 8.4: ``|chase(D_ℓ, Σ_{n,m})| ≥ ℓ · 2^(2^n · (2^(2^m) − 1))``."""
+    return database_size * 2 ** (2**predicates * (2 ** (2**arity) - 1))

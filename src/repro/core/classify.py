@@ -1,0 +1,40 @@
+"""Syntactic classification of TGD sets into SL ⊊ L ⊊ G ⊊ TGD."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.model.tgd import TGDSet
+
+
+class TGDClass(Enum):
+    """The syntactic classes of the paper, from most to least restrictive."""
+
+    SIMPLE_LINEAR = "SL"
+    LINEAR = "L"
+    GUARDED = "G"
+    ARBITRARY = "TGD"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def is_subclass_of(self, other: "TGDClass") -> bool:
+        """True if this class is contained in ``other`` (SL ⊊ L ⊊ G ⊊ TGD)."""
+        order = [
+            TGDClass.SIMPLE_LINEAR,
+            TGDClass.LINEAR,
+            TGDClass.GUARDED,
+            TGDClass.ARBITRARY,
+        ]
+        return order.index(self) <= order.index(other)
+
+
+def classify(tgds: TGDSet) -> TGDClass:
+    """The most restrictive class of the paper containing ``tgds``."""
+    if tgds.is_simple_linear:
+        return TGDClass.SIMPLE_LINEAR
+    if tgds.is_linear:
+        return TGDClass.LINEAR
+    if tgds.is_guarded:
+        return TGDClass.GUARDED
+    return TGDClass.ARBITRARY

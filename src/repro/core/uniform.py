@@ -1,0 +1,79 @@
+"""Uniform chase termination (Section 4 background, results from [8]).
+
+The paper contrasts its *non-uniform* analysis with the classical
+*uniform* one: does the chase terminate for **every** database?  For
+simple linear TGDs, uniform termination coincides with (plain)
+weak-acyclicity, and — as used in the hardness proofs of [8] and in the
+NL-hardness discussion of Theorem 6.6 — it also coincides with
+non-uniform termination over the *critical database*, which contains
+every fact that can be formed from the schema and a single constant.
+
+These helpers make the uniform/non-uniform comparison of Section 4
+executable and give the workloads for the uniform-vs-non-uniform tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant
+from repro.model.tgd import TGDSet
+from repro.core.classify import TGDClass, classify
+from repro.core.decision import TerminationVerdict, syntactic_decision
+from repro.core.weak_acyclicity import is_weakly_acyclic
+
+
+def critical_database(
+    schema: Iterable[Predicate], constant: Optional[Constant] = None
+) -> Database:
+    """The critical database: one fact per predicate, over a single constant.
+
+    ``D_Σ = {R(c, ..., c) | R ∈ sch(Σ)}`` is the hardest database for
+    uniform termination of guarded TGDs: the chase of any database
+    embeds homomorphically into the chase of ``D_Σ`` (up to renaming
+    the constant), so uniform termination reduces to non-uniform
+    termination over ``D_Σ``.
+    """
+    constant = constant or Constant("crit")
+    database = Database()
+    for predicate in schema:
+        if predicate.arity == 0:
+            database.add(Atom(predicate, ()))
+        else:
+            database.add(Atom(predicate, tuple([constant] * predicate.arity)))
+    return database
+
+
+def is_uniformly_terminating(tgds: TGDSet) -> bool:
+    """Does the chase of *every* database w.r.t. ``Σ`` terminate?
+
+    For the guarded classes this is decided by running the non-uniform
+    procedure over the critical database; for simple linear TGDs the
+    answer additionally coincides with plain weak-acyclicity, which the
+    test suite cross-checks.
+    """
+    tgd_class = classify(tgds)
+    if tgd_class is TGDClass.ARBITRARY:
+        raise ValueError(
+            "uniform termination is undecidable for arbitrary TGDs; "
+            "restrict to the guarded fragment"
+        )
+    verdict = syntactic_decision(critical_database(tgds.schema()), tgds)
+    return bool(verdict.terminates)
+
+
+def uniform_verdict(tgds: TGDSet) -> TerminationVerdict:
+    """The full verdict of the uniform check (over the critical database)."""
+    return syntactic_decision(critical_database(tgds.schema()), tgds)
+
+
+def uniform_weak_acyclicity_agrees(tgds: TGDSet) -> bool:
+    """Convenience: does plain weak-acyclicity give the same uniform answer?
+
+    For simple linear TGDs the two always agree (the characterisation
+    of [8]); for non-simple linear TGDs weak-acyclicity can be a strict
+    under-approximation (Example 7.1).
+    """
+    return is_weakly_acyclic(tgds) == is_uniformly_terminating(tgds)

@@ -1,0 +1,116 @@
+"""Uniform and non-uniform weak-acyclicity (Definition 6.1).
+
+Uniform weak-acyclicity [Fagin et al.] requires that the dependency
+graph ``dg(Σ)`` has no cycle through a special edge.  The paper's
+*non-uniform* variant relativises this to a database ``D``: only cycles
+that are ``D``-supported matter, where a cycle is ``D``-supported if
+some database predicate ``R`` reaches (via ``⇝_Σ``) a predicate ``P``
+appearing in the cycle.
+
+For simple linear TGDs, ``Σ ∈ CT_D`` iff ``Σ`` is ``D``-weakly-acyclic
+(Theorem 6.4); the linear and guarded cases reduce to this one through
+simplification and linearization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.model.atoms import Position, Predicate
+from repro.model.instance import Database
+from repro.model.tgd import TGDSet
+from repro.core.dependency_graph import DependencyGraph, Edge, PredicateGraph
+
+
+@dataclass(frozen=True)
+class WeakAcyclicityReport:
+    """The full evidence produced by the weak-acyclicity analysis.
+
+    Attributes
+    ----------
+    uniformly_weakly_acyclic:
+        True iff ``dg(Σ)`` has no cycle with a special edge at all.
+    weakly_acyclic_wrt_database:
+        True iff no such cycle is ``D``-supported (Definition 6.1);
+        ``None`` when no database was supplied.
+    positions_on_special_cycles:
+        All positions lying on a cycle with a special edge.
+    supporting_predicates:
+        Database predicates ``R`` that reach (``⇝_Σ``) a predicate with
+        a position on a special cycle — the "reasons" a violation is
+        supported.
+    witness_cycle:
+        One concrete offending cycle, for diagnostics.
+    """
+
+    uniformly_weakly_acyclic: bool
+    weakly_acyclic_wrt_database: Optional[bool]
+    positions_on_special_cycles: frozenset
+    supporting_predicates: frozenset
+    witness_cycle: Optional[Tuple[Edge, ...]]
+
+
+def _violating_predicates(dependency_graph: DependencyGraph) -> Set[Predicate]:
+    """Predicates owning a position that lies on a special cycle."""
+    return {position.predicate for position in dependency_graph.positions_on_special_cycle()}
+
+
+def is_weakly_acyclic(tgds: TGDSet) -> bool:
+    """Uniform weak-acyclicity: no cycle with a special edge in ``dg(Σ)``."""
+    return not DependencyGraph(tgds).has_special_cycle()
+
+
+def is_weakly_acyclic_wrt(database: Database, tgds: TGDSet) -> bool:
+    """Non-uniform weak-acyclicity of ``Σ`` w.r.t. ``D`` (Definition 6.1).
+
+    ``Σ`` is ``D``-weakly-acyclic iff no cycle of ``dg(Σ)`` with a
+    special edge is ``D``-supported.  A cycle is ``D``-supported iff the
+    database contains an atom whose predicate reaches, in the predicate
+    graph, some predicate appearing in the cycle.
+    """
+    dependency_graph = DependencyGraph(tgds)
+    cycle_predicates = _violating_predicates(dependency_graph)
+    if not cycle_predicates:
+        return True
+    predicate_graph = PredicateGraph(tgds)
+    supporting = predicate_graph.predicates_reaching(cycle_predicates)
+    database_predicates = database.predicates()
+    return not (database_predicates & supporting)
+
+
+def supporting_database_predicates(database: Database, tgds: TGDSet) -> Set[Predicate]:
+    """Database predicates that support some special cycle of ``dg(Σ)``."""
+    dependency_graph = DependencyGraph(tgds)
+    cycle_predicates = _violating_predicates(dependency_graph)
+    if not cycle_predicates:
+        return set()
+    predicate_graph = PredicateGraph(tgds)
+    supporting = predicate_graph.predicates_reaching(cycle_predicates)
+    return database.predicates() & supporting
+
+
+def weak_acyclicity_report(
+    tgds: TGDSet, database: Optional[Database] = None
+) -> WeakAcyclicityReport:
+    """Run the whole analysis and package the evidence."""
+    dependency_graph = DependencyGraph(tgds)
+    flagged_positions = dependency_graph.positions_on_special_cycle()
+    uniformly = not flagged_positions
+    witness = dependency_graph.witness_special_cycle()
+    if database is None:
+        return WeakAcyclicityReport(
+            uniformly_weakly_acyclic=uniformly,
+            weakly_acyclic_wrt_database=None,
+            positions_on_special_cycles=frozenset(flagged_positions),
+            supporting_predicates=frozenset(),
+            witness_cycle=tuple(witness) if witness else None,
+        )
+    supporting = supporting_database_predicates(database, tgds)
+    return WeakAcyclicityReport(
+        uniformly_weakly_acyclic=uniformly,
+        weakly_acyclic_wrt_database=not supporting,
+        positions_on_special_cycles=frozenset(flagged_positions),
+        supporting_predicates=frozenset(supporting),
+        witness_cycle=tuple(witness) if witness else None,
+    )

@@ -1,0 +1,60 @@
+"""Workload generators.
+
+* :mod:`repro.generators.families` — the concrete constructions used in
+  the paper's propositions and lower-bound theorems;
+* :mod:`repro.generators.turing` — the Appendix A reduction from the
+  halting problem (fixed Σ★, machine-dependent database);
+* :mod:`repro.generators.random_programs` — seeded random SL/L/G
+  programs and databases for property-based testing and scaling
+  benchmarks;
+* :mod:`repro.generators.scenarios` — realistic OBDA and data-exchange
+  scenarios used by the examples.
+"""
+
+from repro.generators.families import (
+    example_7_1,
+    fairness_example,
+    guarded_lower_bound,
+    intro_nonterminating_example,
+    linear_lower_bound,
+    prop45_family,
+    sl_lower_bound,
+)
+from repro.generators.turing import (
+    TuringMachine,
+    halting_machine,
+    looping_machine,
+    machine_database,
+    sigma_star,
+)
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+    random_simple_linear_program,
+)
+from repro.generators.scenarios import (
+    data_exchange_scenario,
+    university_ontology_scenario,
+)
+
+__all__ = [
+    "sl_lower_bound",
+    "linear_lower_bound",
+    "guarded_lower_bound",
+    "prop45_family",
+    "example_7_1",
+    "intro_nonterminating_example",
+    "fairness_example",
+    "TuringMachine",
+    "sigma_star",
+    "machine_database",
+    "halting_machine",
+    "looping_machine",
+    "random_simple_linear_program",
+    "random_linear_program",
+    "random_guarded_program",
+    "random_database",
+    "university_ontology_scenario",
+    "data_exchange_scenario",
+]

@@ -1,0 +1,509 @@
+"""The paper's concrete constructions.
+
+Every function returns a ``(database, tgds)`` pair (or a family of
+them) exactly as defined in the paper:
+
+* :func:`intro_nonterminating_example` — the Section 3 example of a
+  non-terminating chase (``R(x, y) → ∃z R(y, z)``);
+* :func:`fairness_example` — the Section 3 example showing why unfair
+  derivations are not valid;
+* :func:`prop45_family` — Proposition 4.5: ``maxdepth`` grows with the
+  database even though the chase is finite;
+* :func:`example_7_1` — Example 7.1: a linear set that is not
+  ``D``-weakly-acyclic although its chase is finite;
+* :func:`sl_lower_bound` — Theorem 6.5 (simple linear lower bound);
+* :func:`linear_lower_bound` — Theorem 7.6 (linear lower bound);
+* :func:`guarded_lower_bound` — Theorem 8.4 (guarded lower bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+
+
+def _constants(prefix: str, count: int) -> List[Constant]:
+    return [Constant(f"{prefix}{i}") for i in range(1, count + 1)]
+
+
+def _variables(prefix: str, count: int) -> List[Variable]:
+    return [Variable(f"{prefix}{i}") for i in range(1, count + 1)]
+
+
+# --------------------------------------------------------------------------
+# Small illustrative examples (Sections 3 and 7)
+# --------------------------------------------------------------------------
+
+
+def intro_nonterminating_example() -> Tuple[Database, TGDSet]:
+    """``D = {R(a, b)}``, ``Σ = {R(x, y) → ∃z R(y, z)}``: infinite chase."""
+    relation = Predicate("R", 2)
+    a, b = Constant("a"), Constant("b")
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    database = Database([Atom(relation, (a, b))])
+    tgds = TGDSet(
+        [TGD(body=(Atom(relation, (x, y)),), head=(Atom(relation, (y, z)),), rule_id="intro")],
+        name="intro",
+    )
+    return database, tgds
+
+
+def fairness_example() -> Tuple[Database, TGDSet]:
+    """The Section 3 example with σ and σ′ used to motivate fairness."""
+    relation = Predicate("R", 2)
+    partner = Predicate("P", 2)
+    a, b = Constant("a"), Constant("b")
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    database = Database([Atom(relation, (a, b))])
+    sigma = TGD(
+        body=(Atom(relation, (x, y)),),
+        head=(Atom(relation, (y, z)),),
+        rule_id="fair_sigma",
+    )
+    sigma_prime = TGD(
+        body=(Atom(relation, (x, y)),),
+        head=(Atom(partner, (x, y)),),
+        rule_id="fair_sigma_prime",
+    )
+    return database, TGDSet([sigma, sigma_prime], name="fairness")
+
+
+def example_7_1() -> Tuple[Database, TGDSet]:
+    """Example 7.1: finite chase but not ``D``-weakly-acyclic."""
+    relation = Predicate("R", 2)
+    a, b = Constant("a"), Constant("b")
+    x, z = Variable("x"), Variable("z")
+    database = Database([Atom(relation, (a, b))])
+    tgds = TGDSet(
+        [
+            TGD(
+                body=(Atom(relation, (x, x)),),
+                head=(Atom(relation, (z, x)),),
+                rule_id="ex71",
+            )
+        ],
+        name="example_7_1",
+    )
+    return database, tgds
+
+
+def prop45_family(n: int) -> Tuple[Database, TGDSet]:
+    """Proposition 4.5: ``maxdepth(D_n, Σ) = n − 1`` with ``|D_n| = n``.
+
+    ``D_n = {P(a1, b, b), R(a1, a2), ..., R(a_{n−1}, a_n)}`` and
+    ``Σ = {R(x, y), P(x, z, v) → ∃w P(y, w, z)}``.
+    """
+    if n < 2:
+        raise ValueError("the family is defined for n > 1")
+    p = Predicate("P", 3)
+    r = Predicate("R", 2)
+    a = _constants("a", n)
+    b = Constant("b")
+    facts = [Atom(p, (a[0], b, b))]
+    facts.extend(Atom(r, (a[i], a[i + 1])) for i in range(n - 1))
+    database = Database(facts)
+    x, y, z, v, w = (Variable(name) for name in "xyzvw")
+    tgds = TGDSet(
+        [
+            TGD(
+                body=(Atom(r, (x, y)), Atom(p, (x, z, v))),
+                head=(Atom(p, (y, w, z)),),
+                rule_id="prop45",
+            )
+        ],
+        name="prop45",
+    )
+    return database, tgds
+
+
+# --------------------------------------------------------------------------
+# Theorem 6.5: simple linear lower bound
+# --------------------------------------------------------------------------
+
+
+def sl_lower_bound(n: int, m: int, database_size: int = 1) -> Tuple[Database, TGDSet]:
+    """The family of Theorem 6.5: ``|chase(D_ℓ, Σ_{n,m})| ≥ ℓ · m^(n·m)``.
+
+    ``n`` is the number of counting predicates (``|sch(Σ)| − 1``), ``m``
+    the arity, and ``database_size`` the paper's ``ℓ``.
+    """
+    if n < 1 or m < 1 or database_size < 1:
+        raise ValueError("n, m and database_size must be positive")
+    start = Predicate("P0", 1)
+    levels = [Predicate(f"R{i}", m) for i in range(1, n + 1)]
+    database = Database(Atom(start, (c,)) for c in _constants("c", database_size))
+
+    tgds: List[TGD] = []
+    x = Variable("x")
+    ys = _variables("y", m)
+    # Σ_start: P0(x) → ∃ȳ P0(x), R1(ȳ)
+    tgds.append(
+        TGD(
+            body=(Atom(start, (x,)),),
+            head=(Atom(start, (x,)), Atom(levels[0], tuple(ys))),
+            rule_id="sl_start",
+        )
+    )
+    for i, level in enumerate(levels, start=1):
+        xs = _variables(f"x{i}_", m)
+        for j in range(1, m + 1):
+            # Swap positions 1 and j.
+            swapped = list(xs)
+            swapped[0], swapped[j - 1] = swapped[j - 1], swapped[0]
+            tgds.append(
+                TGD(
+                    body=(Atom(level, tuple(xs)),),
+                    head=(Atom(level, tuple(swapped)),),
+                    rule_id=f"sl_swap_{i}_{j}",
+                )
+            )
+            # Copy position j into position 1.
+            copied = list(xs)
+            copied[0] = xs[j - 1]
+            tgds.append(
+                TGD(
+                    body=(Atom(level, tuple(xs)),),
+                    head=(Atom(level, tuple(copied)),),
+                    rule_id=f"sl_copy_{i}_{j}",
+                )
+            )
+        if i < n:
+            zs = _variables(f"z{i}_", m)
+            tgds.append(
+                TGD(
+                    body=(Atom(level, tuple(xs)),),
+                    head=(Atom(level, tuple(xs)), Atom(levels[i], tuple(zs))),
+                    rule_id=f"sl_next_{i}",
+                )
+            )
+    return database, TGDSet(tgds, name=f"sl_lower_bound(n={n},m={m})")
+
+
+# --------------------------------------------------------------------------
+# Theorem 7.6: linear lower bound
+# --------------------------------------------------------------------------
+
+
+def linear_lower_bound(n: int, m: int, database_size: int = 1) -> Tuple[Database, TGDSet]:
+    """The family of Theorem 7.6: ``|chase| ≥ ℓ · 2^(n·(2^m − 1))``.
+
+    The counting predicates ``R_i`` have arity ``m + 3``; the TGDs use
+    repeated variables in their bodies, so the set is linear but not
+    simple linear.
+    """
+    if n < 1 or m < 1 or database_size < 1:
+        raise ValueError("n, m and database_size must be positive")
+    start = Predicate("P0", 1)
+    levels = [Predicate(f"R{i}", m + 3) for i in range(1, n + 1)]
+    database = Database(Atom(start, (c,)) for c in _constants("c", database_size))
+
+    tgds: List[TGD] = []
+    x, y, z, u, v, w = (Variable(name) for name in "xyzuvw")
+    # Σ_start: P0(x) → ∃y∃z P0(x), R1(y, ..., y, y, z, y)
+    tgds.append(
+        TGD(
+            body=(Atom(start, (x,)),),
+            head=(Atom(start, (x,)), Atom(levels[0], tuple([y] * m + [y, z, y]))),
+            rule_id="lin_start",
+        )
+    )
+    for i, level in enumerate(levels, start=1):
+        for j in range(m):
+            xs = _variables(f"x{i}_{j}_", m - j - 1)
+            body_args = tuple(xs + [y] + [z] * j + [y, z, u])
+            head_keep = Atom(level, body_args)
+            flipped = tuple(xs + [z] + [y] * j + [y, z, v])
+            flipped_w = tuple(xs + [z] + [y] * j + [y, z, w])
+            tgds.append(
+                TGD(
+                    body=(Atom(level, body_args),),
+                    head=(head_keep, Atom(level, flipped), Atom(level, flipped_w)),
+                    rule_id=f"lin_step_{i}_{j}",
+                )
+            )
+        if i < n:
+            body_args = tuple([x] * m + [y, x, z])
+            tgds.append(
+                TGD(
+                    body=(Atom(level, body_args),),
+                    head=(
+                        Atom(level, body_args),
+                        Atom(levels[i], tuple([v] * m + [v, w, v])),
+                    ),
+                    rule_id=f"lin_next_{i}",
+                )
+            )
+    return database, TGDSet(tgds, name=f"linear_lower_bound(n={n},m={m})")
+
+
+# --------------------------------------------------------------------------
+# Theorem 8.4: guarded lower bound
+# --------------------------------------------------------------------------
+
+
+def guarded_lower_bound(n: int, m: int, database_size: int = 1) -> Tuple[Database, TGDSet]:
+    """The family of Theorem 8.4: ``|chase| ≥ ℓ · 2^(2^n · (2^(2^m) − 1))``.
+
+    The construction builds, per database constant, ``2^n`` strata of
+    full binary trees of depth ``2^(2^m) − 1``; the strata counter is an
+    ``n``-bit binary counter over the ``S_i`` predicates and the depth
+    counter a ``2^m``-bit counter over ``Depth`` atoms addressed by
+    ``m``-bit digit identifiers.  Only tiny parameters are feasible —
+    which is the theorem's very point.
+    """
+    if n < 1 or m < 1 or database_size < 1:
+        raise ValueError("n, m and database_size must be positive")
+    node = Predicate("Node", 4)
+    root = Predicate("Root", 1)
+    new_root = Predicate("NewRoot", 1)
+    non_root = Predicate("NonRoot", 1)
+    non_max_stratum = Predicate("NonMaxStratum", 1)
+    non_max_depth = Predicate("NonMaxDepth", 1)
+    strata = [Predicate(f"S{i}", 2) for i in range(1, n + 1)]
+    did = Predicate("Did", 4 + m)
+    succ = Predicate("Succ", 4 + 2 * m)
+    depth = Predicate("Depth", m + 2)
+    d_pivot = Predicate("DPivot", m + 1)
+    d_change = Predicate("DChange", m + 1)
+    d_copy = Predicate("DCopy", m + 1)
+    s_pivot = [Predicate(f"SPivot{i}", 1) for i in range(1, n + 1)]
+    s_change = [Predicate(f"SChange{i}", 1) for i in range(1, n + 1)]
+    s_copy = [Predicate(f"SCopy{i}", 1) for i in range(1, n + 1)]
+
+    zero, one = Constant("0"), Constant("1")
+    database = Database(
+        Atom(node, (c, c, zero, one)) for c in _constants("c", database_size)
+    )
+
+    x, y, z, o, u = (Variable(name) for name in ("x", "y", "z", "o", "u"))
+    v, w = Variable("v"), Variable("w")
+    ws = _variables("w", m)
+    ws_prime = _variables("wp", m)
+
+    tgds: List[TGD] = []
+
+    def add(body, head, rule_id):
+        tgds.append(TGD(body=tuple(body), head=tuple(head), rule_id=rule_id))
+
+    # Root of the 0-th stratum.
+    add(
+        [Atom(node, (x, x, z, o))],
+        [Atom(root, (x,))] + [Atom(s, (x, z)) for s in strata],
+        "g_root",
+    )
+    # Digit identifiers.
+    add([Atom(node, (x, y, z, o))], [Atom(did, (x, y, z, o, *([z] * m)))], "g_did0")
+    for i in range(1, m + 1):
+        before = ws[: i - 1]
+        after = ws[i:]
+        add(
+            [Atom(did, (x, y, z, o, *before, z, *after))],
+            [Atom(did, (x, y, z, o, *before, o, *after))],
+            f"g_did_{i}",
+        )
+    # Depth counter of root nodes is all-zero.
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(root, (y,))],
+        [Atom(depth, (y, *ws, z))],
+        "g_depth_root",
+    )
+    # Successor relation over digit identifiers.
+    for i in range(1, m + 1):
+        before = ws[: i - 1]
+        add(
+            [Atom(did, (x, y, z, o, *before, z, *([o] * (m - i))))],
+            [
+                Atom(
+                    succ,
+                    (x, y, z, o, *before, z, *([o] * (m - i)), *before, o, *([z] * (m - i))),
+                )
+            ],
+            f"g_succ_{i}",
+        )
+    # Complements: not in the last stratum / not at maximal depth.
+    for i, s in enumerate(strata, start=1):
+        add(
+            [Atom(node, (x, y, z, o)), Atom(s, (y, z))],
+            [Atom(non_max_stratum, (y,))],
+            f"g_nonmaxstratum_{i}",
+        )
+    # The paper writes this rule (and the two digit-classification base
+    # rules below) with the constants 0/1 left implicit; we anchor them
+    # through a Did atom, which keeps the rule guarded and gives the
+    # intended meaning "some depth bit of y is 0".
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(depth, (y, *ws, z))],
+        [Atom(non_max_depth, (y,))],
+        "g_nonmaxdepth",
+    )
+    # Children of non-maximal-depth nodes.
+    add(
+        [Atom(node, (x, y, z, o)), Atom(non_max_depth, (y,))],
+        [
+            Atom(node, (y, w, z, o)),
+            Atom(non_root, (w,)),
+            Atom(node, (y, v, z, o)),
+            Atom(non_root, (v,)),
+        ],
+        "g_children",
+    )
+    # Children inherit the stratum of their parent.
+    for i, s in enumerate(strata, start=1):
+        add(
+            [Atom(node, (x, y, z, o)), Atom(non_root, (y,)), Atom(s, (x, z))],
+            [Atom(s, (y, z))],
+            f"g_stratum_copy0_{i}",
+        )
+        add(
+            [Atom(node, (x, y, z, o)), Atom(non_root, (y,)), Atom(s, (x, o))],
+            [Atom(s, (y, o))],
+            f"g_stratum_copy1_{i}",
+        )
+    # Depth-counter digit classification (pivot / change / copy).
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(depth, (y, *([o] * m), z))],
+        [Atom(d_pivot, (y, *([o] * m)))],
+        "g_dpivot_base",
+    )
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(depth, (y, *([o] * m), o))],
+        [Atom(d_change, (y, *([o] * m)))],
+        "g_dchange_base",
+    )
+    add(
+        [
+            Atom(succ, (x, y, z, o, *ws, *ws_prime)),
+            Atom(d_change, (y, *ws_prime)),
+            Atom(depth, (y, *ws, z)),
+        ],
+        [Atom(d_pivot, (y, *ws))],
+        "g_dpivot_step",
+    )
+    add(
+        [
+            Atom(succ, (x, y, z, o, *ws, *ws_prime)),
+            Atom(d_change, (y, *ws_prime)),
+            Atom(depth, (y, *ws, o)),
+        ],
+        [Atom(d_change, (y, *ws))],
+        "g_dchange_step",
+    )
+    add(
+        [Atom(succ, (x, y, z, o, *ws, *ws_prime)), Atom(d_pivot, (y, *ws_prime))],
+        [Atom(d_copy, (y, *ws))],
+        "g_dcopy_pivot",
+    )
+    add(
+        [Atom(succ, (x, y, z, o, *ws, *ws_prime)), Atom(d_copy, (y, *ws_prime))],
+        [Atom(d_copy, (y, *ws))],
+        "g_dcopy_step",
+    )
+    # The depth of a non-root node is its parent's depth plus one.
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(non_root, (y,)), Atom(d_change, (x, *ws))],
+        [Atom(depth, (y, *ws, z))],
+        "g_depth_change",
+    )
+    add(
+        [Atom(did, (x, y, z, o, *ws)), Atom(non_root, (y,)), Atom(d_pivot, (x, *ws))],
+        [Atom(depth, (y, *ws, o))],
+        "g_depth_pivot",
+    )
+    add(
+        [
+            Atom(did, (x, y, z, o, *ws)),
+            Atom(non_root, (y,)),
+            Atom(d_copy, (x, *ws)),
+            Atom(depth, (x, *ws, z)),
+        ],
+        [Atom(depth, (y, *ws, z))],
+        "g_depth_copy0",
+    )
+    add(
+        [
+            Atom(did, (x, y, z, o, *ws)),
+            Atom(non_root, (y,)),
+            Atom(d_copy, (x, *ws)),
+            Atom(depth, (x, *ws, o)),
+        ],
+        [Atom(depth, (y, *ws, o))],
+        "g_depth_copy1",
+    )
+    # New stratum: maximal-depth leaves of non-maximal strata spawn new roots.
+    add(
+        [Atom(node, (x, y, z, o)), Atom(non_max_stratum, (y,))],
+        [Atom(node, (y, w, z, o)), Atom(new_root, (w,))],
+        "g_new_root",
+    )
+    add([Atom(new_root, (x,))], [Atom(root, (x,))], "g_new_root_is_root")
+    # Stratum-counter digit classification.
+    add(
+        [Atom(node, (x, y, z, o)), Atom(strata[-1], (y, z))],
+        [Atom(s_pivot[-1], (y,))],
+        "g_spivot_base",
+    )
+    add(
+        [Atom(node, (x, y, z, o)), Atom(strata[-1], (y, o))],
+        [Atom(s_change[-1], (y,))],
+        "g_schange_base",
+    )
+    for i in range(n, 1, -1):
+        index = i - 1  # 0-based index of S_i
+        add(
+            [Atom(node, (x, y, z, o)), Atom(s_change[index], (y,)), Atom(strata[index - 1], (y, z))],
+            [Atom(s_pivot[index - 1], (y,))],
+            f"g_spivot_step_{i}",
+        )
+        add(
+            [Atom(node, (x, y, z, o)), Atom(s_change[index], (y,)), Atom(strata[index - 1], (y, o))],
+            [Atom(s_change[index - 1], (y,))],
+            f"g_schange_step_{i}",
+        )
+        add(
+            [Atom(node, (x, y, z, o)), Atom(s_pivot[index], (y,))],
+            [Atom(s_copy[index - 1], (y,))],
+            f"g_scopy_pivot_{i}",
+        )
+        add(
+            [Atom(node, (x, y, z, o)), Atom(s_copy[index], (y,))],
+            [Atom(s_copy[index - 1], (y,))],
+            f"g_scopy_step_{i}",
+        )
+    # Stratum-counter increment for new roots (all digits).
+    for i, s in enumerate(strata, start=1):
+        index = i - 1
+        add(
+            [Atom(node, (x, y, z, o)), Atom(new_root, (y,)), Atom(s_change[index], (x,))],
+            [Atom(s, (y, z))],
+            f"g_sinc_change_{i}",
+        )
+        add(
+            [Atom(node, (x, y, z, o)), Atom(new_root, (y,)), Atom(s_pivot[index], (x,))],
+            [Atom(s, (y, o))],
+            f"g_sinc_pivot_{i}",
+        )
+        add(
+            [
+                Atom(node, (x, y, z, o)),
+                Atom(new_root, (y,)),
+                Atom(s_copy[index], (x,)),
+                Atom(s, (x, z)),
+            ],
+            [Atom(s, (y, z))],
+            f"g_sinc_copy0_{i}",
+        )
+        add(
+            [
+                Atom(node, (x, y, z, o)),
+                Atom(new_root, (y,)),
+                Atom(s_copy[index], (x,)),
+                Atom(s, (x, o)),
+            ],
+            [Atom(s, (y, o))],
+            f"g_sinc_copy1_{i}",
+        )
+    return database, TGDSet(tgds, name=f"guarded_lower_bound(n={n},m={m})")

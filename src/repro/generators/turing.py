@@ -1,0 +1,243 @@
+"""The Appendix A reduction: a fixed TGD set Σ★ simulating Turing machines.
+
+The paper strengthens the undecidability of ``ChTrm(TGD)`` to data
+complexity by exhibiting a *fixed* set Σ★ of TGDs and, for every
+deterministic Turing machine ``M``, a database ``D_M`` such that
+``chase(D_M, Σ★)`` is finite iff ``M`` halts on the empty input.  The
+database stores the transition table and the initial configuration; the
+TGDs unroll the computation as a grid of ``Tape``/``Head`` atoms.
+
+This module builds Σ★ and ``D_M`` verbatim, plus two tiny machines (one
+halting, one looping) used by the tests and benchmarks to exercise both
+outcomes, and by Proposition 4.2's demonstration that no uniform bound
+on the chase size exists for arbitrary TGDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+
+LEFT, STAY, RIGHT = "<", "-", ">"
+
+# Schema of the encoding.
+TRANS = Predicate("Trans", 5)
+TAPE = Predicate("Tape", 3)
+HEAD = Predicate("Head", 3)
+LDIR = Predicate("LDir", 1)
+SDIR = Predicate("SDir", 1)
+RDIR = Predicate("RDir", 1)
+BLANK = Predicate("Blank", 1)
+END = Predicate("End", 1)
+NORM_SYMB = Predicate("NormSymb", 1)
+L_EDGE = Predicate("L", 2)
+R_EDGE = Predicate("R", 2)
+
+BEGIN_MARKER = "|>"
+END_MARKER = "<|"
+BLANK_SYMBOL = "_"
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic Turing machine ``M = (S, Λ, f, s0)``.
+
+    ``transitions`` maps ``(state, symbol)`` to
+    ``(new state, new symbol, direction)`` with direction one of
+    ``"<"``, ``"-"``, ``">"``.  Machines without a transition for the
+    current ``(state, symbol)`` pair halt (the chase then reaches a
+    fixpoint).  The tape alphabet implicitly contains the markers
+    ``|>``, ``<|`` and the blank ``_``.
+    """
+
+    states: Tuple[str, ...]
+    alphabet: Tuple[str, ...]
+    transitions: Dict[Tuple[str, str], Tuple[str, str, str]]
+    initial_state: str
+
+    def __post_init__(self) -> None:
+        if self.initial_state not in self.states:
+            raise ValueError("the initial state must be one of the machine's states")
+        for (state, symbol), (new_state, new_symbol, direction) in self.transitions.items():
+            if state not in self.states or new_state not in self.states:
+                raise ValueError(f"unknown state in transition {(state, symbol)}")
+            if direction not in (LEFT, STAY, RIGHT):
+                raise ValueError(f"invalid direction {direction!r}")
+
+
+def machine_database(machine: TuringMachine) -> Database:
+    """``D_M``: transition table, initial configuration and helper atoms."""
+    database = Database()
+    for (state, symbol), (new_state, new_symbol, direction) in machine.transitions.items():
+        database.add(
+            Atom(
+                TRANS,
+                (
+                    Constant(state),
+                    Constant(symbol),
+                    Constant(new_state),
+                    Constant(new_symbol),
+                    Constant(direction),
+                ),
+            )
+        )
+    cells = [Constant(f"cell{i}") for i in range(4)]
+    database.add(Atom(TAPE, (cells[0], Constant(BEGIN_MARKER), cells[1])))
+    database.add(Atom(TAPE, (cells[1], Constant(BLANK_SYMBOL), cells[2])))
+    database.add(Atom(HEAD, (cells[1], Constant(machine.initial_state), cells[2])))
+    database.add(Atom(TAPE, (cells[2], Constant(END_MARKER), cells[3])))
+    database.add(Atom(LDIR, (Constant(LEFT),)))
+    database.add(Atom(SDIR, (Constant(STAY),)))
+    database.add(Atom(RDIR, (Constant(RIGHT),)))
+    database.add(Atom(BLANK, (Constant(BLANK_SYMBOL),)))
+    database.add(Atom(END, (Constant(END_MARKER),)))
+    for symbol in machine.alphabet:
+        if symbol not in (BEGIN_MARKER, END_MARKER):
+            database.add(Atom(NORM_SYMB, (Constant(symbol),)))
+    if BLANK_SYMBOL not in machine.alphabet:
+        database.add(Atom(NORM_SYMB, (Constant(BLANK_SYMBOL),)))
+    return database
+
+
+def sigma_star() -> TGDSet:
+    """The fixed, machine-independent set Σ★ of Appendix A."""
+    x1, x2, x3, x4, x5 = (Variable(f"t{i}") for i in range(1, 6))
+    x, y, z, u, w = (Variable(name) for name in ("x", "y", "z", "u", "w"))
+    xp, yp, zp, wp = (Variable(name) for name in ("xp", "yp", "zp", "wp"))
+
+    tgds: List[TGD] = []
+
+    # Move right, not at the end of the tape.
+    tgds.append(
+        TGD(
+            body=(
+                Atom(TRANS, (x1, x2, x3, x4, x5)),
+                Atom(RDIR, (x5,)),
+                Atom(NORM_SYMB, (w,)),
+                Atom(HEAD, (x, x1, y)),
+                Atom(TAPE, (x, x2, y)),
+                Atom(TAPE, (y, w, z)),
+            ),
+            head=(
+                Atom(L_EDGE, (x, xp)),
+                Atom(R_EDGE, (y, yp)),
+                Atom(R_EDGE, (z, zp)),
+                Atom(TAPE, (xp, x4, yp)),
+                Atom(HEAD, (yp, x3, zp)),
+                Atom(TAPE, (yp, w, zp)),
+            ),
+            rule_id="tm_right",
+        )
+    )
+    # Move right at the end of the tape (extend with a blank).
+    tgds.append(
+        TGD(
+            body=(
+                Atom(TRANS, (x1, x2, x3, x4, x5)),
+                Atom(RDIR, (x5,)),
+                Atom(BLANK, (u,)),
+                Atom(END, (w,)),
+                Atom(HEAD, (x, x1, y)),
+                Atom(TAPE, (x, x2, y)),
+                Atom(TAPE, (y, w, z)),
+            ),
+            head=(
+                Atom(L_EDGE, (x, xp)),
+                Atom(R_EDGE, (y, yp)),
+                Atom(R_EDGE, (z, zp)),
+                Atom(TAPE, (xp, x4, yp)),
+                Atom(HEAD, (yp, x3, zp)),
+                Atom(TAPE, (yp, u, zp)),
+                Atom(TAPE, (zp, w, wp)),
+            ),
+            rule_id="tm_right_end",
+        )
+    )
+    # Move left (the machine never reads beyond the first cell).
+    tgds.append(
+        TGD(
+            body=(
+                Atom(TRANS, (x1, x2, x3, x4, x5)),
+                Atom(LDIR, (x5,)),
+                Atom(TAPE, (x, w, y)),
+                Atom(HEAD, (y, x1, z)),
+                Atom(TAPE, (y, x2, z)),
+            ),
+            head=(
+                Atom(R_EDGE, (x, xp)),
+                Atom(R_EDGE, (y, yp)),
+                Atom(L_EDGE, (z, zp)),
+                Atom(HEAD, (xp, x3, yp)),
+                Atom(TAPE, (xp, w, yp)),
+                Atom(TAPE, (yp, x4, zp)),
+            ),
+            rule_id="tm_left",
+        )
+    )
+    # Stay.
+    tgds.append(
+        TGD(
+            body=(
+                Atom(TRANS, (x1, x2, x3, x4, x5)),
+                Atom(SDIR, (x5,)),
+                Atom(HEAD, (x, x1, y)),
+                Atom(TAPE, (x, x2, y)),
+            ),
+            head=(
+                Atom(L_EDGE, (x, xp)),
+                Atom(R_EDGE, (y, yp)),
+                Atom(HEAD, (xp, x3, yp)),
+                Atom(TAPE, (xp, x4, yp)),
+            ),
+            rule_id="tm_stay",
+        )
+    )
+    # Copy untouched cells to the left and to the right of the head.
+    tgds.append(
+        TGD(
+            body=(Atom(TAPE, (x, z, y)), Atom(L_EDGE, (y, yp))),
+            head=(Atom(L_EDGE, (x, xp)), Atom(TAPE, (xp, z, yp))),
+            rule_id="tm_copy_left",
+        )
+    )
+    tgds.append(
+        TGD(
+            body=(Atom(TAPE, (x, z, y)), Atom(R_EDGE, (x, xp))),
+            head=(Atom(TAPE, (xp, z, yp)), Atom(R_EDGE, (y, yp))),
+            rule_id="tm_copy_right",
+        )
+    )
+    return TGDSet(tgds, name="sigma_star")
+
+
+def halting_machine() -> TuringMachine:
+    """A machine that writes one symbol, moves right twice, and halts."""
+    return TuringMachine(
+        states=("q0", "q1", "q2"),
+        alphabet=("a", BLANK_SYMBOL),
+        transitions={
+            ("q0", BLANK_SYMBOL): ("q1", "a", RIGHT),
+            ("q1", BLANK_SYMBOL): ("q2", BLANK_SYMBOL, STAY),
+        },
+        initial_state="q0",
+    )
+
+
+def looping_machine() -> TuringMachine:
+    """A machine that bounces on the first cell forever."""
+    return TuringMachine(
+        states=("q0", "q1"),
+        alphabet=("a", BLANK_SYMBOL),
+        transitions={
+            ("q0", BLANK_SYMBOL): ("q1", "a", STAY),
+            ("q1", "a"): ("q0", BLANK_SYMBOL, STAY),
+            ("q0", "a"): ("q1", "a", STAY),
+            ("q1", BLANK_SYMBOL): ("q0", BLANK_SYMBOL, STAY),
+        },
+        initial_state="q0",
+    )

@@ -1,0 +1,157 @@
+"""Substitutions and homomorphism search.
+
+A homomorphism from a set of atoms ``A`` to a set of atoms ``B`` is a
+substitution over the terms of ``A`` that is the identity on constants
+and maps every atom of ``A`` to an atom of ``B``.  The chase engine and
+the restricted-chase activeness test both reduce to enumerating the
+homomorphisms from a rule body (a small conjunction of atoms over
+variables) into a large instance; :func:`find_homomorphisms` implements
+this as an index-backed backtracking join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.model.atoms import Atom
+from repro.model.instance import Instance
+from repro.model.terms import Constant, Term, Variable
+
+Substitution = Dict[Variable, Term]
+
+
+def apply_substitution(atom: Atom, substitution: Substitution) -> Atom:
+    """Apply a variable substitution to an atom."""
+    new_args = tuple(
+        substitution.get(arg, arg) if isinstance(arg, Variable) else arg
+        for arg in atom.args
+    )
+    return Atom(atom.predicate, new_args)
+
+
+def is_homomorphism(
+    atoms: Sequence[Atom], target: Instance, substitution: Substitution
+) -> bool:
+    """Check that ``substitution`` maps every atom of ``atoms`` into ``target``."""
+    for a in atoms:
+        image = apply_substitution(a, substitution)
+        if not image.is_ground or image not in target:
+            return False
+    return True
+
+
+def _match_atom(
+    pattern: Atom, candidate: Atom, binding: Substitution
+) -> Optional[Substitution]:
+    """Try to extend ``binding`` so that ``pattern`` maps onto ``candidate``."""
+    if pattern.predicate != candidate.predicate:
+        return None
+    extended = dict(binding)
+    for pattern_arg, candidate_arg in zip(pattern.args, candidate.args):
+        if isinstance(pattern_arg, Constant):
+            if pattern_arg != candidate_arg:
+                return None
+        elif isinstance(pattern_arg, Variable):
+            bound = extended.get(pattern_arg)
+            if bound is None:
+                extended[pattern_arg] = candidate_arg
+            elif bound != candidate_arg:
+                return None
+        else:  # nulls never occur in rule bodies
+            if pattern_arg != candidate_arg:
+                return None
+    return extended
+
+
+def _order_atoms(atoms: Sequence[Atom]) -> List[Atom]:
+    """Order body atoms to make the backtracking join cheap.
+
+    The guard-like atom with the most variables goes first (it binds
+    the most), then atoms are picked greedily by how many of their
+    variables are already bound.
+    """
+    remaining = list(atoms)
+    if not remaining:
+        return []
+    ordered: List[Atom] = []
+    first = max(remaining, key=lambda a: len(a.variables()))
+    ordered.append(first)
+    remaining.remove(first)
+    bound: Set[Variable] = set(first.variables())
+    while remaining:
+        best = max(remaining, key=lambda a: (len(a.variables() & bound), -len(a.variables())))
+        ordered.append(best)
+        remaining.remove(best)
+        bound |= best.variables()
+    return ordered
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom],
+    target: Instance,
+    seed: Optional[Substitution] = None,
+) -> Iterator[Substitution]:
+    """Enumerate homomorphisms from ``atoms`` into ``target``.
+
+    ``seed`` optionally fixes a partial binding (used by the chase
+    engine to force a body atom onto a freshly derived atom, giving a
+    semi-naive evaluation).
+    """
+    ordered = _order_atoms(atoms)
+
+    def backtrack(index: int, binding: Substitution) -> Iterator[Substitution]:
+        if index == len(ordered):
+            yield dict(binding)
+            return
+        pattern = ordered[index]
+        bound_positions = {
+            i: binding[arg]
+            for i, arg in enumerate(pattern.args)
+            if isinstance(arg, Variable) and arg in binding
+        }
+        for candidate in target.candidates(pattern.predicate, bound_positions):
+            extended = _match_atom(pattern, candidate, binding)
+            if extended is not None:
+                yield from backtrack(index + 1, extended)
+
+    yield from backtrack(0, dict(seed or {}))
+
+
+def find_homomorphisms_with_forced_atom(
+    atoms: Sequence[Atom],
+    target: Instance,
+    forced_index: int,
+    forced_atom: Atom,
+) -> Iterator[Substitution]:
+    """Homomorphisms where body atom ``forced_index`` maps onto ``forced_atom``.
+
+    This is the delta step of semi-naive evaluation: every new trigger
+    must use at least one newly derived atom, so it suffices to force
+    each body atom in turn onto each new atom.
+    """
+    pattern = atoms[forced_index]
+    seed = _match_atom(pattern, forced_atom, {})
+    if seed is None:
+        return
+    rest = [a for i, a in enumerate(atoms) if i != forced_index]
+    if not rest:
+        yield seed
+        return
+    yield from find_homomorphisms(rest, target, seed=seed)
+
+
+def extend_homomorphism(
+    head_atoms: Sequence[Atom],
+    target: Instance,
+    base: Substitution,
+) -> Optional[Substitution]:
+    """Find an extension of ``base`` mapping ``head_atoms`` into ``target``.
+
+    This is the satisfaction test of a TGD (and the activeness test of
+    the restricted chase): given a body homomorphism ``base``, look for
+    ``h' ⊇ base|frontier`` mapping the head into the instance.  Returns
+    one witness extension or ``None``.
+    """
+    for extension in find_homomorphisms(head_atoms, target, seed=dict(base)):
+        return extension
+    return None

@@ -1,0 +1,155 @@
+"""Instances and databases.
+
+An *instance* is a (possibly large) set of ground atoms over constants
+and nulls; a *database* is a finite set of facts (atoms over constants
+only).  The :class:`Instance` class maintains secondary indexes so the
+chase engine and the homomorphism search can enumerate candidate atoms
+without scanning the whole instance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.terms import Constant, Null, Term
+
+
+class Instance:
+    """A mutable set of ground atoms with predicate and position indexes.
+
+    The instance rejects atoms containing variables: those belong to
+    rules and queries, not to data.
+    """
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._atoms: Set[Atom] = set()
+        self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
+        # (predicate, 0-based position, term) -> atoms having `term` there
+        self._by_position: Dict[Tuple[Predicate, int, Term], Set[Atom]] = defaultdict(set)
+        for a in atoms:
+            self.add(a)
+
+    # -- basic protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __contains__(self, a: Atom) -> bool:
+        return a in self._atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({len(self._atoms)} atoms)"
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, a: Atom) -> bool:
+        """Add an atom; return True if it was not already present."""
+        if not a.is_ground:
+            raise ValueError(f"instances may only contain ground atoms, got {a}")
+        if a in self._atoms:
+            return False
+        self._atoms.add(a)
+        self._by_predicate[a.predicate].add(a)
+        for i, term in enumerate(a.args):
+            self._by_position[(a.predicate, i, term)].add(a)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> List[Atom]:
+        """Add several atoms; return the ones that were actually new."""
+        return [a for a in atoms if self.add(a)]
+
+    def discard(self, a: Atom) -> bool:
+        """Remove an atom if present; return True if it was removed."""
+        if a not in self._atoms:
+            return False
+        self._atoms.discard(a)
+        self._by_predicate[a.predicate].discard(a)
+        for i, term in enumerate(a.args):
+            self._by_position[(a.predicate, i, term)].discard(a)
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def atoms(self) -> Set[Atom]:
+        """A copy of the underlying atom set."""
+        return set(self._atoms)
+
+    def atoms_with_predicate(self, predicate: Predicate) -> Set[Atom]:
+        """All atoms over the given predicate (empty set if none)."""
+        return self._by_predicate.get(predicate, set())
+
+    def predicates(self) -> Set[Predicate]:
+        """Predicates that occur in at least one atom."""
+        return {pred for pred, atoms in self._by_predicate.items() if atoms}
+
+    def candidates(self, predicate: Predicate, bound: Dict[int, Term]) -> Set[Atom]:
+        """Atoms over ``predicate`` matching the partially bound arguments.
+
+        ``bound`` maps 0-based argument positions to required terms.  The
+        most selective index entry is intersected last to keep the cost
+        close to the result size.
+        """
+        if not bound:
+            return self.atoms_with_predicate(predicate)
+        buckets = [
+            self._by_position.get((predicate, i, term), set())
+            for i, term in bound.items()
+        ]
+        buckets.sort(key=len)
+        result = set(buckets[0])
+        for bucket in buckets[1:]:
+            if not result:
+                break
+            result &= bucket
+        return result
+
+    def active_domain(self) -> Set[Term]:
+        """``dom(I)``: all constants and nulls occurring in the instance."""
+        domain: Set[Term] = set()
+        for a in self._atoms:
+            domain.update(a.args)
+        return domain
+
+    def constants(self) -> Set[Constant]:
+        return {t for t in self.active_domain() if isinstance(t, Constant)}
+
+    def nulls(self) -> Set[Null]:
+        return {t for t in self.active_domain() if isinstance(t, Null)}
+
+    def max_depth(self) -> int:
+        """Maximum term depth over the instance (0 for the empty instance)."""
+        return max((t.depth for t in self.active_domain()), default=0)
+
+    def copy(self) -> "Instance":
+        return Instance(self._atoms)
+
+    def restrict_to_predicates(self, predicates: Iterable[Predicate]) -> "Instance":
+        """The sub-instance containing only atoms over ``predicates``."""
+        wanted = set(predicates)
+        return Instance(a for a in self._atoms if a.predicate in wanted)
+
+
+class Database(Instance):
+    """A finite set of facts: atoms whose arguments are constants only."""
+
+    def add(self, a: Atom) -> bool:
+        if not a.is_fact:
+            raise ValueError(f"databases may only contain facts, got {a}")
+        return super().add(a)
+
+    def copy(self) -> "Database":
+        return Database(self._atoms)
+
+    def as_instance(self) -> Instance:
+        """An :class:`Instance` copy of the database (chase starting point)."""
+        return Instance(self._atoms)

@@ -1,0 +1,143 @@
+"""A small concrete syntax for databases and TGD programs.
+
+The syntax is deliberately close to the Datalog± notation used by chase
+engines such as Graal and VLog:
+
+* atoms: ``R(x, y)``; identifiers starting with an upper-case letter or
+  a digit (or quoted with double quotes) are constants inside
+  databases, every argument inside a rule is a variable;
+* facts: ``R(a, b).`` one per line (trailing dot optional);
+* TGDs: ``R(x, y), S(y) -> exists z . T(x, z), U(z)`` (the
+  ``exists ... .`` prefix is optional and inferred from variables that
+  appear only in the head);
+* comments: from ``%`` or ``#`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.terms import Constant, Term, Variable
+from repro.model.tgd import TGD, TGDSet
+from repro.model.instance import Database
+
+
+class ParseError(ValueError):
+    """Raised when a program or database text cannot be parsed."""
+
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_\[\]\{\},:|()<>-]*)\s*\(([^()]*)\)\s*")
+_IDENT_RE = re.compile(r"^[A-Za-z0-9_\"'.\[\]-]+$")
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        for marker in ("%", "#"):
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _split_atoms(text: str) -> List[str]:
+    """Split a conjunction at commas that are not nested inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    last = "".join(current).strip()
+    if last:
+        parts.append(last)
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_term(token: str, as_fact: bool) -> Term:
+    token = token.strip()
+    if not token or not _IDENT_RE.match(token):
+        raise ParseError(f"invalid term {token!r}")
+    if token.startswith('"') and token.endswith('"'):
+        return Constant(token[1:-1])
+    if as_fact:
+        return Constant(token)
+    return Variable(token)
+
+
+def parse_atom(text: str, as_fact: bool = False) -> Atom:
+    """Parse a single atom.  With ``as_fact=True`` arguments are constants."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ParseError(f"cannot parse atom {text!r}")
+    name, args_text = match.group(1), match.group(2)
+    args_text = args_text.strip()
+    arg_tokens = [t for t in (s.strip() for s in args_text.split(",")) if t] if args_text else []
+    args = tuple(_parse_term(token, as_fact) for token in arg_tokens)
+    return Atom(Predicate(name, len(args)), args)
+
+
+def parse_tgd(text: str, rule_id: str | None = None) -> TGD:
+    """Parse a TGD from ``body -> [exists z1, z2 .] head`` syntax."""
+    text = _strip_comments(text).strip().rstrip(".")
+    if "->" not in text:
+        raise ParseError(f"a TGD needs a '->': {text!r}")
+    body_text, head_text = text.split("->", 1)
+    head_text = head_text.strip()
+    declared_existentials: List[str] = []
+    if head_text.lower().startswith("exists"):
+        remainder = head_text[len("exists"):]
+        if "." not in remainder:
+            raise ParseError(f"'exists' prefix needs a '.' separator in {text!r}")
+        vars_text, head_text = remainder.split(".", 1)
+        declared_existentials = [v.strip() for v in vars_text.split(",") if v.strip()]
+    body = tuple(parse_atom(part) for part in _split_atoms(body_text))
+    head = tuple(parse_atom(part) for part in _split_atoms(head_text))
+    kwargs = {"rule_id": rule_id} if rule_id is not None else {}
+    tgd = TGD(body=body, head=head, **kwargs)
+    if declared_existentials:
+        declared = {Variable(v) for v in declared_existentials}
+        if declared != tgd.existential_variables():
+            raise ParseError(
+                f"declared existential variables {sorted(v.name for v in declared)} "
+                f"do not match head-only variables in {text!r}"
+            )
+    return tgd
+
+
+def parse_program(text: str, name: str = "Sigma") -> TGDSet:
+    """Parse a whole program: one TGD per (non-empty, non-comment) line."""
+    tgds: List[TGD] = []
+    for i, line in enumerate(_strip_comments(text).splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        tgds.append(parse_tgd(line, rule_id=f"{name}_r{i}"))
+    if not tgds:
+        raise ParseError("program contains no TGDs")
+    return TGDSet(tgds, name=name)
+
+
+def parse_database(text: str) -> Database:
+    """Parse a database: one fact per (non-empty, non-comment) line."""
+    database = Database()
+    for line in _strip_comments(text).splitlines():
+        line = line.strip().rstrip(".")
+        if not line:
+            continue
+        database.add(parse_atom(line, as_fact=True))
+    return database

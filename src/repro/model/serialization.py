@@ -1,0 +1,52 @@
+"""Text serialisation of atoms, databases and programs.
+
+The output of :func:`tgd_to_text` and :func:`database_to_text` round
+trips through :mod:`repro.model.parser`, which the test suite checks.
+Nulls are rendered with a ``_:`` prefix and are only meant for human
+inspection of chase results, not for re-parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.atoms import Atom
+from repro.model.instance import Database, Instance
+from repro.model.terms import Constant, Null, Variable
+from repro.model.tgd import TGD, TGDSet
+
+
+def term_to_text(term) -> str:
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Null):
+        return str(term)
+    raise TypeError(f"unsupported term {term!r}")
+
+
+def atom_to_text(atom: Atom) -> str:
+    args = ", ".join(term_to_text(t) for t in atom.args)
+    return f"{atom.predicate.name}({args})"
+
+
+def tgd_to_text(tgd: TGD) -> str:
+    body = ", ".join(atom_to_text(a) for a in tgd.body)
+    head = ", ".join(atom_to_text(a) for a in tgd.head)
+    existentials = sorted(v.name for v in tgd.existential_variables())
+    prefix = f"exists {', '.join(existentials)} . " if existentials else ""
+    return f"{body} -> {prefix}{head}"
+
+
+def program_to_text(program: TGDSet) -> str:
+    return "\n".join(tgd_to_text(t) for t in program)
+
+
+def database_to_text(database: Database) -> str:
+    return "\n".join(sorted(f"{atom_to_text(a)}." for a in database))
+
+
+def instance_to_text(instance: Instance) -> str:
+    """Human-readable dump of an instance (chase result)."""
+    return "\n".join(sorted(atom_to_text(a) for a in instance))

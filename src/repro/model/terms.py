@@ -1,0 +1,189 @@
+"""Terms: constants, variables, and labelled nulls.
+
+The paper works with three disjoint countably infinite sets of terms:
+constants ``C``, labelled nulls ``N``, and variables ``V``.  Labelled
+nulls are the values invented by the chase for existentially quantified
+variables.  In the semi-oblivious chase a null is uniquely determined by
+the trigger restricted to the frontier, i.e. it carries the label
+``⊥^z_{σ, h|fr(σ)}`` (Definition 3.1).  We therefore identify a null by
+the triple (rule identifier, frontier binding, existential variable),
+which makes trigger application idempotent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant from the countably infinite set ``C``."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constant({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def depth(self) -> int:
+        """Constants have depth 0 (Definition 4.3)."""
+        return 0
+
+    @property
+    def is_null(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A variable from the countably infinite set ``V``.
+
+    Variables only appear inside TGDs and conjunctive queries, never in
+    instances.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    @property
+    def is_null(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+
+# Interning table for null identities.  A null's label nests the labels
+# of the terms in its binding; comparing or hashing those labels
+# structurally would recurse as deeply as the chase is, so each distinct
+# label is assigned a small integer once and identity reduces to that
+# integer.  The table only grows with the number of *distinct* nulls
+# ever created in the process, which is bounded by the materialised
+# chase sizes.
+_NULL_INTERN: dict = {}
+
+
+@dataclass(frozen=True, eq=False)
+class Null:
+    """A labelled null ``⊥^var_{rule, binding}`` from the set ``N``.
+
+    Attributes
+    ----------
+    rule_id:
+        Identifier of the TGD whose trigger invented this null.
+    variable:
+        Name of the existentially quantified head variable the null was
+        invented for.
+    binding:
+        The trigger's homomorphism restricted to the frontier of the
+        rule (for the semi-oblivious chase) or to the whole body (for
+        the oblivious chase), as a sorted tuple of
+        ``(variable name, term)`` pairs.  Because the binding is part of
+        the identity, re-firing the same trigger reproduces *equal*
+        nulls, which is exactly what makes the semi-oblivious chase
+        insensitive to the order of trigger applications.
+    depth:
+        The depth of the null per Definition 4.3, precomputed at
+        creation time: ``1 + max(depth of binding terms, 0)``.
+    uid:
+        The interned identity; equality and hashing use only this, so
+        deeply nested nulls stay O(1) to compare.
+    """
+
+    rule_id: str
+    variable: str
+    binding: Tuple[Tuple[str, "GroundTerm"], ...]
+    depth: int = -1
+    uid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            computed = 1 + max((term.depth for _, term in self.binding), default=0)
+            object.__setattr__(self, "depth", computed)
+        key = (
+            self.rule_id,
+            self.variable,
+            tuple(
+                (name, term.uid if isinstance(term, Null) else ("c", term.name))
+                for name, term in self.binding
+            ),
+        )
+        interned = _NULL_INTERN.setdefault(key, len(_NULL_INTERN))
+        object.__setattr__(self, "uid", interned)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Null):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Null({self.rule_id!r}, {self.variable!r}, depth={self.depth})"
+
+    def __str__(self) -> str:
+        return f"_:{self.variable}_{self.uid}"
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+
+GroundTerm = Union[Constant, Null]
+Term = Union[Constant, Variable, Null]
+
+
+def make_null(rule_id: str, variable: str, binding: dict) -> Null:
+    """Create the canonical null for a (rule, frontier binding, variable).
+
+    ``binding`` maps frontier variable names to ground terms; it is
+    normalised to a sorted tuple so equal bindings always yield equal
+    nulls.
+    """
+    items = tuple(sorted(binding.items(), key=lambda kv: kv[0]))
+    return Null(rule_id=rule_id, variable=variable, binding=items)
+
+
+def term_depth(term: Term) -> int:
+    """Depth of a term per Definition 4.3 (variables are not ranked)."""
+    if isinstance(term, Constant):
+        return 0
+    if isinstance(term, Null):
+        return term.depth
+    raise TypeError(f"variables have no depth: {term!r}")
+
+
+def is_ground(term: Term) -> bool:
+    """True for constants and nulls, false for variables."""
+    return not isinstance(term, Variable)

@@ -1,0 +1,36 @@
+"""Tests for term/atom depth and ``maxdepth(D, Σ)`` (Definition 4.3, Prop. 4.5)."""
+
+import pytest
+
+from repro.model.instance import Database
+from repro.chase.depth import instance_max_depth, max_depth
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.generators.families import intro_nonterminating_example, prop45_family
+
+
+class TestMaxDepth:
+    def test_database_alone_has_depth_zero(self, simple_database, terminating_program):
+        assert instance_max_depth(simple_database) == 0
+        assert max_depth(simple_database, terminating_program) == 1
+
+    def test_infinite_chase_reports_none(self):
+        database, tgds = intro_nonterminating_example()
+        assert max_depth(database, tgds, budget=ChaseBudget(max_atoms=100)) is None
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_prop45_depth_equals_database_size_minus_one(self, n):
+        """Proposition 4.5: ``maxdepth(D_n, Σ) = n − 1``."""
+        database, tgds = prop45_family(n)
+        assert len(database) == n
+        assert max_depth(database, tgds) == n - 1
+
+    def test_prop45_chase_is_finite_despite_unbounded_depth(self):
+        database, tgds = prop45_family(6)
+        result = semi_oblivious_chase(database, tgds)
+        assert result.terminated
+        assert result.max_depth == 5
+
+    def test_prop45_rejects_trivial_sizes(self):
+        with pytest.raises(ValueError):
+            prop45_family(1)

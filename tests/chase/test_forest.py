@@ -1,0 +1,89 @@
+"""Tests for the guarded chase forest (Section 5)."""
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+from repro.chase.forest import build_guarded_forest, guarded_forest
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import per_tree_depth_slice_bound
+from repro.generators.families import prop45_family
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+P = Predicate("P", 1)
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+
+
+def linear_chain_program():
+    """``R(x, y) → ∃z S(y, z)`` and ``S(x, y) → P(y)``."""
+    return TGDSet(
+        [
+            TGD((Atom(R, (X, Y)),), (Atom(S, (Y, Z)),), rule_id="f1"),
+            TGD((Atom(S, (X, Y)),), (Atom(P, (Y,)),), rule_id="f2"),
+        ],
+        name="chain",
+    )
+
+
+class TestForestStructure:
+    def test_roots_are_database_atoms(self):
+        database = Database([Atom(R, (A, B))])
+        forest, result = guarded_forest(database, linear_chain_program())
+        assert result.terminated
+        assert forest.roots == (Atom(R, (A, B)),)
+
+    def test_every_derived_atom_has_a_parent(self):
+        database = Database([Atom(R, (A, B))])
+        forest, result = guarded_forest(database, linear_chain_program())
+        derived = set(result.instance) - set(database)
+        assert derived
+        assert all(a in forest.parent for a in derived)
+
+    def test_tree_covers_whole_chase_for_guarded_sets(self):
+        database = Database([Atom(R, (A, B))])
+        forest, result = guarded_forest(database, linear_chain_program())
+        assert forest.all_atoms() == set(result.instance)
+
+    def test_tree_sizes(self):
+        database = Database([Atom(R, (A, B)), Atom(R, (B, A))])
+        forest, result = guarded_forest(database, linear_chain_program())
+        sizes = forest.tree_sizes()
+        assert set(sizes) == set(database)
+        assert all(size >= 1 for size in sizes.values())
+
+    def test_depth_slices(self):
+        database = Database([Atom(R, (A, B))])
+        forest, _ = guarded_forest(database, linear_chain_program())
+        root = Atom(R, (A, B))
+        assert forest.tree_depth_slice(root, 0) == {root}
+        assert all(a.depth() == 1 for a in forest.tree_depth_slice(root, 1))
+
+    def test_depth_histogram(self):
+        database = Database([Atom(R, (A, B))])
+        forest, result = guarded_forest(database, linear_chain_program())
+        histogram = forest.depth_histogram()
+        assert sum(histogram.values()) == result.size
+
+    def test_unguarded_rules_leave_orphans(self):
+        database, tgds = prop45_family(3)
+        result = semi_oblivious_chase(database, tgds)
+        forest = build_guarded_forest(result, database)
+        # The Prop. 4.5 rule is not guarded, so derived atoms have no
+        # guard image and the forest does not cover the chase.
+        assert forest.all_atoms() != set(result.instance)
+
+
+class TestLemma51:
+    def test_depth_slice_sizes_respect_lemma_bound(self):
+        database = Database([Atom(R, (A, B)), Atom(R, (B, A))])
+        tgds = linear_chain_program()
+        forest, result = guarded_forest(database, tgds)
+        assert result.terminated
+        for root in forest.roots:
+            tree = forest.tree(root)
+            max_depth = max((a.depth() for a in tree), default=0)
+            for depth in range(max_depth + 1):
+                slice_size = len(forest.tree_depth_slice(root, depth))
+                assert slice_size <= per_tree_depth_slice_bound(tgds, depth)

@@ -1,0 +1,138 @@
+"""Tests for the semi-oblivious chase engine."""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.homomorphism import extend_homomorphism, find_homomorphisms
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+from repro.chase.engine import ChaseBudget, ChaseOutcome
+from repro.chase.semi_oblivious import semi_oblivious_chase
+
+
+def satisfies(instance, tgds) -> bool:
+    """Check ``I ⊨ Σ`` directly from the definition."""
+    for tgd in tgds:
+        for body_match in find_homomorphisms(tgd.body, instance):
+            frontier_binding = {v: body_match[v] for v in tgd.frontier()}
+            if extend_homomorphism(tgd.head, instance, frontier_binding) is None:
+                return False
+    return True
+
+
+class TestTermination:
+    def test_terminating_program(self, simple_database, terminating_program):
+        result = semi_oblivious_chase(simple_database, terminating_program)
+        assert result.terminated
+        assert result.outcome is ChaseOutcome.TERMINATED
+        assert result.size == 2
+
+    def test_nonterminating_program_hits_budget(self, simple_database, nonterminating_program):
+        budget = ChaseBudget(max_atoms=100)
+        result = semi_oblivious_chase(simple_database, nonterminating_program, budget=budget)
+        assert not result.terminated
+        assert result.outcome is ChaseOutcome.ATOM_BUDGET_EXCEEDED
+        assert result.size > 100
+
+    def test_depth_budget(self, simple_database, nonterminating_program):
+        budget = ChaseBudget(max_depth=5)
+        result = semi_oblivious_chase(simple_database, nonterminating_program, budget=budget)
+        assert not result.terminated
+        assert result.outcome is ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+
+    def test_depth_truncation_keeps_running(self, simple_database, nonterminating_program):
+        budget = ChaseBudget(max_depth=5, truncate_at_depth=True)
+        result = semi_oblivious_chase(simple_database, nonterminating_program, budget=budget)
+        assert result.terminated
+        assert result.depth_truncated
+        assert result.max_depth <= 5
+
+    def test_round_budget(self, simple_database, nonterminating_program):
+        budget = ChaseBudget(max_rounds=3)
+        result = semi_oblivious_chase(simple_database, nonterminating_program, budget=budget)
+        assert not result.terminated
+        assert result.outcome is ChaseOutcome.ROUND_BUDGET_EXCEEDED
+
+    def test_empty_database_terminates_immediately(self, terminating_program):
+        result = semi_oblivious_chase(Database(), terminating_program)
+        assert result.terminated
+        assert result.size == 0
+        assert result.expansion_ratio() == 1.0
+
+
+class TestResultProperties:
+    def test_result_contains_database(self, simple_database, terminating_program):
+        result = semi_oblivious_chase(simple_database, terminating_program)
+        assert all(a in result.instance for a in simple_database)
+
+    def test_result_satisfies_tgds(self, simple_database, terminating_program):
+        result = semi_oblivious_chase(simple_database, terminating_program)
+        assert satisfies(result.instance, terminating_program)
+
+    def test_result_is_order_insensitive(self):
+        """The semi-oblivious chase result is unique (Section 3)."""
+        r = Predicate("R", 2)
+        s = Predicate("S", 2)
+        p = Predicate("P", 1)
+        t = Predicate("T", 1)
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        a, b, c = Constant("a"), Constant("b"), Constant("c")
+        tgds = TGDSet(
+            [
+                TGD((Atom(r, (x, y)),), (Atom(p, (y,)),), rule_id="one"),
+                TGD((Atom(p, (x,)),), (Atom(s, (x, z)),), rule_id="two"),
+                TGD((Atom(s, (x, y)),), (Atom(t, (y,)),), rule_id="three"),
+                TGD((Atom(r, (x, y)),), (Atom(r, (y, x)),), rule_id="four"),
+            ],
+            name="diamond",
+        )
+        facts = [Atom(r, (a, b)), Atom(r, (b, c)), Atom(p, (a,))]
+        forward = semi_oblivious_chase(Database(facts), tgds)
+        backward = semi_oblivious_chase(Database(reversed(facts)), tgds)
+        assert forward.terminated and backward.terminated
+        assert forward.instance == backward.instance
+
+    def test_statistics_are_populated(self, simple_database, terminating_program):
+        result = semi_oblivious_chase(simple_database, terminating_program)
+        assert result.statistics.triggers_applied == 1
+        assert result.statistics.atoms_created == 1
+        assert result.statistics.rounds >= 1
+        assert result.statistics.wall_seconds >= 0.0
+
+    def test_derivation_recording_can_be_disabled(self, simple_database, terminating_program):
+        recorded = semi_oblivious_chase(simple_database, terminating_program)
+        bare = semi_oblivious_chase(
+            simple_database, terminating_program, record_derivation=False
+        )
+        assert recorded.derivation and not bare.derivation
+
+    def test_expansion_ratio(self, simple_database, terminating_program):
+        result = semi_oblivious_chase(simple_database, terminating_program)
+        assert result.expansion_ratio() == pytest.approx(2.0)
+
+
+class TestSemiObliviousSemantics:
+    def test_same_frontier_fires_once(self):
+        """Triggers agreeing on the frontier are identified (Definition 3.1)."""
+        r = Predicate("R", 2)
+        s = Predicate("S", 2)
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        a, b, c = Constant("a"), Constant("b"), Constant("c")
+        # Frontier is {y}: R(a, b) and R(c, b) yield the same null.
+        tgds = TGDSet([TGD((Atom(r, (x, y)),), (Atom(s, (y, z)),), rule_id="so")])
+        database = Database([Atom(r, (a, b)), Atom(r, (c, b))])
+        result = semi_oblivious_chase(database, tgds)
+        assert result.terminated
+        s_atoms = result.instance.atoms_with_predicate(s)
+        assert len(s_atoms) == 1
+
+    def test_guarded_database_dependent_termination(
+        self, guarded_program, guarded_supported_database, guarded_unsupported_database
+    ):
+        finite = semi_oblivious_chase(guarded_unsupported_database, guarded_program)
+        assert finite.terminated and finite.size == 1
+        infinite = semi_oblivious_chase(
+            guarded_supported_database, guarded_program, budget=ChaseBudget(max_atoms=200)
+        )
+        assert not infinite.terminated

@@ -1,0 +1,95 @@
+"""Unit tests for triggers and trigger application (Definition 3.1)."""
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Instance
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD
+from repro.chase.trigger import Trigger
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+P = Predicate("P", 1)
+A, B = Constant("a"), Constant("b")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+RULE = TGD((Atom(R, (X, Y)),), (Atom(S, (Y, Z)),), rule_id="t")
+
+
+def make_trigger(tgd, substitution):
+    return Trigger.from_substitution(tgd, substitution)
+
+
+class TestTriggerIdentity:
+    def test_frontier_binding_restricts_to_frontier(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        assert trigger.frontier_binding() == {"y": B}
+
+    def test_frontier_key_ignores_non_frontier_variables(self):
+        first = make_trigger(RULE, {X: A, Y: B})
+        second = make_trigger(RULE, {X: B, Y: B})
+        assert first.frontier_key() == second.frontier_key()
+        assert first.full_key() != second.full_key()
+
+    def test_substitution_round_trip(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        assert trigger.substitution() == {X: A, Y: B}
+
+
+class TestTriggerResult:
+    def test_result_instantiates_frontier_and_nulls(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        [result] = trigger.result()
+        assert result.predicate == S
+        assert result.args[0] == B
+        assert result.args[1].is_null
+
+    def test_equal_frontier_bindings_produce_equal_nulls(self):
+        first = make_trigger(RULE, {X: A, Y: B}).result()
+        second = make_trigger(RULE, {X: B, Y: B}).result()
+        assert first == second
+
+    def test_null_label_override_changes_identity(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        default = trigger.result()
+        oblivious = trigger.result(null_binding={"x": A, "y": B})
+        assert default != oblivious
+
+    def test_full_tgd_produces_no_nulls(self):
+        rule = TGD((Atom(R, (X, Y)),), (Atom(S, (Y, X)),), rule_id="full")
+        [result] = make_trigger(rule, {X: A, Y: B}).result()
+        assert result == Atom(S, (B, A))
+
+
+class TestActiveness:
+    def test_semi_oblivious_active_when_result_missing(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        assert trigger.is_active_semi_oblivious(Instance([Atom(R, (A, B))]))
+
+    def test_semi_oblivious_inactive_when_result_present(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        instance = Instance([Atom(R, (A, B))] + trigger.result())
+        assert not trigger.is_active_semi_oblivious(instance)
+
+    def test_restricted_inactive_when_head_satisfiable(self):
+        # The head S(y, z) is satisfiable with z -> a, so the restricted
+        # chase does not fire even though the semi-oblivious one does.
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        instance = Instance([Atom(R, (A, B)), Atom(S, (B, A))])
+        assert not trigger.is_active_restricted(instance)
+        assert trigger.is_active_semi_oblivious(instance)
+
+    def test_restricted_active_when_head_unsatisfiable(self):
+        trigger = make_trigger(RULE, {X: A, Y: B})
+        assert trigger.is_active_restricted(Instance([Atom(R, (A, B))]))
+
+
+class TestGuardImage:
+    def test_guard_image_of_guarded_rule(self):
+        rule = TGD((Atom(R, (X, Y)), Atom(P, (X,))), (Atom(S, (Y, Z)),), rule_id="g")
+        trigger = make_trigger(rule, {X: A, Y: B})
+        assert trigger.guard_image() == Atom(R, (A, B))
+
+    def test_guard_image_of_unguarded_rule_is_none(self):
+        rule = TGD((Atom(R, (X, Y)), Atom(R, (Y, Z))), (Atom(P, (X,)),), rule_id="u")
+        trigger = make_trigger(rule, {X: A, Y: B, Z: A})
+        assert trigger.guard_image() is None

@@ -1,0 +1,76 @@
+"""Comparative tests of the three chase variants."""
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+from repro.chase.engine import ChaseBudget
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestRestrictedVsSemiOblivious:
+    def test_restricted_skips_satisfied_heads(self):
+        # R(x, y) → ∃z S(x, z) with S(a, b) already present: the
+        # restricted chase adds nothing, the semi-oblivious chase does.
+        tgds = TGDSet([TGD((Atom(R, (X, Y)),), (Atom(S, (X, Z)),), rule_id="v1")])
+        database = Database([Atom(R, (A, B)), Atom(S, (A, B))])
+        restricted = restricted_chase(database, tgds)
+        semi = semi_oblivious_chase(database, tgds)
+        assert restricted.terminated and semi.terminated
+        assert restricted.size == 2
+        assert semi.size == 3
+
+    def test_restricted_result_is_contained_in_semi_oblivious_size(self):
+        tgds = TGDSet(
+            [
+                TGD((Atom(R, (X, Y)),), (Atom(S, (Y, Z)),), rule_id="v2a"),
+                TGD((Atom(S, (X, Y)),), (Atom(R, (X, X)),), rule_id="v2b"),
+            ]
+        )
+        database = Database([Atom(R, (A, B)), Atom(R, (B, A))])
+        restricted = restricted_chase(database, tgds)
+        semi = semi_oblivious_chase(database, tgds)
+        assert restricted.terminated and semi.terminated
+        assert restricted.size <= semi.size
+
+
+class TestObliviousVsSemiOblivious:
+    def test_oblivious_creates_more_nulls(self):
+        # Frontier {y} identifies R(a, b) and R(b, b) triggers for the
+        # semi-oblivious chase but not for the oblivious one.
+        tgds = TGDSet([TGD((Atom(R, (X, Y)),), (Atom(S, (Y, Z)),), rule_id="v3")])
+        database = Database([Atom(R, (A, B)), Atom(R, (B, B))])
+        semi = semi_oblivious_chase(database, tgds)
+        oblivious = oblivious_chase(database, tgds)
+        assert semi.terminated and oblivious.terminated
+        assert len(semi.instance.atoms_with_predicate(S)) == 1
+        assert len(oblivious.instance.atoms_with_predicate(S)) == 2
+
+    def test_oblivious_may_diverge_where_semi_oblivious_terminates(self):
+        # R(x, y) → ∃z R(x, z): semi-oblivious terminates (frontier {x}),
+        # the oblivious chase keeps inventing nulls from the new atoms.
+        tgds = TGDSet([TGD((Atom(R, (X, Y)),), (Atom(R, (X, Z)),), rule_id="v4")])
+        database = Database([Atom(R, (A, B))])
+        semi = semi_oblivious_chase(database, tgds)
+        assert semi.terminated and semi.size == 2
+        oblivious = oblivious_chase(database, tgds, budget=ChaseBudget(max_atoms=50))
+        assert not oblivious.terminated
+
+    def test_all_variants_agree_on_full_tgds(self):
+        # Without existentials the three chases compute the same closure.
+        tgds = TGDSet([TGD((Atom(R, (X, Y)),), (Atom(R, (Y, X)),), rule_id="v5")])
+        database = Database([Atom(R, (A, B))])
+        results = [
+            semi_oblivious_chase(database, tgds),
+            oblivious_chase(database, tgds),
+            restricted_chase(database, tgds),
+        ]
+        assert all(r.terminated for r in results)
+        assert results[0].instance == results[1].instance == results[2].instance

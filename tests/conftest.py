@@ -1,0 +1,77 @@
+"""Shared fixtures: small programs and databases used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
+
+
+@pytest.fixture
+def r_predicate() -> Predicate:
+    return Predicate("R", 2)
+
+
+@pytest.fixture
+def simple_database(r_predicate: Predicate) -> Database:
+    """``{R(a, b)}``."""
+    return Database([Atom(r_predicate, (Constant("a"), Constant("b")))])
+
+
+@pytest.fixture
+def nonterminating_program(r_predicate: Predicate) -> TGDSet:
+    """``R(x, y) → ∃z R(y, z)``: infinite chase on any non-empty R."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return TGDSet(
+        [TGD((Atom(r_predicate, (x, y)),), (Atom(r_predicate, (y, z)),), rule_id="loop")],
+        name="loop",
+    )
+
+
+@pytest.fixture
+def terminating_program(r_predicate: Predicate) -> TGDSet:
+    """``R(x, y) → ∃z S(y, z)``: one step and done."""
+    s_predicate = Predicate("S", 2)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return TGDSet(
+        [TGD((Atom(r_predicate, (x, y)),), (Atom(s_predicate, (y, z)),), rule_id="step")],
+        name="step",
+    )
+
+
+@pytest.fixture
+def guarded_program() -> TGDSet:
+    """``R(x, y), P(x) → ∃z R(y, z), P(y)``: termination depends on the database."""
+    r = Predicate("R", 2)
+    p = Predicate("P", 1)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return TGDSet(
+        [
+            TGD(
+                (Atom(r, (x, y)), Atom(p, (x,))),
+                (Atom(r, (y, z)), Atom(p, (y,))),
+                rule_id="guarded_loop",
+            )
+        ],
+        name="guarded_loop",
+    )
+
+
+@pytest.fixture
+def guarded_supported_database() -> Database:
+    """``{R(a, b), P(a)}``: the guarded loop fires forever."""
+    r = Predicate("R", 2)
+    p = Predicate("P", 1)
+    a, b = Constant("a"), Constant("b")
+    return Database([Atom(r, (a, b)), Atom(p, (a,))])
+
+
+@pytest.fixture
+def guarded_unsupported_database() -> Database:
+    """``{R(a, b)}``: the guarded loop never fires."""
+    r = Predicate("R", 2)
+    a, b = Constant("a"), Constant("b")
+    return Database([Atom(r, (a, b))])

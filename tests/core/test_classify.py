@@ -1,0 +1,62 @@
+"""Tests for the syntactic classifier."""
+
+from repro.model.parser import parse_program
+from repro.core.classify import TGDClass, classify
+from repro.generators.families import (
+    guarded_lower_bound,
+    linear_lower_bound,
+    prop45_family,
+    sl_lower_bound,
+)
+from repro.generators.turing import sigma_star
+
+
+class TestClassify:
+    def test_simple_linear(self):
+        program = parse_program("R(x, y) -> exists z . S(y, z)")
+        assert classify(program) is TGDClass.SIMPLE_LINEAR
+
+    def test_linear_but_not_simple(self):
+        program = parse_program("R(x, x) -> exists z . R(z, x)")
+        assert classify(program) is TGDClass.LINEAR
+
+    def test_guarded_but_not_linear(self):
+        program = parse_program("R(x, y), P(x) -> exists z . R(y, z)")
+        assert classify(program) is TGDClass.GUARDED
+
+    def test_arbitrary(self):
+        program = parse_program("R(x, y), R(y, z) -> S(x, z)")
+        assert classify(program) is TGDClass.ARBITRARY
+
+    def test_mixed_set_takes_least_restrictive(self):
+        program = parse_program(
+            "R(x, y) -> exists z . S(y, z)\nR(x, x) -> exists z . R(z, x)"
+        )
+        assert classify(program) is TGDClass.LINEAR
+
+    def test_class_ordering(self):
+        assert TGDClass.SIMPLE_LINEAR.is_subclass_of(TGDClass.GUARDED)
+        assert TGDClass.LINEAR.is_subclass_of(TGDClass.ARBITRARY)
+        assert not TGDClass.GUARDED.is_subclass_of(TGDClass.LINEAR)
+        assert TGDClass.GUARDED.is_subclass_of(TGDClass.GUARDED)
+
+
+class TestPaperFamilies:
+    def test_sl_family_is_simple_linear(self):
+        _, tgds = sl_lower_bound(2, 2)
+        assert classify(tgds) is TGDClass.SIMPLE_LINEAR
+
+    def test_linear_family_is_linear_not_simple(self):
+        _, tgds = linear_lower_bound(1, 2)
+        assert classify(tgds) is TGDClass.LINEAR
+
+    def test_guarded_family_is_guarded_not_linear(self):
+        _, tgds = guarded_lower_bound(1, 1)
+        assert classify(tgds) is TGDClass.GUARDED
+
+    def test_prop45_family_is_arbitrary(self):
+        _, tgds = prop45_family(3)
+        assert classify(tgds) is TGDClass.ARBITRARY
+
+    def test_sigma_star_is_arbitrary(self):
+        assert classify(sigma_star()) is TGDClass.ARBITRARY

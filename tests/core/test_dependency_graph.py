@@ -1,0 +1,116 @@
+"""Tests for the dependency graph and the predicate graph (Section 6)."""
+
+from repro.model.atoms import Position, Predicate
+from repro.model.parser import parse_program
+from repro.core.dependency_graph import DependencyGraph, PredicateGraph
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+P = Predicate("P", 1)
+
+
+def position(predicate, index):
+    return Position(predicate, index)
+
+
+class TestDependencyGraphEdges:
+    def test_normal_edges_follow_frontier_variables(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> S(y, x)"))
+        normal = {(e.source, e.target) for e in graph.normal_edges()}
+        assert (position(R, 1), position(S, 2)) in normal
+        assert (position(R, 2), position(S, 1)) in normal
+        assert not graph.special_edges()
+
+    def test_special_edges_point_at_existential_positions(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . S(y, z)"))
+        special = {(e.source, e.target) for e in graph.special_edges()}
+        assert special == {(position(R, 2), position(S, 2))}
+        normal = {(e.source, e.target) for e in graph.normal_edges()}
+        assert normal == {(position(R, 2), position(S, 1))}
+
+    def test_non_frontier_body_variables_produce_no_edges(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> P(x)"))
+        assert all(e.source != position(R, 2) for e in graph.edges)
+
+    def test_multiple_head_atoms(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . S(y, z), P(y)"))
+        targets = {e.target for e in graph.edges if e.source == position(R, 2)}
+        assert targets == {position(S, 1), position(S, 2), position(P, 1)}
+
+    def test_nodes_cover_whole_schema(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> P(x)"))
+        assert graph.nodes == {position(R, 1), position(R, 2), position(P, 1)}
+
+
+class TestSpecialCycles:
+    def test_self_loop_special_edge(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . R(y, z)"))
+        flagged = graph.positions_on_special_cycle()
+        assert position(R, 2) in flagged
+        assert graph.has_special_cycle()
+
+    def test_weakly_acyclic_program_has_no_special_cycle(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . S(y, z)"))
+        assert not graph.has_special_cycle()
+        assert graph.positions_on_special_cycle() == set()
+
+    def test_cycle_through_two_rules(self):
+        program = parse_program("R(x, y) -> exists z . S(y, z)\nS(x, y) -> R(x, y)")
+        graph = DependencyGraph(program)
+        assert graph.has_special_cycle()
+
+    def test_normal_only_cycle_is_not_flagged(self):
+        program = parse_program("R(x, y) -> S(y, x)\nS(x, y) -> R(y, x)")
+        graph = DependencyGraph(program)
+        assert not graph.has_special_cycle()
+
+    def test_witness_cycle_contains_a_special_edge(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . R(y, z)"))
+        witness = graph.witness_special_cycle()
+        assert witness is not None
+        assert any(e.special for e in witness)
+        # The witness is a cycle: each edge's target feeds the next source.
+        for first, second in zip(witness, witness[1:]):
+            assert first.target == second.source
+        assert witness[-1].target == witness[0].source
+
+    def test_witness_is_none_when_acyclic(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . S(y, z)"))
+        assert graph.witness_special_cycle() is None
+
+    def test_strongly_connected_components_partition_nodes(self):
+        graph = DependencyGraph(parse_program("R(x, y) -> exists z . R(y, z)"))
+        components = graph.strongly_connected_components()
+        covered = set().union(*components)
+        assert covered == graph.nodes
+        assert sum(len(c) for c in components) == len(graph.nodes)
+
+
+class TestPredicateGraph:
+    def test_successors(self):
+        graph = PredicateGraph(parse_program("R(x, y) -> exists z . S(y, z), P(y)"))
+        assert graph.successors(R) == {S, P}
+        assert graph.successors(S) == set()
+
+    def test_reachability_is_reflexive(self):
+        graph = PredicateGraph(parse_program("R(x, y) -> S(y, x)"))
+        assert graph.reaches(R, R)
+        assert graph.reaches(S, S)
+
+    def test_reachability_is_transitive(self):
+        program = parse_program("R(x, y) -> S(y, x)\nS(x, y) -> P(x)")
+        graph = PredicateGraph(program)
+        assert graph.reaches(R, P)
+        assert not graph.reaches(P, R)
+
+    def test_reachable_from(self):
+        program = parse_program("R(x, y) -> S(y, x)\nS(x, y) -> P(x)")
+        graph = PredicateGraph(program)
+        assert graph.reachable_from(R) == {R, S, P}
+        assert graph.reachable_from(P) == {P}
+
+    def test_predicates_reaching(self):
+        program = parse_program("R(x, y) -> S(y, x)\nS(x, y) -> P(x)")
+        graph = PredicateGraph(program)
+        assert graph.predicates_reaching({P}) == {R, S, P}
+        assert graph.predicates_reaching({R}) == {R}

@@ -1,0 +1,138 @@
+"""Tests for the simplification transformation (Definition 7.2, Prop. 7.3)."""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate, atom
+from repro.model.parser import parse_database, parse_program
+from repro.model.terms import Constant, Variable
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.simplification import (
+    id_tuple,
+    simplify_atom,
+    simplify_database,
+    simplify_program,
+    simplify_tgd,
+    specializations,
+    unique_tuple,
+)
+
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTupleHelpers:
+    def test_unique_keeps_first_occurrences(self):
+        assert unique_tuple((X, Y, X, Z, Y)) == (X, Y, Z)
+
+    def test_id_tuple_matches_paper_example(self):
+        # Paper: id((x, y, x, z, y)) = (1, 2, 1, 3, 2).
+        assert id_tuple((X, Y, X, Z, Y)) == (1, 2, 1, 3, 2)
+
+    def test_all_distinct(self):
+        assert unique_tuple((X, Y)) == (X, Y)
+        assert id_tuple((X, Y)) == (1, 2)
+
+    def test_all_equal(self):
+        assert unique_tuple((A, A, A)) == (A,)
+        assert id_tuple((A, A, A)) == (1, 1, 1)
+
+
+class TestSimplifyAtom:
+    def test_repeated_terms_move_into_predicate(self):
+        simplified = simplify_atom(atom("R", A, A, B, C))
+        assert simplified.predicate.name == "R[1,1,2,3]"
+        assert simplified.predicate.arity == 3
+        assert simplified.args == (A, B, C)
+
+    def test_distinct_terms(self):
+        simplified = simplify_atom(atom("R", A, B))
+        assert simplified.predicate.name == "R[1,2]"
+        assert simplified.args == (A, B)
+
+    def test_equal_simplifications_for_equal_equality_types(self):
+        first = simplify_atom(atom("R", A, A))
+        second = simplify_atom(atom("R", B, B))
+        assert first.predicate == second.predicate
+
+
+class TestSpecializations:
+    @pytest.mark.parametrize(
+        "count,expected", [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]
+    )
+    def test_number_of_specializations_is_a_bell_number(self, count, expected):
+        variables = [Variable(f"v{i}") for i in range(count)]
+        assert len(list(specializations(variables))) == expected
+
+    def test_first_variable_is_fixed(self):
+        for mapping in specializations([X, Y]):
+            assert mapping[X] == X
+
+    def test_specializations_only_identify_with_earlier_variables(self):
+        for mapping in specializations([X, Y, Z]):
+            assert mapping[Y] in {X, Y}
+            assert mapping[Z] in {X, Y, Z}
+
+    def test_repeated_input_variables_are_deduplicated(self):
+        assert len(list(specializations([X, Y, X]))) == 2
+
+
+class TestSimplifyTGD:
+    def test_rejects_non_linear(self):
+        [tgd] = parse_program("R(x, y), P(x) -> S(x, y)")
+        with pytest.raises(ValueError):
+            simplify_tgd(tgd)
+
+    def test_example_7_1(self):
+        [tgd] = parse_program("R(x, x) -> exists z . R(z, x)")
+        simplified = simplify_tgd(tgd)
+        assert len(simplified) == 1
+        [rule] = simplified
+        assert rule.body[0].predicate.name == "R[1,1]"
+        assert rule.head[0].predicate.name == "R[1,2]"
+        assert rule.is_simple_linear
+
+    def test_simple_body_generates_bell_many_rules(self):
+        [tgd] = parse_program("R(x, y) -> exists z . S(y, z)")
+        simplified = simplify_tgd(tgd)
+        assert len(simplified) == 2  # identity and x = y specialisations
+        assert all(rule.is_simple_linear for rule in simplified)
+
+    def test_head_repetitions_are_simplified_too(self):
+        [tgd] = parse_program("R(x, y) -> S(y, y)")
+        identity_rule = simplify_tgd(tgd)[0]
+        assert identity_rule.head[0].predicate.name == "S[1,1]"
+
+    def test_program_and_database_simplification(self):
+        program = parse_program("R(x, x) -> exists z . R(z, x)")
+        database = parse_database("R(a, b).\nR(c, c).")
+        simple_program = simplify_program(program)
+        simple_database = simplify_database(database)
+        assert simple_program.is_simple_linear
+        names = {a.predicate.name for a in simple_database}
+        assert names == {"R[1,2]", "R[1,1]"}
+
+
+class TestProposition73:
+    """Simplification preserves finiteness and maximal depth."""
+
+    CASES = [
+        ("R(x, x) -> exists z . R(z, x)", "R(a, b)."),
+        ("R(x, x) -> exists z . R(z, x)", "R(a, a)."),
+        ("R(x, y) -> exists z . S(y, z)\nS(x, x) -> exists w . R(w, x)", "R(a, b).\nS(c, c)."),
+        ("R(x, y) -> exists z . R(y, z)", "R(a, a)."),
+        ("T(x, y, x) -> exists z . T(y, z, y)", "T(a, b, a).\nT(c, c, c)."),
+    ]
+
+    @pytest.mark.parametrize("program_text,database_text", CASES)
+    def test_preserves_finiteness_and_depth(self, program_text, database_text):
+        program = parse_program(program_text)
+        database = parse_database(database_text)
+        budget = ChaseBudget(max_atoms=2_000)
+        original = semi_oblivious_chase(database, program, budget=budget)
+        simplified = semi_oblivious_chase(
+            simplify_database(database), simplify_program(program), budget=budget
+        )
+        assert original.terminated == simplified.terminated
+        if original.terminated:
+            assert original.max_depth == simplified.max_depth

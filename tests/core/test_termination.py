@@ -1,0 +1,59 @@
+"""Tests for the high-level termination API (certificates, size bounds)."""
+
+from repro.model.parser import parse_database, parse_program
+from repro.chase.engine import ChaseBudget
+from repro.core.bounds import size_bound_factor
+from repro.core.termination import certify, chase_size_bound
+from repro.generators.families import example_7_1, intro_nonterminating_example, sl_lower_bound
+
+
+class TestChaseSizeBound:
+    def test_bound_is_linear_in_database(self):
+        database, tgds = sl_lower_bound(1, 2, 3)
+        assert chase_size_bound(database, tgds) == len(database) * size_bound_factor(tgds)
+
+    def test_bound_scales_with_database_size(self):
+        small_db, tgds = sl_lower_bound(1, 2, 1)
+        large_db, _ = sl_lower_bound(1, 2, 5)
+        assert chase_size_bound(large_db, tgds) == 5 * chase_size_bound(small_db, tgds)
+
+
+class TestCertify:
+    def test_positive_certificate_is_consistent(self):
+        database, tgds = sl_lower_bound(1, 2, 2)
+        certificate = certify(database, tgds)
+        assert certificate.verdict.terminates is True
+        assert certificate.chase_result is not None and certificate.chase_result.terminated
+        assert certificate.size_within_bound is True
+        assert certificate.depth_within_bound is True
+        assert certificate.consistent
+
+    def test_negative_certificate_skips_chase_by_default(self):
+        database, tgds = intro_nonterminating_example()
+        certificate = certify(database, tgds)
+        assert certificate.verdict.terminates is False
+        assert certificate.chase_result is None
+        assert certificate.consistent
+
+    def test_negative_certificate_with_explicit_budget(self):
+        database, tgds = intro_nonterminating_example()
+        certificate = certify(database, tgds, chase_budget=ChaseBudget(max_atoms=100))
+        assert certificate.chase_result is not None
+        assert not certificate.chase_result.terminated
+        assert certificate.consistent
+
+    def test_example_7_1_certificate(self):
+        database, tgds = example_7_1()
+        certificate = certify(database, tgds)
+        assert certificate.verdict.terminates is True
+        assert certificate.consistent
+
+    def test_run_chase_can_be_disabled(self):
+        database, tgds = example_7_1()
+        certificate = certify(database, tgds, run_chase=False)
+        assert certificate.chase_result is None
+
+    def test_guarded_certificate(self, guarded_program, guarded_unsupported_database):
+        certificate = certify(guarded_unsupported_database, guarded_program)
+        assert certificate.verdict.terminates is True
+        assert certificate.consistent

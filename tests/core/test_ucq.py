@@ -1,0 +1,91 @@
+"""Tests for the UCQ-based data-complexity procedure (Theorems 6.6 / 7.7)."""
+
+import pytest
+
+from repro.model.parser import parse_database, parse_program
+from repro.core.ucq import ConjunctiveQuery, build_termination_ucq
+from repro.core.simplification import simplify_database, simplify_program
+from repro.core.weak_acyclicity import is_weakly_acyclic_wrt
+
+
+class TestConjunctiveQuery:
+    def test_holds_in(self):
+        program = parse_program("R(x, y) -> exists z . R(y, z)")
+        query = build_termination_ucq(program).disjuncts[0]
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.holds_in(parse_database("R(a, b)."))
+        assert not query.holds_in(parse_database("S(a)."))
+
+
+class TestSimpleLinearUCQ:
+    PROGRAM = (
+        "Start(x) -> R(x, x)\n"
+        "R(x, y) -> exists z . R(y, z)\n"
+        "P(x) -> Q(x)"
+    )
+
+    def test_ucq_ranges_over_supporting_predicates(self):
+        ucq = build_termination_ucq(parse_program(self.PROGRAM))
+        names = {p.name for p in ucq.violating_predicates}
+        assert names == {"Start", "R"}
+        assert len(ucq) == 2
+
+    @pytest.mark.parametrize(
+        "database_text,expected_violation",
+        [
+            ("R(a, b).", True),
+            ("Start(a).", True),
+            ("P(a).", False),
+            ("Q(a).", False),
+            ("P(a).\nStart(b).", True),
+        ],
+    )
+    def test_ucq_agrees_with_weak_acyclicity(self, database_text, expected_violation):
+        program = parse_program(self.PROGRAM)
+        database = parse_database(database_text)
+        ucq = build_termination_ucq(program)
+        assert ucq.evaluate(database) is expected_violation
+        assert ucq.witnessed_by(database) is expected_violation
+        assert is_weakly_acyclic_wrt(database, program) is (not expected_violation)
+
+    def test_acyclic_program_yields_empty_ucq(self):
+        ucq = build_termination_ucq(parse_program("R(x, y) -> exists z . S(y, z)"))
+        assert len(ucq) == 0
+        assert not ucq.evaluate(parse_database("R(a, b)."))
+
+
+class TestLinearUCQ:
+    # R(x, x) → ∃z R(z, z): a reflexive R atom regenerates itself forever,
+    # a non-reflexive one never fires the rule.
+    PROGRAM = "R(x, x) -> exists z . R(x, z), R(z, z)"
+
+    def test_equality_pattern_matters(self):
+        """Only databases with a reflexive R atom diverge."""
+        program = parse_program(self.PROGRAM)
+        ucq = build_termination_ucq(program)
+        assert ucq.witnessed_by(parse_database("R(a, a).")) is True
+        assert ucq.witnessed_by(parse_database("R(a, b).")) is False
+        assert ucq.evaluate(parse_database("R(a, a).")) is True
+        assert ucq.evaluate(parse_database("R(a, b).")) is False
+
+    def test_agrees_with_simplified_weak_acyclicity(self):
+        program = parse_program(self.PROGRAM)
+        ucq = build_termination_ucq(program)
+        for database_text in ["R(a, a).", "R(a, b).", "R(a, b).\nR(c, c).", "S(a)."]:
+            database = parse_database(database_text)
+            expected = not is_weakly_acyclic_wrt(
+                simplify_database(database), simplify_program(program)
+            )
+            assert ucq.witnessed_by(database) is expected
+
+    def test_ucq_is_database_independent(self):
+        """Building the query does not look at any database (data complexity)."""
+        program = parse_program(self.PROGRAM)
+        first = build_termination_ucq(program)
+        second = build_termination_ucq(program)
+        assert [str(q) for q in first.disjuncts] == [str(q) for q in second.disjuncts]
+
+    def test_guarded_program_is_rejected(self):
+        program = parse_program("R(x, y), P(x) -> exists z . R(y, z)")
+        with pytest.raises(ValueError):
+            build_termination_ucq(program)

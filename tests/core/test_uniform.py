@@ -1,0 +1,79 @@
+"""Tests for uniform termination and the critical database (Section 4 / [8])."""
+
+import pytest
+
+from repro.model.atoms import Predicate
+from repro.model.parser import parse_program
+from repro.model.terms import Constant
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.uniform import (
+    critical_database,
+    is_uniformly_terminating,
+    uniform_verdict,
+    uniform_weak_acyclicity_agrees,
+)
+from repro.core.weak_acyclicity import is_weakly_acyclic
+from repro.generators.families import prop45_family
+
+
+class TestCriticalDatabase:
+    def test_one_fact_per_predicate(self):
+        schema = [Predicate("R", 2), Predicate("P", 1)]
+        database = critical_database(schema)
+        assert len(database) == 2
+        assert {a.predicate for a in database} == set(schema)
+
+    def test_single_constant(self):
+        database = critical_database([Predicate("R", 3)], constant=Constant("c"))
+        [fact] = list(database)
+        assert set(fact.args) == {Constant("c")}
+
+    def test_zero_arity_predicates(self):
+        database = critical_database([Predicate("Halt", 0)])
+        assert len(database) == 1
+
+
+class TestUniformTermination:
+    def test_weakly_acyclic_program_is_uniformly_terminating(self):
+        program = parse_program("R(x, y) -> exists z . S(y, z)")
+        assert is_uniformly_terminating(program)
+        assert uniform_weak_acyclicity_agrees(program)
+
+    def test_cyclic_program_is_not_uniformly_terminating(self):
+        program = parse_program("R(x, y) -> exists z . R(y, z)")
+        assert not is_uniformly_terminating(program)
+        assert uniform_weak_acyclicity_agrees(program)
+
+    def test_example_7_1_is_uniformly_terminating_but_not_weakly_acyclic(self):
+        """The gap between weak-acyclicity and uniform termination for L."""
+        program = parse_program("R(x, x) -> exists z . R(z, x)")
+        assert not is_weakly_acyclic(program)
+        assert is_uniformly_terminating(program)
+        assert not uniform_weak_acyclicity_agrees(program)
+
+    def test_uniform_implies_non_uniform_on_critical_database(self):
+        program = parse_program("R(x, y) -> exists z . S(y, z)\nS(x, y) -> R(x, y)")
+        assert not is_uniformly_terminating(program)
+        verdict = uniform_verdict(program)
+        assert verdict.terminates is False
+
+    def test_uniform_answer_matches_chase_on_critical_database(self):
+        for text, expected in [
+            ("R(x, y) -> exists z . S(y, z)", True),
+            ("R(x, y) -> exists z . R(y, z)", False),
+            ("R(x, x) -> exists z . R(z, x)", True),
+            ("R(x, y), P(x) -> exists z . R(y, z), P(y)", False),
+        ]:
+            program = parse_program(text)
+            database = critical_database(program.schema())
+            result = semi_oblivious_chase(
+                database, program, budget=ChaseBudget(max_atoms=5_000), record_derivation=False
+            )
+            assert is_uniformly_terminating(program) is expected
+            assert result.terminated is expected
+
+    def test_arbitrary_tgds_rejected(self):
+        _, tgds = prop45_family(3)
+        with pytest.raises(ValueError):
+            is_uniformly_terminating(tgds)

@@ -1,0 +1,98 @@
+"""Tests for the paper's concrete constructions (Theorems 6.5, 7.6, 8.4)."""
+
+import pytest
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import (
+    guarded_lower_bound_value,
+    linear_lower_bound_value,
+    sl_lower_bound_value,
+)
+from repro.core.decision import syntactic_decision
+from repro.generators.families import (
+    fairness_example,
+    guarded_lower_bound,
+    linear_lower_bound,
+    sl_lower_bound,
+)
+
+
+def predicate_count(instance, name):
+    return sum(1 for a in instance if a.predicate.name == name)
+
+
+class TestSLFamily:
+    @pytest.mark.parametrize("n,m,ell", [(1, 1, 1), (1, 2, 1), (2, 2, 1), (1, 2, 3), (2, 1, 2)])
+    def test_chase_size_meets_theorem_65(self, n, m, ell):
+        database, tgds = sl_lower_bound(n, m, ell)
+        assert len(database) == ell
+        result = semi_oblivious_chase(database, tgds)
+        assert result.terminated
+        assert predicate_count(result.instance, f"R{n}") >= sl_lower_bound_value(ell, n, m)
+
+    def test_top_level_predicate_count_is_exact(self):
+        """Claim E.1: the number of R_n tuples is exactly ℓ · m^(n·m)."""
+        database, tgds = sl_lower_bound(2, 2, 2)
+        result = semi_oblivious_chase(database, tgds)
+        assert predicate_count(result.instance, "R2") == 2 * 2 ** 4
+
+    def test_family_is_in_ct_d(self):
+        database, tgds = sl_lower_bound(2, 2, 1)
+        assert syntactic_decision(database, tgds).terminates is True
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sl_lower_bound(0, 1)
+
+
+class TestLinearFamily:
+    @pytest.mark.parametrize("n,m,ell", [(1, 1, 1), (1, 2, 1), (2, 1, 1), (1, 2, 2)])
+    def test_chase_size_meets_theorem_76(self, n, m, ell):
+        database, tgds = linear_lower_bound(n, m, ell)
+        result = semi_oblivious_chase(database, tgds)
+        assert result.terminated
+        assert predicate_count(result.instance, f"R{n}") >= linear_lower_bound_value(ell, n, m)
+
+    def test_arity_matches_theorem(self):
+        _, tgds = linear_lower_bound(2, 3)
+        assert tgds.arity() == 3 + 3
+
+    def test_family_is_in_ct_d(self):
+        database, tgds = linear_lower_bound(1, 2, 1)
+        assert syntactic_decision(database, tgds).terminates is True
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            linear_lower_bound(1, 0)
+
+
+class TestGuardedFamily:
+    def test_chase_size_meets_theorem_84(self):
+        database, tgds = guarded_lower_bound(1, 1, 1)
+        result = semi_oblivious_chase(database, tgds, budget=ChaseBudget(max_atoms=50_000))
+        assert result.terminated
+        assert predicate_count(result.instance, "Node") >= guarded_lower_bound_value(1, 1, 1)
+
+    def test_scaling_in_database_size(self):
+        small_db, tgds = guarded_lower_bound(1, 1, 1)
+        large_db, _ = guarded_lower_bound(1, 1, 2)
+        small = semi_oblivious_chase(small_db, tgds, budget=ChaseBudget(max_atoms=50_000))
+        large = semi_oblivious_chase(large_db, tgds, budget=ChaseBudget(max_atoms=100_000))
+        assert small.terminated and large.terminated
+        assert predicate_count(large.instance, "Node") == 2 * predicate_count(
+            small.instance, "Node"
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            guarded_lower_bound(0, 1)
+
+
+class TestFairnessExample:
+    def test_both_rules_are_eventually_applied(self):
+        database, tgds = fairness_example()
+        result = semi_oblivious_chase(database, tgds, budget=ChaseBudget(max_atoms=60))
+        assert not result.terminated
+        # A fair derivation must also apply σ′, producing P atoms.
+        assert predicate_count(result.instance, "P") >= 1

@@ -1,0 +1,55 @@
+"""Tests for the seeded random program/database generators."""
+
+from repro.core.classify import TGDClass, classify
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+    random_simple_linear_program,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        assert str(random_simple_linear_program(3)) == str(random_simple_linear_program(3))
+        assert str(random_linear_program(3)) == str(random_linear_program(3))
+        assert str(random_guarded_program(3)) == str(random_guarded_program(3))
+
+    def test_different_seeds_usually_differ(self):
+        texts = {str(random_simple_linear_program(seed)) for seed in range(5)}
+        assert len(texts) > 1
+
+    def test_same_seed_same_database(self):
+        tgds = random_simple_linear_program(1)
+        assert random_database(tgds, 5) == random_database(tgds, 5)
+
+
+class TestClassMembership:
+    def test_simple_linear_programs_are_simple_linear(self):
+        for seed in range(10):
+            program = random_simple_linear_program(seed)
+            assert classify(program) is TGDClass.SIMPLE_LINEAR
+
+    def test_linear_programs_are_linear(self):
+        for seed in range(10):
+            program = random_linear_program(seed)
+            assert classify(program).is_subclass_of(TGDClass.LINEAR)
+
+    def test_guarded_programs_are_guarded(self):
+        for seed in range(10):
+            program = random_guarded_program(seed)
+            assert classify(program).is_subclass_of(TGDClass.GUARDED)
+
+
+class TestRandomDatabase:
+    def test_database_respects_schema(self):
+        tgds = random_guarded_program(2)
+        database = random_database(tgds, seed=4, fact_count=20)
+        assert database.predicates() <= tgds.schema()
+        assert len(database) <= 20
+
+    def test_fact_and_constant_counts(self):
+        tgds = random_simple_linear_program(2)
+        database = random_database(tgds, seed=4, fact_count=30, constant_count=2)
+        constants = {c.name for c in database.constants()}
+        assert constants <= {"c1", "c2"}

@@ -1,0 +1,54 @@
+"""Tests for the OBDA and data-exchange scenarios."""
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.classify import TGDClass, classify
+from repro.core.decision import decide_termination
+from repro.generators.scenarios import data_exchange_scenario, university_ontology_scenario
+
+
+class TestUniversityScenario:
+    def test_is_guarded(self):
+        scenario = university_ontology_scenario()
+        assert classify(scenario.tgds).is_subclass_of(TGDClass.GUARDED)
+
+    def test_chase_terminates_and_materialises_inferences(self):
+        scenario = university_ontology_scenario(students=10, courses=3, professors=2)
+        result = semi_oblivious_chase(scenario.database, scenario.tgds)
+        assert result.terminated
+        derived_predicates = {a.predicate.name for a in result.instance}
+        assert {"Student", "Person", "HasTutor", "AdvisedBy"} <= derived_predicates
+
+    def test_decision_agrees_with_chase(self):
+        scenario = university_ontology_scenario(students=10, courses=3, professors=2)
+        assert decide_termination(scenario.database, scenario.tgds).terminates is True
+
+    def test_scenario_is_deterministic(self):
+        first = university_ontology_scenario(students=5, courses=2, professors=2, seed=3)
+        second = university_ontology_scenario(students=5, courses=2, professors=2, seed=3)
+        assert first.database == second.database
+
+
+class TestDataExchangeScenario:
+    def test_weakly_acyclic_variant_terminates(self):
+        scenario = data_exchange_scenario(employees=10, departments=3)
+        result = semi_oblivious_chase(scenario.database, scenario.tgds)
+        assert result.terminated
+        verdict = decide_termination(scenario.database, scenario.tgds)
+        assert verdict.terminates is True
+
+    def test_cyclic_variant_depends_on_database(self):
+        scenario = data_exchange_scenario(employees=5, departments=2, weakly_acyclic=False)
+        verdict = decide_termination(scenario.database, scenario.tgds)
+        assert verdict.terminates is False
+        result = semi_oblivious_chase(
+            scenario.database, scenario.tgds, budget=ChaseBudget(max_atoms=2_000)
+        )
+        assert not result.terminated
+
+    def test_cyclic_rules_with_empty_source_still_terminate(self):
+        from repro.model.instance import Database
+
+        scenario = data_exchange_scenario(weakly_acyclic=False)
+        verdict = decide_termination(Database(), scenario.tgds)
+        assert verdict.terminates is True

@@ -1,0 +1,76 @@
+"""Tests for the Appendix A Turing-machine reduction (Σ★ and D_M)."""
+
+import pytest
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.classify import TGDClass, classify
+from repro.generators.turing import (
+    TuringMachine,
+    halting_machine,
+    looping_machine,
+    machine_database,
+    sigma_star,
+)
+
+
+class TestMachineDefinition:
+    def test_invalid_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            TuringMachine(states=("q0",), alphabet=("a",), transitions={}, initial_state="q9")
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states=("q0",),
+                alphabet=("a",),
+                transitions={("q0", "a"): ("q0", "a", "x")},
+                initial_state="q0",
+            )
+
+    def test_unknown_state_in_transition_rejected(self):
+        with pytest.raises(ValueError):
+            TuringMachine(
+                states=("q0",),
+                alphabet=("a",),
+                transitions={("q0", "a"): ("q9", "a", ">")},
+                initial_state="q0",
+            )
+
+
+class TestEncoding:
+    def test_sigma_star_is_machine_independent(self):
+        assert str(sigma_star()) == str(sigma_star())
+
+    def test_sigma_star_is_not_guarded(self):
+        assert classify(sigma_star()) is TGDClass.ARBITRARY
+
+    def test_database_stores_transitions_and_configuration(self):
+        database = machine_database(halting_machine())
+        predicates = {p.name for p in database.predicates()}
+        assert {"Trans", "Tape", "Head", "LDir", "SDir", "RDir", "Blank", "End"} <= predicates
+
+    def test_database_depends_on_machine(self):
+        assert machine_database(halting_machine()) != machine_database(looping_machine())
+
+
+class TestReduction:
+    def test_halting_machine_has_finite_chase(self):
+        database = machine_database(halting_machine())
+        result = semi_oblivious_chase(database, sigma_star(), budget=ChaseBudget(max_atoms=20_000))
+        assert result.terminated
+
+    def test_looping_machine_has_infinite_chase(self):
+        database = machine_database(looping_machine())
+        result = semi_oblivious_chase(database, sigma_star(), budget=ChaseBudget(max_atoms=5_000))
+        assert not result.terminated
+
+    def test_proposition_42_no_uniform_bound(self):
+        """Different databases make the same Σ★ produce arbitrarily different chases."""
+        halting = semi_oblivious_chase(
+            machine_database(halting_machine()), sigma_star(), budget=ChaseBudget(max_atoms=20_000)
+        )
+        looping = semi_oblivious_chase(
+            machine_database(looping_machine()), sigma_star(), budget=ChaseBudget(max_atoms=5_000)
+        )
+        assert halting.terminated and not looping.terminated

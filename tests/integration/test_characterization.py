@@ -1,0 +1,100 @@
+"""Integration tests: the three-way characterisation on curated workloads.
+
+For every curated (database, ontology) pair the syntactic verdict, the
+size/depth bounds and the materialised chase must tell a single
+coherent story (Theorems 6.4, 7.5, 8.3).
+"""
+
+import pytest
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import depth_bound, size_bound_factor
+from repro.core.decision import syntactic_decision
+from repro.core.termination import certify
+from repro.model.parser import parse_database, parse_program
+from repro.generators.families import (
+    example_7_1,
+    guarded_lower_bound,
+    intro_nonterminating_example,
+    linear_lower_bound,
+    sl_lower_bound,
+)
+from repro.generators.scenarios import data_exchange_scenario, university_ontology_scenario
+
+CURATED = [
+    ("intro", *intro_nonterminating_example(), False),
+    ("example_7_1", *example_7_1(), True),
+    ("sl_family", *sl_lower_bound(2, 2, 2), True),
+    ("linear_family", *linear_lower_bound(1, 2, 1), True),
+    (
+        "reflexive_loop",
+        parse_database("R(a, a)."),
+        parse_program("R(x, x) -> exists z . R(x, z), R(z, z)"),
+        False,
+    ),
+    (
+        "non_reflexive_loop",
+        parse_database("R(a, b)."),
+        parse_program("R(x, x) -> exists z . R(x, z), R(z, z)"),
+        True,
+    ),
+    (
+        "guarded_supported",
+        parse_database("R(a, b).\nP(a)."),
+        parse_program("R(x, y), P(x) -> exists z . R(y, z), P(y)"),
+        False,
+    ),
+    (
+        "guarded_unsupported",
+        parse_database("R(a, b)."),
+        parse_program("R(x, y), P(x) -> exists z . R(y, z), P(y)"),
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,database,tgds,expected", CURATED, ids=[case[0] for case in CURATED]
+)
+def test_syntactic_verdict_matches_chase(name, database, tgds, expected):
+    verdict = syntactic_decision(database, tgds)
+    assert verdict.terminates is expected
+    result = semi_oblivious_chase(
+        database, tgds, budget=ChaseBudget(max_atoms=20_000), record_derivation=False
+    )
+    assert result.terminated is expected
+    if expected:
+        assert result.size <= len(database) * size_bound_factor(tgds)
+        assert result.max_depth <= depth_bound(tgds)
+
+
+@pytest.mark.parametrize(
+    "name,database,tgds,expected", CURATED, ids=[case[0] for case in CURATED]
+)
+def test_certificates_are_consistent(name, database, tgds, expected):
+    certificate = certify(database, tgds)
+    assert certificate.verdict.terminates is expected
+    assert certificate.consistent
+
+
+def test_guarded_lower_bound_family_certificate():
+    database, tgds = guarded_lower_bound(1, 1, 1)
+    result = semi_oblivious_chase(
+        database, tgds, budget=ChaseBudget(max_atoms=100_000), record_derivation=False
+    )
+    assert result.terminated
+    assert result.max_depth <= depth_bound(tgds)
+
+
+def test_scenarios_round_trip_through_the_full_api():
+    university = university_ontology_scenario(students=15, courses=4, professors=3)
+    exchange = data_exchange_scenario(employees=15, departments=3, weakly_acyclic=False)
+    for scenario, expected in [(university, True), (exchange, False)]:
+        verdict = syntactic_decision(scenario.database, scenario.tgds)
+        assert verdict.terminates is expected
+        result = semi_oblivious_chase(
+            scenario.database, scenario.tgds, budget=ChaseBudget(max_atoms=20_000),
+            record_derivation=False,
+        )
+        assert result.terminated is expected

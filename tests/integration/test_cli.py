@@ -1,0 +1,85 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+RULES_TERMINATING = "Employee(x) -> exists d . WorksIn(x, d)\nWorksIn(x, d) -> Dept(d)\n"
+RULES_LOOPING = "R(x, y) -> exists z . R(y, z)\n"
+FACTS = "Employee(alice).\nEmployee(bob).\n"
+FACTS_R = "R(a, b).\n"
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name, content):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+class TestClassify:
+    def test_classify_simple_linear(self, files, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        assert main(["classify", rules]) == 0
+        output = capsys.readouterr().out
+        assert "class: SL" in output
+        assert "depth bound" in output
+
+    def test_classify_arbitrary(self, files, capsys):
+        rules = files("onto.rules", "R(x, y), R(y, z) -> S(x, z)\n")
+        assert main(["classify", rules]) == 0
+        assert "class: TGD" in capsys.readouterr().out
+
+
+class TestDecide:
+    def test_decide_terminating(self, files, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        assert main(["decide", rules, data]) == 0
+        assert "terminates" in capsys.readouterr().out
+
+    def test_decide_nonterminating(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["decide", rules, data]) == 1
+        assert "does not terminate" in capsys.readouterr().out
+
+    def test_decide_with_explicit_method(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["decide", rules, data, "--method", "ucq"]) == 1
+
+
+class TestChase:
+    def test_chase_to_stdout(self, files, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        assert main(["chase", rules, data]) == 0
+        output = capsys.readouterr().out
+        assert "WorksIn(alice" in output
+        assert "Dept(" in output
+
+    def test_chase_to_file(self, files, tmp_path, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        out_file = tmp_path / "materialised.facts"
+        assert main(["chase", rules, data, "--output", str(out_file)]) == 0
+        assert "Dept(" in out_file.read_text()
+
+    def test_chase_budget_exceeded_returns_nonzero(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["chase", rules, data, "--max-atoms", "50"]) == 1
+
+    def test_chase_variants(self, files, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        for variant in ["restricted", "oblivious", "semi-oblivious"]:
+            assert main(["chase", rules, data, "--variant", variant]) == 0
+
+    def test_missing_subcommand_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])

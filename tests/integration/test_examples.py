@@ -1,0 +1,34 @@
+"""Integration tests: every shipped example runs end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_present():
+    assert {
+        "quickstart.py",
+        "obda_materialization.py",
+        "data_exchange.py",
+        "termination_audit.py",
+        "paper_experiments.py",
+    } <= set(EXAMPLE_SCRIPTS)
+
+
+@pytest.mark.parametrize("script", [s for s in EXAMPLE_SCRIPTS if s != "paper_experiments.py"])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} should print something"
+
+
+@pytest.mark.slow
+def test_paper_experiments_example_runs(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "paper_experiments.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "E1" in output and "E12" in output

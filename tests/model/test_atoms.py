@@ -1,0 +1,110 @@
+"""Unit tests for predicates, positions and atoms."""
+
+import pytest
+
+from repro.model.atoms import (
+    Atom,
+    Position,
+    Predicate,
+    atom,
+    atoms_schema,
+    atoms_terms,
+    atoms_variables,
+    positions_of_variable,
+)
+from repro.model.terms import Constant, Variable, make_null
+
+
+class TestPredicate:
+    def test_positions_are_one_based(self):
+        predicate = Predicate("R", 3)
+        assert [p.index for p in predicate.positions()] == [1, 2, 3]
+
+    def test_negative_arity_is_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("R", -1)
+
+    def test_zero_arity_is_allowed(self):
+        assert Predicate("R", 0).positions() == ()
+
+    def test_str(self):
+        assert str(Predicate("R", 2)) == "R/2"
+
+
+class TestPosition:
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            Position(Predicate("R", 2), 3)
+        with pytest.raises(ValueError):
+            Position(Predicate("R", 2), 0)
+
+    def test_str(self):
+        assert str(Position(Predicate("R", 2), 1)) == "(R,1)"
+
+
+class TestAtom:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("R", 2), (Constant("a"),))
+
+    def test_is_fact(self):
+        assert atom("R", Constant("a"), Constant("b")).is_fact
+        assert not atom("R", Constant("a"), Variable("x")).is_fact
+        assert not atom("R", Constant("a"), make_null("r", "z", {})).is_fact
+
+    def test_is_ground(self):
+        assert atom("R", Constant("a"), make_null("r", "z", {})).is_ground
+        assert not atom("R", Constant("a"), Variable("x")).is_ground
+
+    def test_variables_constants_nulls(self):
+        null = make_null("r", "z", {})
+        a = atom("R", Constant("a"), Variable("x"), null)
+        assert a.variables() == {Variable("x")}
+        assert a.constants() == {Constant("a")}
+        assert a.nulls() == {null}
+        assert a.terms() == {Constant("a"), Variable("x"), null}
+
+    def test_positions_of(self):
+        x = Variable("x")
+        a = atom("R", x, Constant("a"), x)
+        positions = a.positions_of(x)
+        assert [p.index for p in positions] == [1, 3]
+
+    def test_depth_of_fact_is_zero(self):
+        assert atom("R", Constant("a"), Constant("b")).depth() == 0
+
+    def test_depth_of_atom_with_null(self):
+        null = make_null("r", "z", {"x": Constant("a")})
+        assert atom("R", Constant("a"), null).depth() == 1
+
+    def test_depth_undefined_for_non_ground(self):
+        with pytest.raises(ValueError):
+            atom("R", Variable("x")).depth()
+
+    def test_substitute(self):
+        x, y = Variable("x"), Variable("y")
+        a = atom("R", x, y).substitute({x: Constant("a")})
+        assert a == atom("R", Constant("a"), y)
+
+    def test_str(self):
+        assert str(atom("R", Constant("a"), Variable("x"))) == "R(a, ?x)"
+
+
+class TestCollections:
+    def test_atoms_schema(self):
+        atoms = [atom("R", Constant("a")), atom("S", Constant("a"), Constant("b"))]
+        assert atoms_schema(atoms) == {Predicate("R", 1), Predicate("S", 2)}
+
+    def test_atoms_variables(self):
+        x, y = Variable("x"), Variable("y")
+        assert atoms_variables([atom("R", x), atom("S", x, y)]) == {x, y}
+
+    def test_atoms_terms(self):
+        x = Variable("x")
+        assert atoms_terms([atom("R", x, Constant("a"))]) == {x, Constant("a")}
+
+    def test_positions_of_variable(self):
+        x = Variable("x")
+        atoms = [atom("R", x, Variable("y")), atom("S", x)]
+        positions = positions_of_variable(atoms, x)
+        assert {(p.predicate.name, p.index) for p in positions} == {("R", 1), ("S", 1)}

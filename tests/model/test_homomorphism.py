@@ -1,0 +1,100 @@
+"""Unit tests for homomorphism search."""
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.homomorphism import (
+    apply_substitution,
+    extend_homomorphism,
+    find_homomorphisms,
+    find_homomorphisms_with_forced_atom,
+    is_homomorphism,
+)
+from repro.model.instance import Instance
+from repro.model.terms import Constant, Variable
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def homomorphisms(atoms, instance, **kwargs):
+    return list(find_homomorphisms(atoms, instance, **kwargs))
+
+
+class TestFindHomomorphisms:
+    def test_single_atom(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        results = homomorphisms([Atom(R, (X, Y))], instance)
+        assert len(results) == 2
+        assert {(h[X], h[Y]) for h in results} == {(A, B), (B, C)}
+
+    def test_join_on_shared_variable(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C)), Atom(R, (A, C))])
+        results = homomorphisms([Atom(R, (X, Y)), Atom(R, (Y, Z))], instance)
+        assert {(h[X], h[Y], h[Z]) for h in results} == {(A, B, C)}
+
+    def test_repeated_variable_in_pattern(self):
+        instance = Instance([Atom(R, (A, A)), Atom(R, (A, B))])
+        results = homomorphisms([Atom(R, (X, X))], instance)
+        assert {(h[X],) for h in results} == {(A,)}
+
+    def test_no_match(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert homomorphisms([Atom(S, (X,))], instance) == []
+
+    def test_seed_restricts_matches(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        results = homomorphisms([Atom(R, (X, Y))], instance, seed={X: B})
+        assert {(h[X], h[Y]) for h in results} == {(B, C)}
+
+    def test_cross_product_when_no_shared_variables(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (A,)), Atom(S, (B,))])
+        results = homomorphisms([Atom(R, (X, Y)), Atom(S, (Z,))], instance)
+        assert len(results) == 2
+
+    def test_forced_atom(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        forced = Atom(R, (B, C))
+        results = list(
+            find_homomorphisms_with_forced_atom(
+                [Atom(R, (X, Y)), Atom(R, (Y, Z))], instance, 1, forced
+            )
+        )
+        assert {(h[X], h[Y], h[Z]) for h in results} == {(A, B, C)}
+
+    def test_forced_atom_with_wrong_predicate_yields_nothing(self):
+        instance = Instance([Atom(R, (A, B))])
+        results = list(
+            find_homomorphisms_with_forced_atom([Atom(R, (X, Y))], instance, 0, Atom(S, (A,)))
+        )
+        assert results == []
+
+    def test_forced_single_atom_body(self):
+        instance = Instance([Atom(R, (A, B))])
+        results = list(
+            find_homomorphisms_with_forced_atom([Atom(R, (X, Y))], instance, 0, Atom(R, (A, B)))
+        )
+        assert len(results) == 1
+
+
+class TestHelpers:
+    def test_apply_substitution(self):
+        assert apply_substitution(Atom(R, (X, Y)), {X: A, Y: B}) == Atom(R, (A, B))
+
+    def test_apply_substitution_leaves_unbound_variables(self):
+        assert apply_substitution(Atom(R, (X, Y)), {X: A}) == Atom(R, (A, Y))
+
+    def test_is_homomorphism(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert is_homomorphism([Atom(R, (X, Y))], instance, {X: A, Y: B})
+        assert not is_homomorphism([Atom(R, (X, Y))], instance, {X: B, Y: A})
+        assert not is_homomorphism([Atom(R, (X, Y))], instance, {X: A})
+
+    def test_extend_homomorphism_finds_head_witness(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (B,))])
+        extension = extend_homomorphism([Atom(S, (Y,))], instance, {X: A})
+        assert extension is not None and extension[Y] == B
+
+    def test_extend_homomorphism_respects_seed(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert extend_homomorphism([Atom(R, (X, Y))], instance, {X: B}) is None

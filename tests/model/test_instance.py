@@ -1,0 +1,104 @@
+"""Unit tests for instances and databases."""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate, atom
+from repro.model.instance import Database, Instance
+from repro.model.terms import Constant, Variable, make_null
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        instance = Instance()
+        assert instance.add(Atom(R, (A, B)))
+        assert Atom(R, (A, B)) in instance
+        assert not instance.add(Atom(R, (A, B)))
+        assert len(instance) == 1
+
+    def test_rejects_atoms_with_variables(self):
+        with pytest.raises(ValueError):
+            Instance().add(Atom(R, (A, Variable("x"))))
+
+    def test_accepts_nulls(self):
+        null = make_null("r", "z", {})
+        instance = Instance([Atom(R, (A, null))])
+        assert len(instance) == 1
+
+    def test_add_all_reports_new_atoms(self):
+        instance = Instance([Atom(R, (A, B))])
+        added = instance.add_all([Atom(R, (A, B)), Atom(R, (B, C))])
+        assert added == [Atom(R, (B, C))]
+
+    def test_discard(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert instance.discard(Atom(R, (A, B)))
+        assert not instance.discard(Atom(R, (A, B)))
+        assert len(instance) == 0
+        assert instance.candidates(R, {0: A}) == set()
+
+    def test_atoms_with_predicate(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (A,))])
+        assert instance.atoms_with_predicate(R) == {Atom(R, (A, B))}
+        assert instance.atoms_with_predicate(Predicate("T", 1)) == set()
+
+    def test_candidates_with_bound_positions(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (A, C)), Atom(R, (B, C))])
+        assert instance.candidates(R, {0: A}) == {Atom(R, (A, B)), Atom(R, (A, C))}
+        assert instance.candidates(R, {0: A, 1: C}) == {Atom(R, (A, C))}
+        assert instance.candidates(R, {}) == instance.atoms_with_predicate(R)
+
+    def test_active_domain(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert instance.active_domain() == {A, B}
+
+    def test_constants_and_nulls(self):
+        null = make_null("r", "z", {})
+        instance = Instance([Atom(R, (A, null))])
+        assert instance.constants() == {A}
+        assert instance.nulls() == {null}
+
+    def test_max_depth(self):
+        assert Instance().max_depth() == 0
+        deep = make_null("r", "z", {"x": make_null("r", "w", {})})
+        assert Instance([Atom(R, (A, deep))]).max_depth() == 2
+
+    def test_copy_is_independent(self):
+        instance = Instance([Atom(R, (A, B))])
+        copy = instance.copy()
+        copy.add(Atom(R, (B, C)))
+        assert len(instance) == 1
+        assert len(copy) == 2
+
+    def test_equality(self):
+        assert Instance([Atom(R, (A, B))]) == Instance([Atom(R, (A, B))])
+        assert Instance([Atom(R, (A, B))]) != Instance([Atom(R, (B, A))])
+
+    def test_restrict_to_predicates(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (A,))])
+        restricted = instance.restrict_to_predicates([S])
+        assert set(restricted) == {Atom(S, (A,))}
+
+    def test_predicates(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (A,))])
+        assert instance.predicates() == {R, S}
+
+
+class TestDatabase:
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError):
+            Database([Atom(R, (A, make_null("r", "z", {})))])
+
+    def test_as_instance(self):
+        database = Database([Atom(R, (A, B))])
+        instance = database.as_instance()
+        assert isinstance(instance, Instance)
+        instance.add(Atom(R, (A, make_null("r", "z", {}))))
+        assert len(database) == 1
+
+    def test_copy_returns_database(self):
+        database = Database([Atom(R, (A, B))])
+        assert isinstance(database.copy(), Database)

@@ -1,0 +1,112 @@
+"""Unit tests for the concrete syntax and its round trip."""
+
+import pytest
+
+from repro.model.atoms import Predicate
+from repro.model.parser import (
+    ParseError,
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_tgd,
+)
+from repro.model.serialization import (
+    database_to_text,
+    program_to_text,
+    tgd_to_text,
+)
+from repro.model.terms import Constant, Variable
+
+
+class TestParseAtom:
+    def test_fact_arguments_are_constants(self):
+        fact = parse_atom("R(a, b)", as_fact=True)
+        assert fact.predicate == Predicate("R", 2)
+        assert fact.args == (Constant("a"), Constant("b"))
+
+    def test_rule_arguments_are_variables(self):
+        a = parse_atom("R(x, y)")
+        assert a.args == (Variable("x"), Variable("y"))
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("Halt()").predicate == Predicate("Halt", 0)
+
+    def test_quoted_constant_in_rule_position_rejected_by_tgd(self):
+        a = parse_atom('R("alice", x)')
+        assert a.args[0] == Constant("alice")
+
+    def test_malformed_atom(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(a, b")
+        with pytest.raises(ParseError):
+            parse_atom("not an atom")
+
+
+class TestParseTGD:
+    def test_basic(self):
+        tgd = parse_tgd("R(x, y) -> S(y, x)")
+        assert len(tgd.body) == 1 and len(tgd.head) == 1
+        assert tgd.is_full
+
+    def test_exists_prefix(self):
+        tgd = parse_tgd("R(x, y) -> exists z . S(y, z)")
+        assert tgd.existential_variables() == {Variable("z")}
+
+    def test_exists_prefix_must_match_head(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y) -> exists w . S(y, z)")
+
+    def test_implicit_existentials(self):
+        tgd = parse_tgd("R(x, y) -> S(y, z)")
+        assert tgd.existential_variables() == {Variable("z")}
+
+    def test_multi_atom_body_and_head(self):
+        tgd = parse_tgd("R(x, y), P(x) -> S(y, z), P(y)")
+        assert len(tgd.body) == 2 and len(tgd.head) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y), S(y, x)")
+
+    def test_rule_id_is_respected(self):
+        assert parse_tgd("R(x, y) -> S(y, x)", rule_id="myrule").rule_id == "myrule"
+
+
+class TestParseProgramAndDatabase:
+    def test_program(self):
+        program = parse_program(
+            """
+            % a comment
+            R(x, y) -> exists z . R(y, z)
+            R(x, y) -> P(x, y)
+            """
+        )
+        assert len(program) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("% nothing here")
+
+    def test_database(self):
+        database = parse_database(
+            """
+            R(a, b).
+            R(b, c)
+            # comment
+            P(a).
+            """
+        )
+        assert len(database) == 3
+
+    def test_program_round_trip(self):
+        program = parse_program("R(x, y), P(x) -> exists z . S(y, z)\nS(x, y) -> P(x)")
+        reparsed = parse_program(program_to_text(program))
+        assert [str(t) for t in reparsed] == [str(t) for t in program]
+
+    def test_database_round_trip(self):
+        database = parse_database("R(a, b).\nP(a).")
+        assert parse_database(database_to_text(database)) == database
+
+    def test_tgd_round_trip(self):
+        tgd = parse_tgd("R(x, x) -> exists z . R(z, x)")
+        assert str(parse_tgd(tgd_to_text(tgd))) == str(tgd)

@@ -1,0 +1,63 @@
+"""Tests for text serialisation of atoms, programs, databases, instances."""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate, atom
+from repro.model.instance import Database, Instance
+from repro.model.parser import parse_database, parse_program, parse_tgd
+from repro.model.serialization import (
+    atom_to_text,
+    database_to_text,
+    instance_to_text,
+    program_to_text,
+    term_to_text,
+    tgd_to_text,
+)
+from repro.model.terms import Constant, Variable, make_null
+
+
+class TestTermAndAtomText:
+    def test_constant(self):
+        assert term_to_text(Constant("alice")) == "alice"
+
+    def test_variable(self):
+        assert term_to_text(Variable("x")) == "x"
+
+    def test_null_is_marked(self):
+        assert term_to_text(make_null("r", "z", {})).startswith("_:")
+
+    def test_unsupported_term_raises(self):
+        with pytest.raises(TypeError):
+            term_to_text(42)
+
+    def test_atom(self):
+        assert atom_to_text(atom("R", Constant("a"), Variable("x"))) == "R(a, x)"
+
+
+class TestProgramText:
+    def test_tgd_with_existentials(self):
+        tgd = parse_tgd("R(x, y) -> exists z . S(y, z)")
+        text = tgd_to_text(tgd)
+        assert "exists z" in text
+        assert str(parse_tgd(text)) == str(tgd)
+
+    def test_full_tgd_has_no_exists_prefix(self):
+        assert "exists" not in tgd_to_text(parse_tgd("R(x, y) -> S(y, x)"))
+
+    def test_program_round_trip_preserves_rule_count(self):
+        program = parse_program("R(x, y) -> S(y, x)\nS(x, y) -> exists z . R(x, z)")
+        assert len(parse_program(program_to_text(program))) == 2
+
+
+class TestDataText:
+    def test_database_text_is_sorted_and_parsable(self):
+        database = parse_database("R(b, c).\nR(a, b).\nP(a).")
+        text = database_to_text(database)
+        assert text.splitlines() == sorted(text.splitlines())
+        assert parse_database(text) == database
+
+    def test_instance_text_includes_nulls(self):
+        null = make_null("r", "z", {"x": Constant("a")})
+        instance = Instance([Atom(Predicate("R", 2), (Constant("a"), null))])
+        text = instance_to_text(instance)
+        assert "_:" in text and text.startswith("R(")

@@ -1,0 +1,87 @@
+"""Property-based tests of the paper's characterisations.
+
+For random simple-linear, linear and guarded programs the syntactic
+verdict (items (3) of Theorems 6.4 / 7.5 / 8.3) must agree with the
+observable behaviour of the semi-oblivious chase: a positive verdict
+means the chase reaches a fixpoint, a negative verdict means it keeps
+growing past a generous budget.  The budget makes the negative
+direction an approximation, but for the tiny programs generated here a
+finite chase always fits comfortably, so a disagreement is a real bug.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import depth_bound, size_bound_factor
+from repro.core.decision import syntactic_decision, ucq_decision
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+    random_simple_linear_program,
+)
+
+BUDGET = ChaseBudget(max_atoms=5_000, max_rounds=3_000)
+
+program_seeds = st.integers(min_value=0, max_value=300)
+database_seeds = st.integers(min_value=0, max_value=100)
+
+
+def check_agreement(database, tgds):
+    verdict = syntactic_decision(database, tgds)
+    result = semi_oblivious_chase(database, tgds, budget=BUDGET, record_derivation=False)
+    if verdict.terminates:
+        assert result.terminated, (
+            f"verdict says CT_D but the chase exceeded the budget for\n{tgds}\n"
+            f"on {sorted(str(a) for a in database)}"
+        )
+    else:
+        assert not result.terminated, (
+            f"verdict says not CT_D but the chase terminated with "
+            f"{result.size} atoms for\n{tgds}\non {sorted(str(a) for a in database)}"
+        )
+    return verdict, result
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_seed=program_seeds, database_seed=database_seeds)
+def test_simple_linear_characterisation(program_seed, database_seed):
+    tgds = random_simple_linear_program(program_seed)
+    database = random_database(tgds, database_seed, fact_count=5)
+    verdict, result = check_agreement(database, tgds)
+    if verdict.terminates:
+        assert result.size <= len(database) * size_bound_factor(tgds)
+        assert result.max_depth <= depth_bound(tgds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_seed=program_seeds, database_seed=database_seeds)
+def test_linear_characterisation(program_seed, database_seed):
+    tgds = random_linear_program(program_seed)
+    database = random_database(tgds, database_seed, fact_count=5)
+    verdict, result = check_agreement(database, tgds)
+    if verdict.terminates:
+        assert result.size <= len(database) * size_bound_factor(tgds)
+        assert result.max_depth <= depth_bound(tgds)
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_seed=st.integers(min_value=0, max_value=150), database_seed=database_seeds)
+def test_guarded_characterisation(program_seed, database_seed):
+    tgds = random_guarded_program(program_seed, predicate_count=3, max_arity=2, rule_count=4)
+    database = random_database(tgds, database_seed, fact_count=4, constant_count=3)
+    verdict, result = check_agreement(database, tgds)
+    if verdict.terminates:
+        assert result.max_depth <= depth_bound(tgds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_seed=program_seeds, database_seed=database_seeds)
+def test_ucq_decision_matches_syntactic_decision(program_seed, database_seed):
+    """Theorems 6.6 / 7.7: the UCQ procedure computes the same answer."""
+    tgds = random_linear_program(program_seed)
+    database = random_database(tgds, database_seed, fact_count=5)
+    syntactic = syntactic_decision(database, tgds)
+    ucq = ucq_decision(database, tgds)
+    assert syntactic.terminates == ucq.terminates

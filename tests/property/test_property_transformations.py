@@ -1,0 +1,58 @@
+"""Property-based tests for simplification and linearization.
+
+Propositions 7.3 and 8.1: the transformations preserve chase finiteness
+and the maximal term depth.  Finiteness is checked against a budgeted
+chase run, depth equality only on runs where both sides terminated.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.linearization import linearize
+from repro.core.simplification import simplify_database, simplify_program
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+)
+
+BUDGET = ChaseBudget(max_atoms=4_000, max_rounds=3_000)
+
+program_seeds = st.integers(min_value=0, max_value=200)
+database_seeds = st.integers(min_value=0, max_value=100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_seed=program_seeds, database_seed=database_seeds)
+def test_simplification_preserves_finiteness_and_depth(program_seed, database_seed):
+    tgds = random_linear_program(program_seed)
+    database = random_database(tgds, database_seed, fact_count=5)
+    original = semi_oblivious_chase(database, tgds, budget=BUDGET, record_derivation=False)
+    simplified = semi_oblivious_chase(
+        simplify_database(database),
+        simplify_program(tgds),
+        budget=BUDGET,
+        record_derivation=False,
+    )
+    assert original.terminated == simplified.terminated
+    if original.terminated:
+        assert original.max_depth == simplified.max_depth
+
+
+@settings(max_examples=12, deadline=None)
+@given(program_seed=st.integers(min_value=0, max_value=120), database_seed=database_seeds)
+def test_linearization_preserves_finiteness_and_depth(program_seed, database_seed):
+    tgds = random_guarded_program(program_seed, predicate_count=3, max_arity=2, rule_count=3)
+    database = random_database(tgds, database_seed, fact_count=3, constant_count=3)
+    original = semi_oblivious_chase(database, tgds, budget=BUDGET, record_derivation=False)
+    linearized_input = linearize(database, tgds)
+    linearized = semi_oblivious_chase(
+        linearized_input.database,
+        linearized_input.program,
+        budget=BUDGET,
+        record_derivation=False,
+    )
+    assert original.terminated == linearized.terminated
+    if original.terminated:
+        assert original.max_depth == linearized.max_depth
