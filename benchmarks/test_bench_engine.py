@@ -1,0 +1,40 @@
+"""E14 — engine speed: compiled rule plans vs the legacy rescan.
+
+The compiled-plan pipeline (PR: "Compiled rule plans + incremental
+trigger pipeline") must apply exactly the triggers the legacy engine
+applied while being measurably faster on the lower-bound families.
+``python -m repro bench-engine`` regenerates the full BENCH_engine.json
+report; this benchmark keeps a small always-on smoke version of it in
+the suite.
+"""
+
+import pytest
+
+from repro.bench.drivers import engine_benchmark_rows
+from repro.chase.engine import ChaseBudget
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.generators.families import guarded_lower_bound, sl_lower_bound
+
+
+@pytest.mark.benchmark(group="E14-engine-speed")
+def test_engine_speed_report(benchmark, report):
+    workloads = [
+        ("sl(n=2,m=2,ell=2)", *sl_lower_bound(2, 2, 2)),
+        ("guarded(n=1,m=1,ell=1)", *guarded_lower_bound(1, 1, 1)),
+    ]
+    rows = engine_benchmark_rows(
+        workloads=workloads,
+        variants=("semi_oblivious",),
+        budget=ChaseBudget(max_atoms=100_000),
+        repeats=1,
+    )
+    report("E14: compiled pipeline vs legacy engine (semi-oblivious)", rows)
+    # Equivalence is a hard requirement; speed is reported, not asserted,
+    # to keep the suite robust on loaded CI machines.
+    assert all(row.measured["equivalent"] for row in rows)
+    database, tgds = sl_lower_bound(2, 2, 2)
+    benchmark.pedantic(
+        lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
+        rounds=3,
+        iterations=1,
+    )

@@ -5,6 +5,7 @@ the oblivious and restricted variants used as baselines, the guarded
 chase forest of Section 5, and depth bookkeeping (Definition 4.3).
 """
 
+from repro.chase.plan import CompiledRule, TriggerPipeline
 from repro.chase.trigger import Trigger
 from repro.chase.engine import ChaseBudget, ChaseResult, ChaseStatistics, DerivationStep
 from repro.chase.semi_oblivious import SemiObliviousChase, semi_oblivious_chase
@@ -15,6 +16,8 @@ from repro.chase.depth import instance_max_depth, max_depth
 
 __all__ = [
     "Trigger",
+    "CompiledRule",
+    "TriggerPipeline",
     "ChaseBudget",
     "ChaseResult",
     "ChaseStatistics",

@@ -15,11 +15,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.model.atoms import Atom
 from repro.model.homomorphism import (
-    find_homomorphisms,
-    find_homomorphisms_with_forced_atom,
+    find_homomorphisms_reference,
+    find_homomorphisms_with_forced_atom_reference,
 )
 from repro.model.instance import Database, Instance
 from repro.model.tgd import TGD, TGDSet
+from repro.chase.plan import CompiledRule, TriggerPipeline
 from repro.chase.trigger import Trigger
 
 
@@ -127,13 +128,26 @@ class BaseChaseEngine:
     trigger (what makes two trigger applications "the same") and how a
     trigger's result is produced (which binding labels its nulls, and
     when the trigger counts as active).
+
+    By default the driver runs on the compiled-plan pipeline
+    (:class:`~repro.chase.plan.TriggerPipeline`): rules are compiled
+    once per run, delta atoms are routed through a predicate-relevance
+    map, and trigger identities are compact term tuples.  Passing
+    ``compiled=False`` falls back to the original per-round rescan over
+    the reference homomorphism search — kept as the "before" engine for
+    benchmarks and equivalence tests.
     """
 
+    #: Trigger identity: ``h|fr(σ)`` when True (semi-oblivious,
+    #: restricted), the full ``h`` when False (oblivious).
+    uses_frontier_identity: bool = True
+
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
-                 record_derivation: bool = True) -> None:
+                 record_derivation: bool = True, compiled: bool = True) -> None:
         self.tgds = tgds
         self.budget = budget or ChaseBudget()
         self.record_derivation = record_derivation
+        self.compiled = compiled
 
     # -- variant hooks ------------------------------------------------------
 
@@ -146,6 +160,39 @@ class BaseChaseEngine:
     def trigger_result(self, trigger: Trigger) -> List[Atom]:
         raise NotImplementedError
 
+    def evaluate(
+        self, instance: Instance, rule: CompiledRule, binding
+    ) -> Optional[List[Atom]]:
+        """Return the trigger's result atoms if it is active, else ``None``.
+
+        Called only on the compiled path: ``rule`` is the compiled rule
+        and ``binding`` its canonical term tuple, so variants can share
+        one computation between activeness and result construction.
+        The default implementation materialises the trigger and falls
+        back to the classic two hook calls, which keeps custom
+        subclasses that only define ``is_active``/``trigger_result``
+        working.
+        """
+        trigger = rule.make_trigger(binding)
+        if not self.is_active(trigger, instance):
+            return None
+        return self.trigger_result(trigger)
+
+    def _evaluate_by_containment(
+        self, instance: Instance, rule: CompiledRule, binding
+    ) -> Optional[List[Atom]]:
+        """Shared evaluate for the variants whose activeness is ``result ⊄ I``.
+
+        The result doubles as the activeness witness, so it is computed
+        once from the compiled head template; the null labelling follows
+        the variant's trigger identity (frontier or full binding).
+        """
+        atoms = rule.result_atoms(binding, full_labels=not self.uses_frontier_identity)
+        for a in atoms:
+            if a not in instance:
+                return atoms
+        return None
+
     # -- driver ---------------------------------------------------------------
 
     def run(self, database: Instance) -> ChaseResult:
@@ -157,6 +204,9 @@ class BaseChaseEngine:
         applied: Set = set()
         outcome = ChaseOutcome.TERMINATED
         depth_truncated = False
+        pipeline = (
+            TriggerPipeline(self.tgds, selectivity=instance.count) if self.compiled else None
+        )
 
         delta: List[Atom] = list(instance)
         first_round = True
@@ -167,20 +217,48 @@ class BaseChaseEngine:
             # Materialise the round's triggers up front: the instance is
             # mutated while they are applied, so lazy enumeration would
             # race against the indexes it reads.
-            triggers = list(self._collect_triggers(instance, delta, first_round))
+            if pipeline is not None:
+                make_key = (
+                    CompiledRule.frontier_key
+                    if self.uses_frontier_identity
+                    else CompiledRule.full_key
+                )
+                source = (
+                    pipeline.initial_triggers(instance)
+                    if first_round
+                    else pipeline.delta_triggers(instance, delta)
+                )
+                pending = [(rule, sub, make_key(rule, sub)) for rule, sub in source]
+            else:
+                pending = [
+                    (None, None, trigger)
+                    for trigger in self._collect_triggers(instance, delta, first_round)
+                ]
             first_round = False
             new_atoms_this_round: List[Atom] = []
             fired_any = False
             over_budget = False
-            for trigger in triggers:
+            for rule, binding, item in pending:
                 statistics.triggers_considered += 1
-                key = self.trigger_key(trigger)
-                if key in applied:
-                    continue
-                if not self.is_active(trigger, instance):
+                if rule is not None:
+                    key = item
+                    if key in applied:
+                        continue
+                    trigger = None
+                    result_atoms = self.evaluate(instance, rule, binding)
+                else:
+                    trigger = item
+                    key = self.trigger_key(trigger)
+                    if key in applied:
+                        continue
+                    result_atoms = (
+                        self.trigger_result(trigger)
+                        if self.is_active(trigger, instance)
+                        else None
+                    )
+                if result_atoms is None:
                     applied.add(key)
                     continue
-                result_atoms = self.trigger_result(trigger)
                 if (
                     self.budget.truncate_at_depth
                     and self.budget.max_depth is not None
@@ -204,6 +282,8 @@ class BaseChaseEngine:
                 if added:
                     new_atoms_this_round.extend(added)
                     if self.record_derivation:
+                        if trigger is None:
+                            trigger = rule.make_trigger(binding)
                         derivation.append(
                             DerivationStep(
                                 trigger=trigger,
@@ -259,15 +339,17 @@ class BaseChaseEngine:
     ) -> Iterator[Trigger]:
         """Enumerate candidate triggers, semi-naively after the first round.
 
-        In the first round every body homomorphism is considered.  In
-        later rounds only triggers whose body image uses at least one
-        atom from ``delta`` (the atoms derived in the previous round)
-        can be new, so each body atom is forced onto each delta atom in
-        turn.
+        This is the legacy (``compiled=False``) path: it rescans every
+        (rule, body-atom) pair against the round's delta with the
+        reference homomorphism search.  In the first round every body
+        homomorphism is considered.  In later rounds only triggers whose
+        body image uses at least one atom from ``delta`` (the atoms
+        derived in the previous round) can be new, so each body atom is
+        forced onto each delta atom in turn.
         """
         if first_round:
             for tgd in self.tgds:
-                for substitution in find_homomorphisms(tgd.body, instance):
+                for substitution in find_homomorphisms_reference(tgd.body, instance):
                     yield Trigger.from_substitution(tgd, substitution)
             return
         delta_by_predicate: Dict = {}
@@ -277,7 +359,7 @@ class BaseChaseEngine:
         for tgd in self.tgds:
             for index, body_atom in enumerate(tgd.body):
                 for forced in delta_by_predicate.get(body_atom.predicate, ()):
-                    for substitution in find_homomorphisms_with_forced_atom(
+                    for substitution in find_homomorphisms_with_forced_atom_reference(
                         tgd.body, instance, index, forced
                     ):
                         trigger = Trigger.from_substitution(tgd, substitution)

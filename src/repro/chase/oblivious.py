@@ -16,11 +16,14 @@ from repro.model.atoms import Atom
 from repro.model.instance import Database, Instance
 from repro.model.tgd import TGDSet
 from repro.chase.engine import BaseChaseEngine, ChaseBudget, ChaseResult
+from repro.chase.plan import CompiledRule
 from repro.chase.trigger import Trigger
 
 
 class ObliviousChase(BaseChaseEngine):
     """Oblivious chase engine: trigger identity is ``(σ, h)`` in full."""
+
+    uses_frontier_identity = False
 
     def trigger_key(self, trigger: Trigger):
         return trigger.full_key()
@@ -36,13 +39,21 @@ class ObliviousChase(BaseChaseEngine):
         full_binding = {name: term for name, term in trigger.homomorphism}
         return trigger.result(null_binding=full_binding)
 
+    def evaluate(
+        self, instance: Instance, rule: CompiledRule, binding
+    ) -> Optional[List[Atom]]:
+        return self._evaluate_by_containment(instance, rule, binding)
+
 
 def oblivious_chase(
     database: Database,
     tgds: TGDSet,
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
+    compiled: bool = True,
 ) -> ChaseResult:
     """Run the oblivious chase of ``database`` w.r.t. ``tgds``."""
-    engine = ObliviousChase(tgds, budget=budget, record_derivation=record_derivation)
+    engine = ObliviousChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    )
     return engine.run(database)

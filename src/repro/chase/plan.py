@@ -1,0 +1,284 @@
+"""Compiled rule plans and the incremental trigger pipeline.
+
+The chase driver used to rebuild everything per round: re-derive the
+body atom order on every ``find_homomorphisms`` call, copy a binding
+dict per candidate match, re-sort every trigger's homomorphism items,
+and rescan every (rule, body-atom) pair against the round's delta.
+This module compiles each TGD once per run into a :class:`CompiledRule`
+— body join plan, one delta plan per body atom, frontier/variable
+templates for key and result construction — and routes delta atoms
+through a predicate-relevance map so only the plans that can actually
+consume a new atom are evaluated.
+
+Bindings travel through the pipeline as *canonical tuples*: the body
+homomorphism's terms laid out in the rule's sorted-variable order.
+Trigger keys are then ``(rule_id, term_tuple)`` — compact, built by
+tuple indexing without per-trigger sorting — and triggers, null labels
+and result atoms are all constructed from the same tuple via
+precompiled index templates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.homomorphism import _UNSET, BodyPlan, classify_atom_positions
+from repro.model.instance import Instance
+from repro.model.tgd import TGD, TGDSet
+from repro.model.terms import Null, Term, Variable
+from repro.chase.trigger import Trigger
+
+#: A body homomorphism as terms in the rule's sorted-variable order.
+Canonical = Tuple[Term, ...]
+
+#: ``(rule_id, (term, ...))`` — a trigger identity without name strings.
+TriggerKey = Tuple[str, Canonical]
+
+
+class _DeltaPlan:
+    """One body atom's semi-naive entry point.
+
+    Matches a freshly derived atom against the body atom's pattern
+    directly into the rest-plan's slot array, then joins the remaining
+    body atoms around it.
+    """
+
+    __slots__ = ("predicate", "plan", "perm", "consts", "binds", "checks")
+
+    def __init__(self, pattern: Atom, rest: Sequence[Atom], rule: "CompiledRule",
+                 selectivity: Optional[Callable[[Predicate], int]]) -> None:
+        self.predicate = pattern.predicate
+        self.plan = BodyPlan(rest, bound_first=pattern.variables(), selectivity=selectivity)
+        self.perm: Tuple[int, ...] = tuple(
+            self.plan.slot_of[v] for v in rule.sorted_variables
+        )
+        # No variable is bound before the forced atom is matched, so the
+        # classification yields no lookup positions.
+        _, self.consts, _, self.binds, self.checks = classify_atom_positions(
+            pattern, set(), self.plan.slot_of
+        )
+
+    def canonicals(self, instance: Instance, forced: Atom) -> Iterator[Canonical]:
+        """Canonical body bindings whose pattern maps onto ``forced``."""
+        if forced.predicate != self.predicate:
+            return
+        args = forced.args
+        for position, term in self.consts:
+            if args[position] != term:
+                return
+        slots: List = [_UNSET] * len(self.plan.variables)
+        for position, slot in self.binds:
+            slots[slot] = args[position]
+        for position, slot in self.checks:
+            if slots[slot] != args[position]:
+                return
+        perm = self.perm
+        for bound in self.plan.iter_bindings(instance, slots):
+            yield tuple(bound[p] for p in perm)
+
+
+class CompiledRule:
+    """Everything per-TGD the chase needs, computed once.
+
+    Attributes
+    ----------
+    body_plan:
+        Compiled join plan over the full body (used in the first round).
+    delta_plans:
+        One :class:`_DeltaPlan` per body atom (the semi-naive delta
+        step).
+    sorted_variables:
+        The body variables in sorted-name order; a :data:`Canonical`
+        tuple lays its terms out in exactly this order.
+    frontier_variables:
+        ``fr(σ)`` as a frozenset, for fast restriction of bindings.
+    """
+
+    __slots__ = (
+        "tgd",
+        "rule_id",
+        "body_plan",
+        "delta_plans",
+        "sorted_variables",
+        "frontier_variables",
+        "_body_perm",
+        "_var_names",
+        "_frontier_index",
+        "_frontier_var_index",
+        "_frontier_name_index",
+        "_existentials",
+        "_head_template",
+    )
+
+    def __init__(
+        self,
+        tgd: TGD,
+        selectivity: Optional[Callable[[Predicate], int]] = None,
+    ) -> None:
+        self.tgd = tgd
+        self.rule_id = tgd.rule_id
+        body = tgd.body
+        frontier = tgd.frontier()
+        self.sorted_variables: Tuple[Variable, ...] = tuple(
+            sorted(tgd.body_variables(), key=lambda v: v.name)
+        )
+        self.frontier_variables = frozenset(frontier)
+        self._var_names = tuple(v.name for v in self.sorted_variables)
+        self._frontier_index = tuple(
+            i for i, v in enumerate(self.sorted_variables) if v in self.frontier_variables
+        )
+        self._frontier_var_index = tuple(
+            (v, i) for i, v in enumerate(self.sorted_variables) if v in self.frontier_variables
+        )
+        self._frontier_name_index = tuple(
+            (v.name, i) for v, i in self._frontier_var_index
+        )
+        self._existentials = tuple(
+            sorted(tgd.existential_variables(), key=lambda v: v.name)
+        )
+
+        self.body_plan = BodyPlan(body, selectivity=selectivity)
+        self._body_perm = tuple(self.body_plan.slot_of[v] for v in self.sorted_variables)
+        self.delta_plans: List[_DeltaPlan] = [
+            _DeltaPlan(pattern, body[:index] + body[index + 1 :], self, selectivity)
+            for index, pattern in enumerate(body)
+        ]
+
+        # Head construction template: per head atom, its predicate and
+        # one entry per argument — the canonical index for a frontier
+        # variable, or the existential variable itself.
+        position_of = {v: i for i, v in enumerate(self.sorted_variables)}
+        self._head_template = tuple(
+            (a.predicate, tuple(position_of.get(arg, arg) for arg in a.args))
+            for a in tgd.head
+        )
+
+    # -- trigger identity ---------------------------------------------------
+
+    def full_key(self, canonical: Canonical) -> TriggerKey:
+        """Identity of the full body homomorphism (oblivious chase)."""
+        return (self.rule_id, canonical)
+
+    def frontier_key(self, canonical: Canonical) -> TriggerKey:
+        """Identity of ``h|fr(σ)`` (semi-oblivious and restricted chase)."""
+        return (self.rule_id, tuple(canonical[i] for i in self._frontier_index))
+
+    # -- trigger construction ----------------------------------------------
+
+    def make_trigger(self, canonical: Canonical) -> Trigger:
+        """Build a :class:`Trigger` without re-sorting the binding."""
+        return Trigger(
+            tgd=self.tgd,
+            homomorphism=tuple(zip(self._var_names, canonical)),
+        )
+
+    def frontier_binding(self, canonical: Canonical) -> Dict[Variable, Term]:
+        """``h|fr(σ)`` as a substitution (seed for head-plan searches)."""
+        return {v: canonical[i] for v, i in self._frontier_var_index}
+
+    # -- results ------------------------------------------------------------
+
+    def result_atoms(self, canonical: Canonical, full_labels: bool = False) -> List[Atom]:
+        """``result(σ, h)`` built from the precompiled head template.
+
+        ``full_labels`` switches the null labelling from the frontier
+        binding (semi-oblivious) to the whole body binding (oblivious).
+        Produces atoms equal to :meth:`Trigger.result`.
+        """
+        if full_labels:
+            label_items = tuple(zip(self._var_names, canonical))
+        else:
+            label_items = tuple(
+                (name, canonical[i]) for name, i in self._frontier_name_index
+            )
+        nulls = {
+            v: Null(rule_id=self.rule_id, variable=v.name, binding=label_items)
+            for v in self._existentials
+        }
+        return [
+            Atom(
+                predicate,
+                tuple(
+                    canonical[spec] if type(spec) is int else nulls[spec]
+                    for spec in template
+                ),
+            )
+            for predicate, template in self._head_template
+        ]
+
+    # -- enumeration ---------------------------------------------------------
+
+    def initial_canonicals(self, instance: Instance) -> Iterator[Canonical]:
+        """All body homomorphisms into ``instance`` (round one)."""
+        perm = self._body_perm
+        for bound in self.body_plan.iter_bindings(instance):
+            yield tuple(bound[p] for p in perm)
+
+    def delta_canonicals(
+        self, instance: Instance, index: int, forced: Atom
+    ) -> Iterator[Canonical]:
+        """Body homomorphisms whose ``index``-th atom maps onto ``forced``."""
+        return self.delta_plans[index].canonicals(instance, forced)
+
+
+class TriggerPipeline:
+    """Incremental, relevance-routed trigger enumeration.
+
+    Compiled once per chase run, the pipeline holds one
+    :class:`CompiledRule` per TGD and a predicate-relevance map
+    ``predicate -> [(rule, body_index)]``.  The first round enumerates
+    every body plan; every later round routes the delta atoms straight
+    to the (rule, body-atom) plans that can consume them, deduplicating
+    repeated body homomorphisms within the round by their compact full
+    key.
+    """
+
+    def __init__(
+        self,
+        tgds: TGDSet,
+        selectivity: Optional[Callable[[Predicate], int]] = None,
+    ) -> None:
+        self.rules: List[CompiledRule] = [CompiledRule(t, selectivity) for t in tgds]
+        self.relevance: Dict[Predicate, List[Tuple[CompiledRule, int]]] = {}
+        # Flat (rule, index, predicate) list in rule-major order: delta
+        # rounds walk it so trigger order matches the classic rescan.
+        self._delta_entries: List[Tuple[CompiledRule, int, Predicate]] = []
+        for rule in self.rules:
+            for index, atom in enumerate(rule.tgd.body):
+                self.relevance.setdefault(atom.predicate, []).append((rule, index))
+                self._delta_entries.append((rule, index, atom.predicate))
+
+    def initial_triggers(
+        self, instance: Instance
+    ) -> Iterator[Tuple[CompiledRule, Canonical]]:
+        """All body homomorphisms into ``instance`` (round one)."""
+        for rule in self.rules:
+            for canonical in rule.initial_canonicals(instance):
+                yield rule, canonical
+
+    def delta_triggers(
+        self, instance: Instance, delta: Sequence[Atom]
+    ) -> Iterator[Tuple[CompiledRule, Canonical]]:
+        """Triggers whose body image uses at least one atom of ``delta``."""
+        by_predicate: Dict[Predicate, List[Atom]] = {}
+        relevance = self.relevance
+        for a in delta:
+            if a.predicate in relevance:
+                by_predicate.setdefault(a.predicate, []).append(a)
+        if not by_predicate:
+            return
+        seen: Set[TriggerKey] = set()
+        for rule, index, predicate in self._delta_entries:
+            forced_atoms = by_predicate.get(predicate)
+            if not forced_atoms:
+                continue
+            delta_plan = rule.delta_plans[index]
+            rule_id = rule.rule_id
+            for forced in forced_atoms:
+                for canonical in delta_plan.canonicals(instance, forced):
+                    key = (rule_id, canonical)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield rule, canonical

@@ -15,19 +15,24 @@ import itertools
 from typing import List, Optional
 
 from repro.model.atoms import Atom
+from repro.model.homomorphism import extend_homomorphism
 from repro.model.instance import Database, Instance
 from repro.model.terms import Constant
 from repro.model.tgd import TGDSet
 from repro.chase.engine import BaseChaseEngine, ChaseBudget, ChaseResult
+from repro.chase.plan import CompiledRule
 from repro.chase.trigger import Trigger
 
 
 class RestrictedChase(BaseChaseEngine):
     """Restricted chase engine: fire only when the head is not yet satisfied."""
 
+    uses_frontier_identity = True
+
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
-                 record_derivation: bool = True) -> None:
-        super().__init__(tgds, budget=budget, record_derivation=record_derivation)
+                 record_derivation: bool = True, compiled: bool = True) -> None:
+        super().__init__(tgds, budget=budget, record_derivation=record_derivation,
+                         compiled=compiled)
         self._fire_counter = itertools.count()
 
     def trigger_key(self, trigger: Trigger):
@@ -48,13 +53,28 @@ class RestrictedChase(BaseChaseEngine):
         binding["__fire__"] = Constant(f"fire{next(self._fire_counter)}")
         return trigger.result(null_binding=binding)
 
+    def evaluate(
+        self, instance: Instance, rule: CompiledRule, binding
+    ) -> Optional[List[Atom]]:
+        # Activeness: no extension of h|fr(σ) maps the head into the
+        # instance.  extend_homomorphism runs on a compiled head plan
+        # cached per (head, frontier), shared across all activeness
+        # checks of this rule.
+        seed = rule.frontier_binding(binding)
+        if extend_homomorphism(rule.tgd.head, instance, seed) is not None:
+            return None
+        return self.trigger_result(rule.make_trigger(binding))
+
 
 def restricted_chase(
     database: Database,
     tgds: TGDSet,
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
+    compiled: bool = True,
 ) -> ChaseResult:
     """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``."""
-    engine = RestrictedChase(tgds, budget=budget, record_derivation=record_derivation)
+    engine = RestrictedChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    )
     return engine.run(database)

@@ -16,11 +16,14 @@ from repro.model.atoms import Atom
 from repro.model.instance import Database, Instance
 from repro.model.tgd import TGDSet
 from repro.chase.engine import BaseChaseEngine, ChaseBudget, ChaseResult
+from repro.chase.plan import CompiledRule
 from repro.chase.trigger import Trigger
 
 
 class SemiObliviousChase(BaseChaseEngine):
     """Semi-oblivious chase engine: trigger identity is ``(σ, h|fr(σ))``."""
+
+    uses_frontier_identity = True
 
     def trigger_key(self, trigger: Trigger):
         return trigger.frontier_key()
@@ -31,19 +34,28 @@ class SemiObliviousChase(BaseChaseEngine):
     def trigger_result(self, trigger: Trigger) -> List[Atom]:
         return trigger.result()
 
+    def evaluate(
+        self, instance: Instance, rule: CompiledRule, binding
+    ) -> Optional[List[Atom]]:
+        return self._evaluate_by_containment(instance, rule, binding)
+
 
 def semi_oblivious_chase(
     database: Database,
     tgds: TGDSet,
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
+    compiled: bool = True,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
     Returns a :class:`ChaseResult`; ``result.terminated`` is True iff
     the chase reached a fixpoint within the budget, in which case
     ``result.instance`` is ``chase(D, Σ)`` and ``result.max_depth`` is
-    ``maxdepth(D, Σ)``.
+    ``maxdepth(D, Σ)``.  ``compiled=False`` selects the legacy rescan
+    engine (benchmark baseline).
     """
-    engine = SemiObliviousChase(tgds, budget=budget, record_derivation=record_derivation)
+    engine = SemiObliviousChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    )
     return engine.run(database)

@@ -14,7 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.model.atoms import Atom
-from repro.model.homomorphism import Substitution, apply_substitution, find_homomorphisms
+from repro.model.homomorphism import (
+    Substitution,
+    apply_substitution,
+    find_homomorphisms_reference,
+)
 from repro.model.instance import Instance
 from repro.model.terms import Term, Variable, make_null
 
@@ -88,12 +92,14 @@ class Trigger:
 
         The restricted (standard) chase only fires a trigger when there
         is *no* homomorphism ``h' ⊇ h|fr(σ)`` from the head into the
-        instance.
+        instance.  (Runs on the reference search; the compiled engine
+        checks activeness through a cached head plan instead, see
+        :meth:`RestrictedChase.evaluate`.)
         """
         frontier = self.tgd.frontier()
         substitution = self.substitution()
         seed: Substitution = {v: substitution[v] for v in frontier}
-        for _ in find_homomorphisms(self.tgd.head, instance, seed=seed):
+        for _ in find_homomorphisms_reference(self.tgd.head, instance, seed=seed):
             return False
         return True
 

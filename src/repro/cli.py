@@ -6,6 +6,11 @@ Three subcommands mirror the library's main entry points::
     python -m repro decide    ontology.rules database.facts [--method auto|syntactic|naive|ucq]
     python -m repro chase     ontology.rules database.facts [--variant semi-oblivious|restricted|oblivious]
                                                             [--max-atoms N] [--output FILE]
+                                                            [--legacy-engine]
+
+A fourth maintenance subcommand regenerates the engine speed report::
+
+    python -m repro bench-engine [--output BENCH_engine.json] [--repeats N]
 
 Rule files contain one TGD per line (``R(x, y) -> exists z . S(y, z)``),
 database files one fact per line (``R(a, b).``); ``%`` and ``#`` start
@@ -75,7 +80,13 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     database = _load_database(args.database)
     runner = _VARIANTS[args.variant]
     budget = ChaseBudget(max_atoms=args.max_atoms)
-    result = runner(database, program, budget=budget, record_derivation=False)
+    result = runner(
+        database,
+        program,
+        budget=budget,
+        record_derivation=False,
+        compiled=not args.legacy_engine,
+    )
     status = "terminated" if result.terminated else f"stopped ({result.outcome.value})"
     print(
         f"{status}: {result.size} atoms, max depth {result.max_depth}, "
@@ -89,6 +100,22 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0 if result.terminated else 1
+
+
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from repro.bench.drivers import engine_benchmark_rows, format_table, write_engine_report
+
+    rows = engine_benchmark_rows(repeats=args.repeats)
+    report = write_engine_report(path=args.output, rows=rows)
+    print(format_table(rows))
+    summary = report["summary"]
+    print(
+        f"\nmin semi-oblivious speedup: {summary['min_semi_oblivious_speedup']}x, "
+        f"all runs equivalent: {summary['all_equivalent']}",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if summary["all_equivalent"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,7 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     chase_parser.add_argument("--variant", choices=sorted(_VARIANTS), default="semi-oblivious")
     chase_parser.add_argument("--max-atoms", type=int, default=1_000_000)
     chase_parser.add_argument("--output", help="write the materialised instance to a file")
+    chase_parser.add_argument(
+        "--legacy-engine",
+        action="store_true",
+        help="use the pre-refactor rescan engine instead of compiled rule plans",
+    )
     chase_parser.set_defaults(handler=_cmd_chase)
+
+    bench_parser = subparsers.add_parser(
+        "bench-engine",
+        help="measure compiled-plan pipeline vs legacy engine, write BENCH_engine.json",
+    )
+    bench_parser.add_argument("--output", default="BENCH_engine.json")
+    bench_parser.add_argument("--repeats", type=int, default=3)
+    bench_parser.set_defaults(handler=_cmd_bench_engine)
     return parser
 
 

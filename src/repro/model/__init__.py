@@ -11,9 +11,12 @@ from repro.model.atoms import Atom, Predicate, Position
 from repro.model.instance import Database, Instance
 from repro.model.tgd import TGD, TGDSet
 from repro.model.homomorphism import (
+    BodyPlan,
     Substitution,
+    compile_plan,
     extend_homomorphism,
     find_homomorphisms,
+    find_homomorphisms_with_forced_atom,
     is_homomorphism,
 )
 from repro.model.parser import parse_atom, parse_database, parse_program, parse_tgd
@@ -37,7 +40,10 @@ __all__ = [
     "TGD",
     "TGDSet",
     "Substitution",
+    "BodyPlan",
+    "compile_plan",
     "find_homomorphisms",
+    "find_homomorphisms_with_forced_atom",
     "extend_homomorphism",
     "is_homomorphism",
     "parse_atom",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.model.terms import Constant, Null, Term, Variable
@@ -14,10 +14,17 @@ class Predicate:
 
     name: str
     arity: int
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.arity < 0:
             raise ValueError(f"arity must be non-negative, got {self.arity}")
+        # Predicates key every instance index; cache the hash so index
+        # lookups do not re-hash the name on every probe.
+        object.__setattr__(self, "_hash", hash((Predicate, self.name, self.arity)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.name}/{self.arity}"
@@ -56,6 +63,7 @@ class Atom:
 
     predicate: Predicate
     args: Tuple[Term, ...]
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.args) != self.predicate.arity:
@@ -63,6 +71,13 @@ class Atom:
                 f"{self.predicate} expects {self.predicate.arity} arguments, "
                 f"got {len(self.args)}"
             )
+        # Atoms live in several hash sets at once (the instance's atom
+        # set plus two secondary indexes); the cached hash makes each
+        # membership probe O(1) instead of O(arity).
+        object.__setattr__(self, "_hash", hash((self.predicate, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         inner = ", ".join(str(arg) for arg in self.args)

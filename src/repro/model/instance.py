@@ -15,6 +15,9 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 from repro.model.atoms import Atom, Predicate
 from repro.model.terms import Constant, Null, Term
 
+#: Shared empty result for index misses; never mutated.
+_EMPTY_ATOMS: Set[Atom] = frozenset()  # type: ignore[assignment]
+
 
 class Instance:
     """A mutable set of ground atoms with predicate and position indexes.
@@ -85,8 +88,23 @@ class Instance:
         return set(self._atoms)
 
     def atoms_with_predicate(self, predicate: Predicate) -> Set[Atom]:
-        """All atoms over the given predicate (empty set if none)."""
-        return self._by_predicate.get(predicate, set())
+        """All atoms over the given predicate (empty set if none).
+
+        The returned set is a defensive copy: mutating the instance
+        while iterating it is safe.  Hot paths that can guarantee the
+        instance is not mutated during iteration should use
+        :meth:`candidates_view` instead.
+        """
+        return set(self._by_predicate.get(predicate, _EMPTY_ATOMS))
+
+    def count(self, predicate: Predicate) -> int:
+        """Number of atoms over ``predicate`` (O(1)).
+
+        Used by the join planner as a selectivity hint when ordering
+        body atoms.
+        """
+        bucket = self._by_predicate.get(predicate)
+        return len(bucket) if bucket else 0
 
     def predicates(self) -> Set[Predicate]:
         """Predicates that occur in at least one atom."""
@@ -95,23 +113,35 @@ class Instance:
     def candidates(self, predicate: Predicate, bound: Dict[int, Term]) -> Set[Atom]:
         """Atoms over ``predicate`` matching the partially bound arguments.
 
-        ``bound`` maps 0-based argument positions to required terms.  The
-        most selective index entry is intersected last to keep the cost
-        close to the result size.
+        ``bound`` maps 0-based argument positions to required terms.
+        The returned set is always safe to keep across mutations.
+        """
+        return set(self.candidates_view(predicate, bound))
+
+    def candidates_view(self, predicate: Predicate, bound: Dict[int, Term]) -> Set[Atom]:
+        """Like :meth:`candidates`, but may alias internal index sets.
+
+        When ``bound`` pins zero or one positions the result is a *live
+        view* of an index bucket: it must not be mutated, and the
+        instance must not be mutated while the view is being iterated.
+        The chase engine materialises each round's triggers before
+        applying any of them, which is exactly what makes this view safe
+        on its hot path.  The most selective index entry drives the
+        intersection to keep the cost close to the result size.
         """
         if not bound:
-            return self.atoms_with_predicate(predicate)
+            return self._by_predicate.get(predicate, _EMPTY_ATOMS)
+        if len(bound) == 1:
+            ((i, term),) = bound.items()
+            return self._by_position.get((predicate, i, term), _EMPTY_ATOMS)
         buckets = [
-            self._by_position.get((predicate, i, term), set())
+            self._by_position.get((predicate, i, term), _EMPTY_ATOMS)
             for i, term in bound.items()
         ]
         buckets.sort(key=len)
-        result = set(buckets[0])
-        for bucket in buckets[1:]:
-            if not result:
-                break
-            result &= bucket
-        return result
+        if not buckets[0]:
+            return _EMPTY_ATOMS
+        return buckets[0].intersection(*buckets[1:])
 
     def active_domain(self) -> Set[Term]:
         """``dom(I)``: all constants and nulls occurring in the instance."""

@@ -21,6 +21,15 @@ class Constant:
     """A constant from the countably infinite set ``C``."""
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Constants are hashed on every instance-index lookup; caching
+        # the hash keeps that O(1) instead of re-hashing the name.
+        object.__setattr__(self, "_hash", hash((Constant, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Constant({self.name!r})"
@@ -55,6 +64,14 @@ class Variable:
     """
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Variables key substitution dicts on the join's hot path.
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Variable({self.name!r})"
@@ -139,7 +156,8 @@ class Null:
         return self.uid == other.uid
 
     def __hash__(self) -> int:
-        return hash(self.uid)
+        # The interned uid is already a small unique int; use it directly.
+        return self.uid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Null({self.rule_id!r}, {self.variable!r}, depth={self.depth})"

@@ -1,0 +1,176 @@
+"""Equivalence tests for compiled body plans.
+
+:class:`BodyPlan` (and everything built on it: the plan-backed
+``find_homomorphisms``, the forced-atom delta step, and the compiled
+rule pipeline) must enumerate exactly the substitution set of the
+reference implementation.  These tests check that on hand-written
+corner cases and on randomized programs from
+``generators/random_programs.py``.
+"""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.homomorphism import (
+    BodyPlan,
+    compile_plan,
+    extend_homomorphism,
+    find_homomorphisms,
+    find_homomorphisms_reference,
+    find_homomorphisms_with_forced_atom,
+    find_homomorphisms_with_forced_atom_reference,
+    is_homomorphism,
+)
+from repro.model.instance import Database, Instance
+from repro.model.terms import Constant, Variable
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+    random_simple_linear_program,
+)
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+T = Predicate("T", 3)
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+X, Y, Z, W = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def substitution_set(iterator):
+    """Hashable fingerprint of an enumeration, ignoring order."""
+    return {frozenset(sub.items()) for sub in iterator}
+
+
+class TestBodyPlanEquivalence:
+    def test_single_atom(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        atoms = [Atom(R, (X, Y))]
+        assert substitution_set(find_homomorphisms(atoms, instance)) == substitution_set(
+            find_homomorphisms_reference(atoms, instance)
+        )
+
+    def test_join_and_repeated_variables(self):
+        instance = Instance(
+            [Atom(R, (A, B)), Atom(R, (B, B)), Atom(R, (B, C)), Atom(T, (A, B, B))]
+        )
+        atoms = [Atom(R, (X, Y)), Atom(T, (X, Y, Y))]
+        assert substitution_set(find_homomorphisms(atoms, instance)) == substitution_set(
+            find_homomorphisms_reference(atoms, instance)
+        )
+
+    def test_cross_product(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (C,))])
+        atoms = [Atom(R, (X, Y)), Atom(S, (Z,))]
+        assert substitution_set(find_homomorphisms(atoms, instance)) == substitution_set(
+            find_homomorphisms_reference(atoms, instance)
+        )
+
+    def test_seed_including_variable_outside_atoms(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        atoms = [Atom(R, (X, Y))]
+        seed = {X: B, W: C}  # W does not occur in the atoms
+        plan_results = substitution_set(find_homomorphisms(atoms, instance, seed=seed))
+        reference = substitution_set(find_homomorphisms_reference(atoms, instance, seed=seed))
+        assert plan_results == reference
+        assert plan_results == {frozenset({(X, B), (Y, C), (W, C)}.__iter__())}
+
+    def test_empty_atom_list_yields_seed_once(self):
+        instance = Instance([Atom(R, (A, B))])
+        assert list(find_homomorphisms([], instance, seed={X: A})) == [{X: A}]
+
+    def test_constant_in_pattern(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C))])
+        atoms = [Atom(R, (A, Y))]
+        assert substitution_set(find_homomorphisms(atoms, instance)) == substitution_set(
+            find_homomorphisms_reference(atoms, instance)
+        )
+
+    def test_plan_reuse_across_seeds(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C)), Atom(R, (C, A))])
+        atoms = (Atom(R, (X, Y)),)
+        plan = compile_plan(atoms, (X,))
+        assert compile_plan(atoms, (X,)) is plan
+        for seed_term, expected in [(A, B), (B, C), (C, A)]:
+            results = list(plan.enumerate(instance, {X: seed_term}))
+            assert results == [{X: seed_term, Y: expected}]
+
+    def test_plan_with_unused_bound_first_variable(self):
+        # Delta plans seed variables that occur only in the forced atom;
+        # they still travel through the slot array.
+        plan = BodyPlan([Atom(S, (Y,))], bound_first={X, Y})
+        instance = Instance([Atom(S, (B,))])
+        assert list(plan.enumerate(instance, {X: A, Y: B})) == [{X: A, Y: B}]
+
+
+class TestForcedAtomEquivalence:
+    def test_forced_atom_basic(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C)), Atom(S, (B,))])
+        atoms = [Atom(R, (X, Y)), Atom(S, (Y,))]
+        for index, forced in [(0, Atom(R, (A, B))), (1, Atom(S, (B,)))]:
+            assert substitution_set(
+                find_homomorphisms_with_forced_atom(atoms, instance, index, forced)
+            ) == substitution_set(
+                find_homomorphisms_with_forced_atom_reference(atoms, instance, index, forced)
+            )
+
+    def test_forced_atom_mismatch_yields_nothing(self):
+        instance = Instance([Atom(R, (A, B))])
+        atoms = [Atom(R, (X, X))]
+        assert list(find_homomorphisms_with_forced_atom(atoms, instance, 0, Atom(R, (A, B)))) == []
+
+    def test_forced_atom_single_atom_body(self):
+        instance = Instance([Atom(R, (A, B))])
+        atoms = [Atom(R, (X, Y))]
+        results = list(find_homomorphisms_with_forced_atom(atoms, instance, 0, Atom(R, (A, B))))
+        assert results == [{X: A, Y: B}]
+
+    def test_forced_atom_not_in_instance(self):
+        # The forced atom need not be part of the instance yet; only the
+        # rest of the body is matched against the instance.
+        instance = Instance([Atom(S, (C,))])
+        atoms = [Atom(R, (X, Y)), Atom(S, (Z,))]
+        results = substitution_set(
+            find_homomorphisms_with_forced_atom(atoms, instance, 0, Atom(R, (A, B)))
+        )
+        assert results == {frozenset({(X, A), (Y, B), (Z, C)})}
+
+
+class TestExtendHomomorphism:
+    def test_witness_found_and_missing(self):
+        instance = Instance([Atom(R, (A, B)), Atom(S, (B,))])
+        assert extend_homomorphism([Atom(S, (Y,))], instance, {X: A, Y: B}) == {X: A, Y: B}
+        assert extend_homomorphism([Atom(S, (Y,))], instance, {Y: A}) is None
+
+    def test_existential_extension(self):
+        instance = Instance([Atom(R, (A, B))])
+        extension = extend_homomorphism([Atom(R, (X, Z))], instance, {X: A})
+        assert extension is not None and extension[Z] == B
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize(
+    "generator",
+    [random_simple_linear_program, random_linear_program, random_guarded_program],
+)
+def test_randomized_program_equivalence(generator, seed):
+    """Plan-based enumeration matches the reference on random programs."""
+    tgds = generator(seed)
+    database = random_database(tgds, seed=seed + 1000, fact_count=25, constant_count=4)
+    instance = Instance(database)
+    for tgd in tgds:
+        expected = substitution_set(find_homomorphisms_reference(tgd.body, instance))
+        assert substitution_set(find_homomorphisms(tgd.body, instance)) == expected
+        for sub in expected:
+            assert is_homomorphism(tgd.body, instance, dict(sub))
+        # Forced-atom (delta) enumeration agrees for every body index
+        # and every instance atom of the right predicate.
+        for index, body_atom in enumerate(tgd.body):
+            for forced in instance.atoms_with_predicate(body_atom.predicate):
+                assert substitution_set(
+                    find_homomorphisms_with_forced_atom(tgd.body, instance, index, forced)
+                ) == substitution_set(
+                    find_homomorphisms_with_forced_atom_reference(
+                        tgd.body, instance, index, forced
+                    )
+                )

@@ -51,6 +51,39 @@ class TestInstance:
         assert instance.candidates(R, {0: A, 1: C}) == {Atom(R, (A, C))}
         assert instance.candidates(R, {}) == instance.atoms_with_predicate(R)
 
+    def test_atoms_with_predicate_is_safe_to_mutate_while_iterating(self):
+        # Regression test: this used to return the live internal index
+        # set, so adding an atom mid-iteration raised RuntimeError
+        # ("Set changed size during iteration").
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C)), Atom(R, (A, C))])
+        seen = 0
+        for atom_ in instance.atoms_with_predicate(R):
+            instance.add(Atom(S, (atom_.args[0],)))
+            instance.add(Atom(R, (C, atom_.args[0])))
+            seen += 1
+        assert seen == 3
+        assert len(instance.atoms_with_predicate(R)) > 3
+
+    def test_atoms_with_predicate_returns_copy(self):
+        instance = Instance([Atom(R, (A, B))])
+        view = instance.atoms_with_predicate(R)
+        view.add(Atom(R, (B, A)))
+        assert Atom(R, (B, A)) not in instance
+        assert instance.atoms_with_predicate(R) == {Atom(R, (A, B))}
+
+    def test_count(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (B, C)), Atom(S, (A,))])
+        assert instance.count(R) == 2
+        assert instance.count(S) == 1
+        assert instance.count(Predicate("T", 1)) == 0
+        instance.discard(Atom(S, (A,)))
+        assert instance.count(S) == 0
+
+    def test_candidates_view_matches_candidates(self):
+        instance = Instance([Atom(R, (A, B)), Atom(R, (A, C)), Atom(R, (B, C))])
+        for bound in ({}, {0: A}, {0: A, 1: C}, {1: C}):
+            assert set(instance.candidates_view(R, bound)) == instance.candidates(R, bound)
+
     def test_active_domain(self):
         instance = Instance([Atom(R, (A, B))])
         assert instance.active_domain() == {A, B}
