@@ -1,0 +1,35 @@
+"""E15 — batch runtime: pool vs serial, cache replay, auto-budgets.
+
+``python -m repro bench-runtime`` regenerates the full 200-job
+BENCH_runtime.json report; this benchmark keeps a small always-on smoke
+version in the suite.  Correctness properties (byte-identical cache
+replay, serial/pool agreement, auto-budgeted SL/L jobs finishing within
+the paper's bounds) are hard assertions; the pool speedup is reported,
+not asserted, because it depends on the machine's core count.
+"""
+
+import pytest
+
+from repro.bench.drivers import SweepRow, runtime_benchmark_rows
+from repro.generators.workloads import mixed_workload_jobs
+from repro.runtime import BatchExecutor
+
+
+@pytest.mark.benchmark(group="E15-batch-runtime")
+def test_runtime_report(benchmark, report):
+    rows, summary = runtime_benchmark_rows(job_count=20, workers=2, repeats=1, seed=7)
+    report("E15: batch runtime (pool vs serial, cache, auto-budgets)", rows)
+    report(
+        "E15: summary",
+        [SweepRow(label="summary", parameters={}, measured=dict(summary))],
+    )
+    assert summary["pool_deterministic"]
+    assert summary["cache_hits_byte_identical"]
+    assert summary["all_cacheable_jobs_hit"]
+    assert summary["auto_budgeted_sl_l_within_budget"]
+    jobs = mixed_workload_jobs(job_count=10, seed=7)
+    benchmark.pedantic(
+        lambda: BatchExecutor(workers=1).run_all(jobs),
+        rounds=3,
+        iterations=1,
+    )

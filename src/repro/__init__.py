@@ -5,7 +5,7 @@ A from-scratch reproduction of
     Marco Calautti, Georg Gottlob, Andreas Pieris.
     "Non-Uniformly Terminating Chase: Size and Complexity", PODS 2022.
 
-The package has four layers:
+The package has five layers:
 
 * :mod:`repro.model` — the relational substrate (terms, atoms, TGDs,
   instances, homomorphisms, a concrete syntax);
@@ -16,9 +16,12 @@ The package has four layers:
   non-uniform weak-acyclicity, simplification, linearization, the size
   bounds, the UCQ-based data-complexity procedure and the ChTrm
   deciders;
+* :mod:`repro.runtime` — the batch runtime: declarative chase jobs
+  with canonical content fingerprints, paper-derived auto-budgets, a
+  fingerprint-keyed result cache, and a process-pool batch executor;
 * :mod:`repro.generators` — the paper's lower-bound families, the
-  Turing-machine encoding of Appendix A, random program generators and
-  realistic OBDA / data-exchange scenarios.
+  Turing-machine encoding of Appendix A, random program generators,
+  realistic OBDA / data-exchange scenarios and mixed batch workloads.
 
 Quickstart::
 
@@ -63,8 +66,19 @@ from repro.core import (
     simplify_database,
     simplify_program,
 )
+from repro.runtime import (
+    BatchExecutor,
+    BudgetPolicy,
+    ChaseJob,
+    JobResult,
+    ResultCache,
+    database_fingerprint,
+    program_fingerprint,
+    read_manifest,
+    write_manifest,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -94,5 +108,14 @@ __all__ = [
     "simplify_database",
     "linearize_program",
     "linearize_database",
+    "BatchExecutor",
+    "BudgetPolicy",
+    "ChaseJob",
+    "JobResult",
+    "ResultCache",
+    "database_fingerprint",
+    "program_fingerprint",
+    "read_manifest",
+    "write_manifest",
     "__version__",
 ]

@@ -9,8 +9,10 @@ reports paper-vs-measured values.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -376,6 +378,193 @@ def write_engine_report(
             "max_semi_oblivious_speedup": max(semi_speedups) if semi_speedups else None,
             "all_equivalent": all(bool(r.measured["equivalent"]) for r in rows),
         },
+    }
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# --------------------------------------------------------------------------
+# E15: batch runtime — pool vs serial, cache replay, auto-budgets
+# --------------------------------------------------------------------------
+
+
+def runtime_benchmark_rows(
+    job_count: int = 200,
+    workers: int = 4,
+    repeats: int = 1,
+    seed: int = 7,
+) -> Tuple[List[SweepRow], Dict[str, object]]:
+    """Measure the batch runtime on a mixed manifest.
+
+    Four measurements, each its own row:
+
+    1. **serial** — cold, no cache, ``workers=1`` (best of ``repeats``);
+    2. **pool** — cold, no cache, ``workers`` processes;
+    3. **cache** — a cold pass filling a fresh cache, then a replay pass
+       that must hit on every job and return byte-identical summaries;
+    4. **auto-budgets** — over the serial results: auto-budgeted SL/L
+       jobs tagged ``terminating`` must never report
+       ``ATOM_BUDGET_EXCEEDED`` (or any budget outcome — the paper's
+       bounds guarantee termination fits inside them).
+
+    Returns the rows plus a machine-readable summary.
+    """
+    from repro.generators.workloads import mixed_workload_jobs
+    from repro.runtime import BatchExecutor, ResultCache
+
+    jobs = mixed_workload_jobs(job_count=job_count, seed=seed)
+
+    def timed_run(executor: BatchExecutor) -> Tuple[float, List]:
+        start = time.perf_counter()
+        results = executor.run_all(jobs)
+        return time.perf_counter() - start, results
+
+    serial_seconds = float("inf")
+    serial_results: List = []
+    for _ in range(max(1, repeats)):
+        elapsed, results = timed_run(BatchExecutor(workers=1))
+        if elapsed < serial_seconds:
+            serial_seconds, serial_results = elapsed, results
+
+    pool_seconds = float("inf")
+    pool_results: List = []
+    for _ in range(max(1, repeats)):
+        elapsed, results = timed_run(BatchExecutor(workers=workers))
+        if elapsed < pool_seconds:
+            pool_seconds, pool_results = elapsed, results
+
+    # Serial and pooled runs of the same job must agree byte for byte.
+    by_id_serial = {r.job_id: r.summary_json() for r in serial_results if r.status == "ok"}
+    by_id_pool = {r.job_id: r.summary_json() for r in pool_results if r.status == "ok"}
+    shared = set(by_id_serial) & set(by_id_pool)
+    pool_deterministic = all(by_id_serial[i] == by_id_pool[i] for i in shared)
+
+    cache = ResultCache()
+    cold_seconds, cold_results = timed_run(BatchExecutor(workers=1, cache=cache))
+    warm_seconds, warm_results = timed_run(BatchExecutor(workers=1, cache=cache))
+    cold_by_id = {r.job_id: r for r in cold_results}
+    cacheable = [r for r in cold_results if r.status == "ok"]
+    warm_hits = [r for r in warm_results if r.cache_hit]
+    cache_identical = all(
+        r.summary_json() == cold_by_id[r.job_id].summary_json() for r in warm_hits
+    )
+    all_cacheable_hit = len(warm_hits) >= len(cacheable)
+    # Per-hit replay latency, separate from the warm pass total: jobs
+    # with non-deterministic outcomes (timeouts) are never cached and
+    # re-run on the warm pass, which would otherwise dominate it.
+    mean_hit_ms = (
+        round(sum(r.wall_seconds for r in warm_hits) / len(warm_hits) * 1000, 3)
+        if warm_hits
+        else None
+    )
+
+    def is_auto_sl_l(result) -> bool:
+        budget = result.budget_provenance
+        return budget["source"] == "paper-bound" and budget["class"] in ("SL", "L")
+
+    auto_terminating = [
+        r
+        for r in serial_results
+        if is_auto_sl_l(r) and "terminating" in r.tags and "nonterminating" not in r.tags
+    ]
+    auto_within_budget = all(
+        r.summary is not None and r.summary["outcome"] == "terminated"
+        for r in auto_terminating
+    )
+    outcome_histogram = Counter(
+        r.summary["outcome"] if r.summary else r.status for r in serial_results
+    )
+
+    cpu_count = os.cpu_count() or 1
+    speedup = round(serial_seconds / max(pool_seconds, 1e-9), 2)
+    rows = [
+        SweepRow(
+            label="runtime-serial",
+            parameters={"jobs": len(jobs), "workers": 1},
+            measured={"seconds": round(serial_seconds, 3),
+                      "jobs_per_s": round(len(jobs) / max(serial_seconds, 1e-9), 1)},
+        ),
+        SweepRow(
+            label="runtime-pool",
+            parameters={"jobs": len(jobs), "workers": workers},
+            measured={
+                "seconds": round(pool_seconds, 3),
+                "jobs_per_s": round(len(jobs) / max(pool_seconds, 1e-9), 1),
+                "speedup": speedup,
+                "deterministic": pool_deterministic,
+            },
+        ),
+        SweepRow(
+            label="runtime-cache",
+            parameters={"jobs": len(jobs), "workers": 1},
+            measured={
+                "cold_seconds": round(cold_seconds, 3),
+                "warm_seconds": round(warm_seconds, 3),
+                "hits": len(warm_hits),
+                "mean_hit_ms": mean_hit_ms,
+                "replay_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+                "byte_identical": cache_identical,
+            },
+        ),
+        SweepRow(
+            label="runtime-auto-budget",
+            parameters={"jobs": len(auto_terminating)},
+            measured={
+                "auto_sl_l_terminating": len(auto_terminating),
+                "all_within_budget": auto_within_budget,
+            },
+        ),
+    ]
+    summary = {
+        "job_count": len(jobs),
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "serial_seconds": round(serial_seconds, 3),
+        "pool_seconds": round(pool_seconds, 3),
+        "pool_speedup": speedup,
+        "pool_deterministic": pool_deterministic,
+        "speedup_target_met": speedup >= 2.5 or cpu_count < workers,
+        "cache_warm_seconds": round(warm_seconds, 3),
+        "cache_mean_hit_ms": mean_hit_ms,
+        "cache_hits_byte_identical": cache_identical,
+        "all_cacheable_jobs_hit": all_cacheable_hit,
+        "auto_budgeted_sl_l_within_budget": auto_within_budget,
+        "outcomes": dict(sorted(outcome_histogram.items())),
+    }
+    return rows, summary
+
+
+def write_runtime_report(
+    path: str = "BENCH_runtime.json",
+    rows: Optional[Sequence[SweepRow]] = None,
+    summary: Optional[Dict[str, object]] = None,
+    job_count: int = 200,
+    workers: int = 4,
+    repeats: int = 1,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Run the runtime benchmark and write ``BENCH_runtime.json``.
+
+    The PR-facing artefact backing the batch-runtime claims: pool
+    speedup over serial (``speedup_target_met`` tolerates machines with
+    fewer cores than workers, where a process pool cannot physically
+    win), byte-identical cache replay, and paper-derived auto-budgets
+    never cutting off terminating SL/L jobs.  See EXPERIMENTS.md (E15).
+    Pass precomputed ``rows``/``summary`` to write without re-running.
+    """
+    if rows is None or summary is None:
+        rows, summary = runtime_benchmark_rows(
+            job_count=job_count, workers=workers, repeats=repeats, seed=seed
+        )
+    report = {
+        "experiment": "E15-batch-runtime",
+        "description": (
+            "Concurrent batch executor with fingerprint cache and "
+            "paper-derived auto-budgets on a mixed SL/L/G/random manifest"
+        ),
+        "python": platform.python_version(),
+        "rows": [r.as_flat_dict() for r in rows],
+        "summary": summary,
     }
     Path(path).write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -14,7 +14,18 @@ from repro.chase.restricted import RestrictedChase, restricted_chase
 from repro.chase.forest import GuardedChaseForest, build_guarded_forest
 from repro.chase.depth import instance_max_depth, max_depth
 
+#: The single registry of chase variants, keyed by CLI/manifest
+#: spelling.  The CLI, the batch runtime's job validation and its
+#: worker dispatch all derive from this map — adding a variant here is
+#: the only edit needed to expose it everywhere.
+VARIANT_RUNNERS = {
+    "semi-oblivious": semi_oblivious_chase,
+    "restricted": restricted_chase,
+    "oblivious": oblivious_chase,
+}
+
 __all__ = [
+    "VARIANT_RUNNERS",
     "Trigger",
     "CompiledRule",
     "TriggerPipeline",

@@ -8,6 +8,7 @@ fast instead of exhausting memory.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -49,14 +50,20 @@ class ChaseBudget:
     max_seconds: Optional[float] = None
     truncate_at_depth: bool = False
 
+    def replace(self, **changes: object) -> "ChaseBudget":
+        """A copy with the given fields changed.
+
+        All copy helpers go through :func:`dataclasses.replace` so a
+        newly added budget field can never silently drop out of a copy.
+        """
+        return dataclasses.replace(self, **changes)
+
     def with_max_atoms(self, max_atoms: int) -> "ChaseBudget":
-        return ChaseBudget(
-            max_atoms=max_atoms,
-            max_rounds=self.max_rounds,
-            max_depth=self.max_depth,
-            max_seconds=self.max_seconds,
-            truncate_at_depth=self.truncate_at_depth,
-        )
+        return self.replace(max_atoms=max_atoms)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON- and pickle-friendly), field for field."""
+        return dataclasses.asdict(self)
 
 
 @dataclass(frozen=True)
@@ -113,6 +120,29 @@ class ChaseResult:
     def size(self) -> int:
         """Number of atoms in the materialised instance."""
         return len(self.instance)
+
+    def summary(self) -> Dict[str, object]:
+        """A plain-data summary of the run (picklable, JSON-friendly).
+
+        This is what the batch runtime ships across process boundaries
+        and stores in the result cache.  It deliberately excludes
+        wall-clock timings: two runs of the same job — serial, pooled,
+        or replayed from cache — produce byte-identical summaries once
+        serialised with ``json.dumps(..., sort_keys=True)``.
+        """
+        return {
+            "outcome": self.outcome.value,
+            "terminated": self.terminated,
+            "size": self.size,
+            "database_size": self.database_size,
+            "max_depth": self.max_depth,
+            "depth_truncated": self.depth_truncated,
+            "expansion_ratio": round(self.expansion_ratio(), 6),
+            "rounds": self.statistics.rounds,
+            "triggers_considered": self.statistics.triggers_considered,
+            "triggers_applied": self.statistics.triggers_applied,
+            "atoms_created": self.statistics.atoms_created,
+        }
 
     def expansion_ratio(self) -> float:
         """``|chase(D, Σ)| / |D|`` (1.0 for an empty database)."""

@@ -1,45 +1,46 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main entry points::
+Four subcommands mirror the library's main entry points::
 
     python -m repro classify  ontology.rules
     python -m repro decide    ontology.rules database.facts [--method auto|syntactic|naive|ucq]
     python -m repro chase     ontology.rules database.facts [--variant semi-oblivious|restricted|oblivious]
-                                                            [--max-atoms N] [--output FILE]
+                                                            [--max-atoms N] [--max-rounds N]
+                                                            [--max-depth N] [--max-seconds S]
+                                                            [--format text|json] [--output FILE]
                                                             [--legacy-engine]
+    python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
+                                             [--timeout S] [--materialize]
 
-A fourth maintenance subcommand regenerates the engine speed report::
+Two maintenance subcommands regenerate the benchmark reports::
 
-    python -m repro bench-engine [--output BENCH_engine.json] [--repeats N]
+    python -m repro bench-engine  [--output BENCH_engine.json]  [--repeats N]
+    python -m repro bench-runtime [--output BENCH_runtime.json] [--jobs N] [--workers N]
 
 Rule files contain one TGD per line (``R(x, y) -> exists z . S(y, z)``),
 database files one fact per line (``R(a, b).``); ``%`` and ``#`` start
 comments.  ``decide`` exits with status 0 when the chase terminates,
-1 when it does not, and 2 when the method could not decide.
+1 when it does not, and 2 when the method could not decide.  ``batch``
+consumes a JSONL manifest (one job per line, see
+:mod:`repro.runtime.jobs`) and emits one JSONL result per job with
+outcome, sizes, timings, and cache/budget provenance.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.chase import VARIANT_RUNNERS as _VARIANTS
 from repro.chase.engine import ChaseBudget
-from repro.chase.oblivious import oblivious_chase
-from repro.chase.restricted import restricted_chase
-from repro.chase.semi_oblivious import semi_oblivious_chase
 from repro.core.bounds import depth_bound, magnitude, size_bound_factor
 from repro.core.classify import TGDClass, classify
 from repro.core.decision import decide_termination
 from repro.model.parser import parse_database, parse_program
 from repro.model.serialization import instance_to_text
-
-_VARIANTS = {
-    "semi-oblivious": semi_oblivious_chase,
-    "restricted": restricted_chase,
-    "oblivious": oblivious_chase,
-}
 
 
 def _load_program(path: str):
@@ -70,7 +71,10 @@ def _cmd_decide(args: argparse.Namespace) -> int:
     print(f"chase of {args.database} w.r.t. {args.rules}: {answer}")
     print(f"method: {verdict.method.value} (class {verdict.tgd_class.value})")
     if verdict.terminates:
-        print(f"size bound: {magnitude(len(database) * size_bound_factor(program))}")
+        # The f_C(Σ) bound only exists for SL/L/G; an arbitrary set can
+        # still be decided terminating (e.g. by the naive method).
+        if verdict.tgd_class.has_paper_bounds:
+            print(f"size bound: {magnitude(len(database) * size_bound_factor(program))}")
         return 0
     return 1 if verdict.terminates is False else 2
 
@@ -79,7 +83,12 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     program = _load_program(args.rules)
     database = _load_database(args.database)
     runner = _VARIANTS[args.variant]
-    budget = ChaseBudget(max_atoms=args.max_atoms)
+    budget = ChaseBudget(
+        max_atoms=args.max_atoms,
+        max_rounds=args.max_rounds,
+        max_depth=args.max_depth,
+        max_seconds=args.max_seconds,
+    )
     result = runner(
         database,
         program,
@@ -97,9 +106,61 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     text = instance_to_text(result.instance)
     if args.output:
         Path(args.output).write_text(text + "\n")
-    else:
+    if args.format == "json":
+        document = {
+            "status": status,
+            "summary": result.summary(),
+            "wall_seconds": round(result.statistics.wall_seconds, 6),
+            "instance": None if args.output else text,
+        }
+        print(json.dumps(document, sort_keys=True))
+    elif not args.output:
         print(text)
     return 0 if result.terminated else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runtime import BatchExecutor, ResultCache, read_manifest_lenient
+    from repro.runtime.jobs import ManifestError
+
+    items = read_manifest_lenient(args.manifest)
+    jobs = [item for item in items if not isinstance(item, ManifestError)]
+    bad = [item for item in items if isinstance(item, ManifestError)]
+    cache = ResultCache(args.cache) if args.cache else None
+    executor = BatchExecutor(
+        workers=args.workers,
+        cache=cache,
+        materialize=args.materialize,
+        per_job_timeout=args.timeout,
+    )
+    out_handle = Path(args.output).open("w") if args.output else sys.stdout
+    counts = {"ok": 0, "timeout": 0, "error": len(bad), "cached": 0}
+    try:
+        for entry in bad:
+            row = {
+                "id": entry.job_id,
+                "status": "error",
+                "outcome": None,
+                "summary": None,
+                "error": f"manifest line {entry.line_number}: {entry.error}",
+            }
+            out_handle.write(json.dumps(row, sort_keys=True) + "\n")
+        for result in executor.run(jobs):
+            counts[result.status] = counts.get(result.status, 0) + 1
+            if result.cache_hit:
+                counts["cached"] += 1
+            out_handle.write(json.dumps(result.as_dict(), sort_keys=True) + "\n")
+            out_handle.flush()
+    finally:
+        if args.output:
+            out_handle.close()
+    print(
+        f"{len(items)} jobs: {counts['ok']} ok ({counts['cached']} from cache), "
+        f"{counts['timeout']} timed out, {counts['error']} failed"
+        + (f"; cache {cache.stats()}" if cache is not None else ""),
+        file=sys.stderr,
+    )
+    return 1 if counts["error"] else 0
 
 
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
@@ -116,6 +177,32 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.output}", file=sys.stderr)
     return 0 if summary["all_equivalent"] else 1
+
+
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    from repro.bench.drivers import format_table, runtime_benchmark_rows, write_runtime_report
+
+    rows, summary = runtime_benchmark_rows(
+        job_count=args.jobs, workers=args.workers, repeats=args.repeats, seed=args.seed
+    )
+    write_runtime_report(path=args.output, rows=rows, summary=summary)
+    print(format_table(rows))
+    print(
+        f"\npool speedup: {summary['pool_speedup']}x over serial "
+        f"({summary['workers']} workers, {summary['cpu_count']} cpus), "
+        f"cache replay byte-identical: {summary['cache_hits_byte_identical']}, "
+        f"auto-budgeted SL/L within budget: {summary['auto_budgeted_sl_l_within_budget']}",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+    healthy = (
+        summary["cache_hits_byte_identical"]
+        # byte-identity is vacuous if nothing hit; require full replay
+        and summary["all_cacheable_jobs_hit"]
+        and summary["auto_budgeted_sl_l_within_budget"]
+        and summary["pool_deterministic"]
+    )
+    return 0 if healthy else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     chase_parser.add_argument("database")
     chase_parser.add_argument("--variant", choices=sorted(_VARIANTS), default="semi-oblivious")
     chase_parser.add_argument("--max-atoms", type=int, default=1_000_000)
+    chase_parser.add_argument("--max-rounds", type=int, default=1_000_000)
+    chase_parser.add_argument(
+        "--max-depth", type=int, default=None, help="stop once a null deeper than N appears"
+    )
+    chase_parser.add_argument(
+        "--max-seconds", type=float, default=None, help="wall-clock budget for the run"
+    )
+    chase_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="print the materialised instance as text (default) or a JSON document",
+    )
     chase_parser.add_argument("--output", help="write the materialised instance to a file")
     chase_parser.add_argument(
         "--legacy-engine",
@@ -149,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chase_parser.set_defaults(handler=_cmd_chase)
 
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a JSONL manifest of chase jobs through the batch runtime",
+    )
+    batch_parser.add_argument("manifest", help="JSONL file, one job per line")
+    batch_parser.add_argument(
+        "--workers", type=int, default=1, help="process pool size (1 = serial, deterministic)"
+    )
+    batch_parser.add_argument("--cache", help="JSONL result cache file (created if missing)")
+    batch_parser.add_argument("--output", help="write JSONL results here instead of stdout")
+    batch_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock limit in seconds"
+    )
+    batch_parser.add_argument(
+        "--materialize",
+        action="store_true",
+        help="include the materialised instance text in each result",
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
+
     bench_parser = subparsers.add_parser(
         "bench-engine",
         help="measure compiled-plan pipeline vs legacy engine, write BENCH_engine.json",
@@ -156,6 +276,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--output", default="BENCH_engine.json")
     bench_parser.add_argument("--repeats", type=int, default=3)
     bench_parser.set_defaults(handler=_cmd_bench_engine)
+
+    bench_runtime_parser = subparsers.add_parser(
+        "bench-runtime",
+        help="measure the batch runtime (pool vs serial, cache replay), write BENCH_runtime.json",
+    )
+    bench_runtime_parser.add_argument("--output", default="BENCH_runtime.json")
+    bench_runtime_parser.add_argument("--jobs", type=int, default=200)
+    bench_runtime_parser.add_argument("--workers", type=int, default=4)
+    bench_runtime_parser.add_argument("--repeats", type=int, default=1)
+    bench_runtime_parser.add_argument("--seed", type=int, default=7)
+    bench_runtime_parser.set_defaults(handler=_cmd_bench_runtime)
     return parser
 
 

@@ -20,6 +20,8 @@ naive decision procedure.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.model.tgd import TGDSet
 from repro.core.classify import TGDClass, classify
 
@@ -48,6 +50,42 @@ def size_bound_factor(tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
     norm = max(tgds.norm(), 1)
     arity = max(tgds.arity(), 1)
     return (depth + 1) * norm ** (2 * arity * (depth + 1))
+
+
+def size_bound(database_size: int, tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
+    """``|D| · f_C(Σ)``: the paper's bound on ``|chase(D, Σ)|``.
+
+    Beware: for guarded sets the value is astronomically large and this
+    computes it exactly; callers that only need to know whether the
+    bound is *practically usable* should use :func:`size_bound_within`,
+    which refuses to materialise over-cap powers.
+    """
+    return database_size * size_bound_factor(tgds, tgd_class)
+
+
+def size_bound_within(
+    database_size: int,
+    tgds: TGDSet,
+    cap: int,
+    tgd_class: TGDClass | None = None,
+) -> Optional[int]:
+    """``|D| · f_C(Σ)`` when it is at most ``cap``, else ``None``.
+
+    The guarded bounds involve powers whose exponents are themselves
+    astronomically large; naively exponentiating would exhaust memory.
+    A bit-length estimate (``norm^e ≥ 2^(e·(bitlen(norm)−1))``) rejects
+    hopeless cases before any big power is materialised, so this is
+    safe to call on every job the budget policy sees.
+    """
+    tgd_class = tgd_class or classify(tgds)
+    depth = depth_bound(tgds, tgd_class)
+    norm = max(tgds.norm(), 1)
+    arity = max(tgds.arity(), 1)
+    exponent = 2 * arity * (depth + 1)
+    if norm > 1 and exponent * (norm.bit_length() - 1) >= max(cap, 1).bit_length():
+        return None
+    value = database_size * (depth + 1) * norm**exponent
+    return value if value <= cap else None
 
 
 def generic_size_bound(database_size: int, tgds: TGDSet, max_depth: int) -> int:

@@ -18,6 +18,11 @@ class TGDClass(Enum):
     def __str__(self) -> str:
         return self.value
 
+    @property
+    def has_paper_bounds(self) -> bool:
+        """True for the classes with ``d_C`` / ``f_C`` bounds (SL, L, G)."""
+        return self is not TGDClass.ARBITRARY
+
     def is_subclass_of(self, other: "TGDClass") -> bool:
         """True if this class is contained in ``other`` (SL ⊊ L ⊊ G ⊊ TGD)."""
         order = [

@@ -1,0 +1,142 @@
+"""Paper-derived auto-budgets for chase jobs.
+
+The engine's default budget (one million atoms) is a blunt instrument:
+it lets provably non-terminating runs burn through a million atoms
+before stopping, and it tells a caller nothing about *why* a run was
+cut off.  The paper does better: for ``Σ ∈ C ∩ CT_D`` with
+``C ∈ {SL, L, G}``,
+
+* ``maxdepth(D, Σ) ≤ d_C(Σ)``  (Lemmas 6.2 / 7.4 / 8.2), and
+* ``|chase(D, Σ)| ≤ |D| · f_C(Σ)``  (Theorems 6.4 / 7.5 / 8.3).
+
+So for a classified set the budget policy sets ``max_depth = d_C(Σ)``
+and, when it fits under a practical cap, ``max_atoms = |D| · f_C(Σ)``.
+On terminating inputs these budgets are *never* hit — the bounds are
+theorems — while non-terminating runs trip the depth budget as soon as
+a null deeper than ``d_C(Σ)`` appears, typically after a handful of
+rounds instead of a million atoms.  For guarded sets the bounds are
+astronomically large (the paper's point about the naive decision
+procedure), so they are used only when they fit the caps; unclassified
+sets fall back to the explicit or default budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.chase.engine import ChaseBudget
+from repro.core.bounds import depth_bound, magnitude, size_bound_within
+from repro.core.classify import TGDClass, classify
+from repro.model.tgd import TGDSet
+
+#: Size-bound values above this never become ``max_atoms``.
+DEFAULT_ATOM_CAP = 5_000_000
+
+#: Depth-bound values above this never become ``max_depth`` (a depth
+#: budget of ``2^100`` would be dead weight in every pickled payload).
+DEFAULT_DEPTH_CAP = 1_000_000
+
+
+@dataclass(frozen=True)
+class BudgetDecision:
+    """A resolved budget plus the provenance of every limit in it."""
+
+    budget: ChaseBudget
+    tgd_class: TGDClass
+    source: str  # "explicit" | "paper-bound" | "default"
+    max_atoms_source: str  # "explicit" | "size-bound" | "default"
+    max_depth_source: str  # "explicit" | "depth-bound" | "unset"
+    depth_bound_magnitude: Optional[str] = None
+    size_bound_magnitude: Optional[str] = None
+
+    def provenance(self) -> Dict[str, object]:
+        """JSON-friendly provenance record carried into job results."""
+        return {
+            "class": self.tgd_class.value,
+            "source": self.source,
+            "max_atoms": {"value": self.budget.max_atoms, "from": self.max_atoms_source},
+            "max_depth": {"value": self.budget.max_depth, "from": self.max_depth_source},
+            "depth_bound": self.depth_bound_magnitude,
+            "size_bound": self.size_bound_magnitude,
+        }
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Derives a :class:`ChaseBudget` for a job from the paper's bounds.
+
+    ``derive`` implements the ``auto`` mode; :meth:`resolve` dispatches
+    on a job's ``budget_mode`` (``auto`` / ``explicit`` / ``default``).
+    """
+
+    default: ChaseBudget = field(default_factory=ChaseBudget)
+    atom_cap: int = DEFAULT_ATOM_CAP
+    depth_cap: int = DEFAULT_DEPTH_CAP
+
+    def derive(
+        self,
+        program: TGDSet,
+        database_size: int,
+        tgd_class: Optional[TGDClass] = None,
+    ) -> BudgetDecision:
+        """Auto-budget: classify Σ and bound the run by ``d_C``/``f_C``."""
+        tgd_class = tgd_class or classify(program)
+        if not tgd_class.has_paper_bounds:
+            return BudgetDecision(
+                budget=self.default,
+                tgd_class=tgd_class,
+                source="default",
+                max_atoms_source="default",
+                max_depth_source="explicit" if self.default.max_depth is not None else "unset",
+            )
+        depth = depth_bound(program, tgd_class)
+        size = size_bound_within(database_size, program, self.atom_cap, tgd_class)
+        max_atoms = size if size is not None else self.default.max_atoms
+        use_depth = depth <= self.depth_cap
+        max_depth = depth if use_depth else self.default.max_depth
+        budget = self.default.replace(max_atoms=max_atoms, max_depth=max_depth)
+        paper_derived = size is not None or use_depth
+        return BudgetDecision(
+            budget=budget,
+            tgd_class=tgd_class,
+            source="paper-bound" if paper_derived else "default",
+            max_atoms_source="size-bound" if size is not None else "default",
+            max_depth_source=(
+                "depth-bound"
+                if use_depth
+                else ("explicit" if self.default.max_depth is not None else "unset")
+            ),
+            depth_bound_magnitude=magnitude(depth),
+            size_bound_magnitude=magnitude(size) if size is not None else "over-cap",
+        )
+
+    def resolve(
+        self,
+        program: TGDSet,
+        database_size: int,
+        budget_mode: str = "auto",
+        explicit: Optional[ChaseBudget] = None,
+    ) -> BudgetDecision:
+        """Resolve a job's budget according to its ``budget_mode``."""
+        if budget_mode == "explicit":
+            if explicit is None:
+                raise ValueError("budget_mode='explicit' requires a budget")
+            return BudgetDecision(
+                budget=explicit,
+                tgd_class=classify(program),
+                source="explicit",
+                max_atoms_source="explicit",
+                max_depth_source="explicit" if explicit.max_depth is not None else "unset",
+            )
+        if budget_mode == "default":
+            return BudgetDecision(
+                budget=self.default,
+                tgd_class=classify(program),
+                source="default",
+                max_atoms_source="default",
+                max_depth_source="explicit" if self.default.max_depth is not None else "unset",
+            )
+        if budget_mode == "auto":
+            return self.derive(program, database_size)
+        raise ValueError(f"unknown budget mode {budget_mode!r}")

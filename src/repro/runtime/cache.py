@@ -1,0 +1,139 @@
+"""Result cache for chase jobs: in-memory, with optional JSONL spill.
+
+Entries are keyed by ``(program fingerprint, database fingerprint,
+variant, deterministic budget fields)`` — see :func:`result_cache_key`.
+Because fingerprints are canonical (order- and renaming-invariant,
+:mod:`repro.runtime.jobs`), isomorphic submissions share entries.
+
+A hit replays the stored :meth:`ChaseResult.summary` verbatim, so a
+cached result is byte-identical to the cold run that produced it once
+serialised with ``json.dumps(..., sort_keys=True)``.  Only
+deterministic outcomes are stored: the executor refuses to cache
+``TIME_BUDGET_EXCEEDED`` runs (wall-clock budgets are an execution
+detail, which is also why ``max_seconds`` is not part of the key).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.chase.engine import ChaseBudget
+from repro.runtime.jobs import ChaseJob
+
+
+def result_cache_key(job: ChaseJob, budget: ChaseBudget) -> str:
+    """The cache key for ``job`` run under the resolved ``budget``.
+
+    ``max_seconds`` is deliberately excluded: it cannot change a
+    *stored* (deterministic) result, it only decides whether a result
+    gets produced at all.
+    """
+    pfp, dfp = job.fingerprint
+    depth = "-" if budget.max_depth is None else str(budget.max_depth)
+    return (
+        f"{pfp}:{dfp}:{job.variant}"
+        f":a{budget.max_atoms}:r{budget.max_rounds}:d{depth}"
+        f":t{int(budget.truncate_at_depth)}"
+    )
+
+
+@dataclass
+class CacheEntry:
+    """One stored result: the summary and (optionally) the instance."""
+
+    key: str
+    summary: Dict[str, object]
+    instance_text: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"key": self.key, "summary": self.summary, "instance": self.instance_text}
+
+
+class ResultCache:
+    """In-memory cache with an optional append-only JSONL file behind it.
+
+    With a ``path`` the cache loads existing entries on construction
+    and appends every store, so separate processes (or separate batch
+    invocations) can share results through the file.
+    """
+
+    def __init__(self, path: Optional[str | Path] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: Dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                entry = CacheEntry(
+                    key=record["key"],
+                    summary=record["summary"],
+                    instance_text=record.get("instance"),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A truncated or corrupt line (e.g. the process died
+                # mid-append) costs one entry, not the whole cache.
+                continue
+            self._entries[entry.key] = entry
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(self._entries.values())
+
+    # -- cache operations -------------------------------------------------
+
+    def get(self, key: str, require_instance: bool = False) -> Optional[CacheEntry]:
+        """Look up a key, counting the hit or miss.
+
+        With ``require_instance`` an entry stored without a
+        materialised instance (by a non-materialising run) counts as a
+        miss, so the caller re-runs and re-stores it with the instance.
+        """
+        entry = self._entries.get(key)
+        if entry is None or (require_instance and entry.instance_text is None):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        summary: Dict[str, object],
+        instance_text: Optional[str] = None,
+    ) -> CacheEntry:
+        """Store a result, appending to the JSONL file when configured."""
+        entry = CacheEntry(key=key, summary=summary, instance_text=instance_text)
+        self._entries[key] = entry
+        self.stores += 1
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+        return entry
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

@@ -1,0 +1,298 @@
+"""Batch executor: run many chase jobs, serially or across processes.
+
+The executor is the runtime's scheduler.  For each job it
+
+1. resolves the budget through the :class:`BudgetPolicy` (paper-derived
+   auto-budgets, explicit, or default — see
+   :mod:`repro.runtime.budget_policy`),
+2. consults the :class:`ResultCache` and replays hits without running
+   anything,
+3. otherwise ships a plain-data payload (program/database text plus
+   budget numbers — nothing with interpreter-local state such as
+   interned null uids crosses a process boundary) to a worker, and
+4. streams :class:`JobResult` records back as jobs finish, storing
+   deterministic outcomes in the cache.
+
+``workers <= 1`` selects the serial in-process mode, which yields
+results in submission order and is bit-for-bit deterministic; larger
+values use a ``multiprocessing`` pool (fork context where available)
+and yield in completion order.  Per-job timeouts are enforced
+cooperatively through the engine's ``max_seconds`` budget, which the
+chase driver checks after every trigger application.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.chase import VARIANT_RUNNERS
+from repro.chase.engine import ChaseBudget, ChaseOutcome
+from repro.model.parser import parse_database, parse_program
+from repro.model.serialization import database_to_text, instance_to_text, program_to_text
+from repro.runtime.budget_policy import BudgetDecision, BudgetPolicy
+from repro.runtime.cache import ResultCache, result_cache_key
+from repro.runtime.jobs import ChaseJob
+
+
+@dataclass
+class JobResult:
+    """The outcome of one scheduled job, with full provenance."""
+
+    job_id: str
+    status: str  # "ok" | "timeout" | "error"
+    summary: Optional[Dict[str, object]]
+    variant: str
+    cache_hit: bool
+    cache_key: str
+    budget_provenance: Dict[str, object]
+    wall_seconds: float
+    worker_seconds: Optional[float] = None
+    instance_text: Optional[str] = None
+    error: Optional[str] = None
+    tags: Tuple[str, ...] = ()
+
+    @property
+    def outcome(self) -> Optional[str]:
+        return self.summary.get("outcome") if self.summary else None  # type: ignore[return-value]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSONL row ``python -m repro batch`` emits."""
+        return {
+            "id": self.job_id,
+            "status": self.status,
+            "outcome": self.outcome,
+            "summary": self.summary,
+            "variant": self.variant,
+            "cache": {"hit": self.cache_hit, "key": self.cache_key},
+            "budget": self.budget_provenance,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "worker_seconds": self.worker_seconds,
+            "instance": self.instance_text,
+            "error": self.error,
+            "tags": list(self.tags),
+        }
+
+    def summary_json(self) -> str:
+        """Canonical bytes of the summary (cache byte-identity checks)."""
+        return json.dumps(self.summary, sort_keys=True)
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one job payload; module-level so it pickles into workers.
+
+    The payload and the returned record are plain data: texts, numbers
+    and dicts.  Program/database are re-parsed in the worker, which
+    keeps null interning local to each process.
+    """
+    try:
+        program = parse_program(
+            str(payload["program_text"]), name=str(payload.get("program_name", "Sigma"))
+        )
+        database = parse_database(str(payload["database_text"]))
+        budget = ChaseBudget(**payload["budget"])  # type: ignore[arg-type]
+        runner = VARIANT_RUNNERS[str(payload["variant"])]
+        start = time.perf_counter()
+        result = runner(database, program, budget=budget, record_derivation=False)
+        record: Dict[str, object] = {
+            "job_id": payload["job_id"],
+            "status": (
+                "timeout"
+                if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED
+                else "ok"
+            ),
+            "summary": result.summary(),
+            "worker_seconds": round(time.perf_counter() - start, 6),
+            "instance_text": (
+                instance_to_text(result.instance) if payload.get("materialize") else None
+            ),
+            "error": None,
+        }
+        return record
+    except Exception as exc:  # noqa: BLE001 - worker faults become job errors
+        return {
+            "job_id": payload.get("job_id", "?"),
+            "status": "error",
+            "summary": None,
+            "worker_seconds": None,
+            "instance_text": None,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+@dataclass
+class BatchExecutor:
+    """Runs :class:`ChaseJob` batches against a policy and a cache."""
+
+    workers: int = 1
+    policy: BudgetPolicy = field(default_factory=BudgetPolicy)
+    cache: Optional[ResultCache] = None
+    materialize: bool = False
+    per_job_timeout: Optional[float] = None
+
+    # -- job preparation --------------------------------------------------
+
+    def _resolve(self, job: ChaseJob) -> Tuple[BudgetDecision, ChaseBudget, str]:
+        """Budget decision, effective budget (timeout folded in), cache key."""
+        decision = self.policy.resolve(
+            job.program, len(job.database), job.budget_mode, job.budget
+        )
+        key = result_cache_key(job, decision.budget)
+        timeouts = [
+            t
+            for t in (decision.budget.max_seconds, job.timeout_seconds, self.per_job_timeout)
+            if t is not None
+        ]
+        effective = (
+            decision.budget.replace(max_seconds=min(timeouts))
+            if timeouts
+            else decision.budget
+        )
+        return decision, effective, key
+
+    def _payload(self, job: ChaseJob, budget: ChaseBudget) -> Dict[str, object]:
+        return {
+            "job_id": job.job_id,
+            "program_text": program_to_text(job.program),
+            "program_name": job.program.name,
+            "database_text": database_to_text(job.database),
+            "variant": job.variant,
+            "budget": budget.as_dict(),
+            "materialize": self.materialize,
+        }
+
+    def _wrap(
+        self,
+        job: ChaseJob,
+        decision: BudgetDecision,
+        key: str,
+        record: Dict[str, object],
+        wall_seconds: float,
+    ) -> JobResult:
+        result = JobResult(
+            job_id=job.job_id,
+            status=str(record["status"]),
+            summary=record["summary"],  # type: ignore[arg-type]
+            variant=job.variant,
+            cache_hit=False,
+            cache_key=key,
+            budget_provenance=decision.provenance(),
+            wall_seconds=wall_seconds,
+            worker_seconds=record.get("worker_seconds"),  # type: ignore[arg-type]
+            instance_text=record.get("instance_text"),  # type: ignore[arg-type]
+            error=record.get("error"),  # type: ignore[arg-type]
+            tags=job.tags,
+        )
+        if self.cache is not None and result.status == "ok" and result.summary is not None:
+            self.cache.put(key, result.summary, result.instance_text)
+        return result
+
+    def _hit(
+        self, job: ChaseJob, decision: BudgetDecision, key: str, entry, wall_seconds: float
+    ) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            status="ok",
+            summary=entry.summary,
+            variant=job.variant,
+            cache_hit=True,
+            cache_key=key,
+            budget_provenance=decision.provenance(),
+            wall_seconds=wall_seconds,
+            worker_seconds=None,
+            instance_text=entry.instance_text if self.materialize else None,
+            tags=job.tags,
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
+        """Stream results as they complete (submission order when serial)."""
+        if self.workers <= 1:
+            yield from self._run_serial(jobs)
+        else:
+            yield from self._run_pool(jobs)
+
+    def run_all(self, jobs: Iterable[ChaseJob]) -> List[JobResult]:
+        """Run the whole batch and return the results as a list."""
+        return list(self.run(jobs))
+
+    def _cache_get(self, key: str):
+        """A usable cache entry for this executor, or ``None``.
+
+        A materialising executor must not replay entries stored without
+        an instance — ``require_instance`` turns those into misses.
+        """
+        assert self.cache is not None
+        return self.cache.get(key, require_instance=self.materialize)
+
+    def _run_serial(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
+        for job in jobs:
+            start = time.perf_counter()
+            decision, budget, key = self._resolve(job)
+            if self.cache is not None:
+                entry = self._cache_get(key)
+                if entry is not None:
+                    yield self._hit(job, decision, key, entry, time.perf_counter() - start)
+                    continue
+            record = execute_payload(self._payload(job, budget))
+            yield self._wrap(job, decision, key, record, time.perf_counter() - start)
+
+    def _run_pool(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
+        jobs = list(jobs)
+        pending: Dict[object, Tuple[ChaseJob, BudgetDecision, str, float]] = {}
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        submitted_keys: set = set()
+        duplicates: List[Tuple[ChaseJob, BudgetDecision, str]] = []
+        with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
+            for job in jobs:
+                start = time.perf_counter()
+                decision, budget, key = self._resolve(job)
+                if self.cache is not None:
+                    entry = self._cache_get(key)
+                    if entry is not None:
+                        yield self._hit(job, decision, key, entry, time.perf_counter() - start)
+                        continue
+                    if key in submitted_keys:
+                        # An identical job is already in flight: replay
+                        # its result once it lands instead of racing it.
+                        duplicates.append((job, decision, key))
+                        continue
+                    submitted_keys.add(key)
+                future = pool.submit(execute_payload, self._payload(job, budget))
+                pending[future] = (job, decision, key, start)
+            outstanding = set(pending)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, decision, key, start = pending.pop(future)
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # noqa: BLE001 - a dead worker
+                        # (OOM kill, BrokenProcessPool) costs one error
+                        # row, not the rest of the batch.
+                        record = {
+                            "job_id": job.job_id,
+                            "status": "error",
+                            "summary": None,
+                            "worker_seconds": None,
+                            "instance_text": None,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    yield self._wrap(job, decision, key, record, time.perf_counter() - start)
+        for job, decision, key in duplicates:
+            start = time.perf_counter()
+            entry = self._cache_get(key) if self.cache is not None else None
+            if entry is not None:
+                yield self._hit(job, decision, key, entry, time.perf_counter() - start)
+            else:  # the in-flight twin failed or timed out: run it here
+                decision, budget, key = self._resolve(job)
+                record = execute_payload(self._payload(job, budget))
+                yield self._wrap(job, decision, key, record, time.perf_counter() - start)

@@ -10,6 +10,12 @@ from repro.model.terms import Constant, Variable
 from repro.model.tgd import TGD, TGDSet
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (full experiment sweeps, benchmark smoke runs)"
+    )
+
+
 @pytest.fixture
 def r_predicate() -> Predicate:
     return Predicate("R", 2)

@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -52,6 +54,16 @@ class TestDecide:
         data = files("db.facts", FACTS_R)
         assert main(["decide", rules, data, "--method", "ucq"]) == 1
 
+    def test_decide_terminating_arbitrary_class(self, files, capsys):
+        # Decided by the naive method; there is no f_C bound for class
+        # TGD, so none is printed (this used to crash).
+        rules = files("onto.rules", "R(x, y) -> exists z . S(y, z)\nS(x, y), R(w, x) -> T(w, y)\n")
+        data = files("db.facts", FACTS_R)
+        assert main(["decide", rules, data]) == 0
+        output = capsys.readouterr().out
+        assert "terminates" in output
+        assert "size bound" not in output
+
 
 class TestChase:
     def test_chase_to_stdout(self, files, capsys):
@@ -80,6 +92,119 @@ class TestChase:
         for variant in ["restricted", "oblivious", "semi-oblivious"]:
             assert main(["chase", rules, data, "--variant", variant]) == 0
 
+    def test_chase_max_depth_budget(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["chase", rules, data, "--max-depth", "3"]) == 1
+        assert "depth_budget_exceeded" in capsys.readouterr().err
+
+    def test_chase_max_rounds_budget(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["chase", rules, data, "--max-rounds", "2"]) == 1
+        assert "round_budget_exceeded" in capsys.readouterr().err
+
+    def test_chase_max_seconds_budget(self, files, capsys):
+        rules = files("onto.rules", RULES_LOOPING)
+        data = files("db.facts", FACTS_R)
+        assert main(["chase", rules, data, "--max-seconds", "0.0"]) == 1
+        assert "time_budget_exceeded" in capsys.readouterr().err
+
+    def test_chase_json_format(self, files, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        assert main(["chase", rules, data, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["outcome"] == "terminated"
+        assert "Dept(" in document["instance"]
+
+    def test_chase_json_format_with_output_file(self, files, tmp_path, capsys):
+        rules = files("onto.rules", RULES_TERMINATING)
+        data = files("db.facts", FACTS)
+        out_file = tmp_path / "chase.facts"
+        assert main(["chase", rules, data, "--format", "json", "--output", str(out_file)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["instance"] is None
+        assert "Dept(" in out_file.read_text()
+
     def test_missing_subcommand_is_an_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        lines = [
+            {"id": "ok", "program": RULES_TERMINATING, "database": FACTS},
+            {"id": "loop", "program": RULES_LOOPING, "database": FACTS_R},
+            {
+                "id": "explicit",
+                "program": RULES_TERMINATING,
+                "database": FACTS,
+                "budget": {"max_atoms": 100},
+                "variant": "restricted",
+            },
+        ]
+        path = tmp_path / "manifest.jsonl"
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        return path
+
+    def _parse_results(self, text):
+        return [json.loads(line) for line in text.strip().splitlines()]
+
+    def test_batch_to_stdout(self, manifest, capsys):
+        assert main(["batch", str(manifest)]) == 0
+        captured = capsys.readouterr()
+        rows = self._parse_results(captured.out)
+        assert {row["id"] for row in rows} == {"ok", "loop", "explicit"}
+        by_id = {row["id"]: row for row in rows}
+        assert by_id["ok"]["outcome"] == "terminated"
+        assert by_id["loop"]["outcome"] == "depth_budget_exceeded"
+        assert by_id["loop"]["budget"]["source"] == "paper-bound"
+        assert by_id["explicit"]["budget"]["source"] == "explicit"
+        assert "3 jobs: 3 ok" in captured.err
+
+    def test_batch_with_cache_and_output_file(self, manifest, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        out = tmp_path / "results.jsonl"
+        args = ["batch", str(manifest), "--cache", str(cache), "--output", str(out)]
+        assert main(args) == 0
+        cold = {r["id"]: r for r in self._parse_results(out.read_text())}
+        assert not any(r["cache"]["hit"] for r in cold.values())
+        capsys.readouterr()
+        assert main(args) == 0
+        warm = {r["id"]: r for r in self._parse_results(out.read_text())}
+        # Deterministic outcomes replay from cache, byte-identically.
+        for job_id in ("ok", "loop", "explicit"):
+            assert warm[job_id]["cache"]["hit"]
+            assert json.dumps(warm[job_id]["summary"], sort_keys=True) == json.dumps(
+                cold[job_id]["summary"], sort_keys=True
+            )
+        assert "from cache" in capsys.readouterr().err
+
+    def test_batch_pool_workers(self, manifest, capsys):
+        assert main(["batch", str(manifest), "--workers", "2"]) == 0
+        rows = self._parse_results(capsys.readouterr().out)
+        assert {row["id"] for row in rows} == {"ok", "loop", "explicit"}
+
+    def test_batch_error_job_sets_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "manifest.jsonl"
+        path.write_text(json.dumps({"id": "bad", "program": "R(x -> ", "database": "R(a)."}) + "\n")
+        assert main(["batch", str(path)]) == 1
+        row = self._parse_results(capsys.readouterr().out)[0]
+        assert row["status"] == "error"
+
+
+class TestBenchRuntime:
+    @pytest.mark.slow
+    def test_bench_runtime_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_runtime.json"
+        args = [
+            "bench-runtime", "--output", str(out),
+            "--jobs", "12", "--workers", "2", "--repeats", "1",
+        ]
+        assert main(args) == 0
+        report = json.loads(out.read_text())
+        assert report["summary"]["cache_hits_byte_identical"] is True
+        assert report["summary"]["auto_budgeted_sl_l_within_budget"] is True

@@ -17,6 +17,7 @@ def test_examples_are_present():
         "data_exchange.py",
         "termination_audit.py",
         "paper_experiments.py",
+        "batch_service.py",
     } <= set(EXAMPLE_SCRIPTS)
 
 

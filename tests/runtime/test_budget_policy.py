@@ -1,0 +1,131 @@
+"""Auto-budget derivation from the paper's depth and size bounds."""
+
+import pytest
+
+from repro.chase.engine import ChaseBudget, ChaseOutcome
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.core.bounds import depth_bound, size_bound, size_bound_within
+from repro.core.classify import TGDClass, classify
+from repro.model.parser import parse_database, parse_program
+from repro.generators.families import (
+    guarded_lower_bound,
+    intro_nonterminating_example,
+    sl_lower_bound,
+)
+from repro.runtime import BudgetPolicy
+
+
+# One unary rule: d_SL = 2, f_SL = 3 · 4^6 = 12288, so |D| · f_SL fits
+# under practical caps and the size-bound path is actually exercised.
+TINY_SL = "P(x) -> Q(x)"
+
+
+class TestBoundsHelpers:
+    def test_size_bound_matches_factor_product(self):
+        program = parse_program(TINY_SL)
+        database = parse_database("P(a).\nP(b).")
+        assert size_bound(len(database), program) == 2 * size_bound(1, program)
+
+    def test_size_bound_within_returns_value_under_cap(self):
+        program = parse_program(TINY_SL)
+        value = size_bound_within(2, program, cap=10**9)
+        assert value is not None
+        assert value == size_bound(2, program)
+
+    def test_size_bound_within_rejects_guarded_without_materialising(self):
+        _, tgds = guarded_lower_bound(2, 2, 1)
+        # d_G is astronomically large; this must return fast, not hang.
+        assert size_bound_within(1, tgds, cap=10**9) is None
+
+    def test_has_paper_bounds(self):
+        assert TGDClass.SIMPLE_LINEAR.has_paper_bounds
+        assert TGDClass.LINEAR.has_paper_bounds
+        assert TGDClass.GUARDED.has_paper_bounds
+        assert not TGDClass.ARBITRARY.has_paper_bounds
+
+
+class TestBudgetPolicy:
+    def test_auto_sets_depth_and_size_bounds_for_tiny_sl(self):
+        program = parse_program(TINY_SL)
+        decision = BudgetPolicy().derive(program, database_size=2)
+        assert decision.source == "paper-bound"
+        assert decision.tgd_class is TGDClass.SIMPLE_LINEAR
+        assert decision.budget.max_depth == depth_bound(program)
+        assert decision.max_depth_source == "depth-bound"
+        assert decision.max_atoms_source == "size-bound"
+        assert decision.budget.max_atoms == size_bound(2, program)
+
+    def test_auto_falls_back_to_default_atoms_when_size_bound_over_cap(self):
+        database, tgds = sl_lower_bound(2, 2, 1)
+        decision = BudgetPolicy().derive(tgds, database_size=len(database))
+        assert decision.max_atoms_source == "default"
+        assert decision.budget.max_atoms == ChaseBudget().max_atoms
+        assert decision.max_depth_source == "depth-bound"  # d_SL is small
+        assert decision.size_bound_magnitude == "over-cap"
+
+    def test_auto_skips_astronomical_guarded_depth_bound(self):
+        _, tgds = guarded_lower_bound(1, 1, 1)
+        decision = BudgetPolicy().derive(tgds, database_size=1)
+        assert decision.tgd_class is TGDClass.GUARDED
+        assert decision.budget.max_depth is None
+        assert decision.max_depth_source == "unset"
+        assert decision.source == "default"
+
+    def test_arbitrary_class_uses_default(self):
+        program = parse_program("R(x, y), S(y, z) -> T(x, z)")
+        assert classify(program) is TGDClass.ARBITRARY
+        decision = BudgetPolicy().derive(program, database_size=10)
+        assert decision.source == "default"
+        assert decision.budget == ChaseBudget()
+
+    def test_resolve_explicit_and_default_modes(self):
+        program = parse_program(TINY_SL)
+        explicit = ChaseBudget(max_atoms=123)
+        policy = BudgetPolicy()
+        resolved = policy.resolve(program, 1, "explicit", explicit)
+        assert resolved.budget is explicit
+        assert resolved.source == "explicit"
+        assert policy.resolve(program, 1, "default").budget == policy.default
+        with pytest.raises(ValueError):
+            policy.resolve(program, 1, "explicit")
+        with pytest.raises(ValueError):
+            policy.resolve(program, 1, "bogus")
+
+    def test_provenance_is_json_friendly(self):
+        import json
+
+        program = parse_program(TINY_SL)
+        decision = BudgetPolicy().derive(program, 2)
+        encoded = json.dumps(decision.provenance(), sort_keys=True)
+        assert '"class": "SL"' in encoded
+
+
+class TestAutoBudgetedRuns:
+    def test_terminating_sl_never_trips_auto_budget(self):
+        program = parse_program(TINY_SL)
+        database = parse_database("P(a).\nP(b).\nP(c).")
+        decision = BudgetPolicy().derive(program, len(database))
+        result = semi_oblivious_chase(
+            database, program, budget=decision.budget, record_derivation=False
+        )
+        assert result.outcome is ChaseOutcome.TERMINATED
+
+    def test_nonterminating_sl_trips_depth_budget_fast(self):
+        database, tgds = intro_nonterminating_example()
+        decision = BudgetPolicy().derive(tgds, len(database))
+        result = semi_oblivious_chase(
+            database, tgds, budget=decision.budget, record_derivation=False
+        )
+        assert result.outcome is ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+        # The depth bound d_SL = 2 cuts the run after a handful of
+        # atoms — not after the default million-atom budget.
+        assert result.size < 10
+
+    def test_terminating_sl_family_within_auto_budget(self):
+        database, tgds = sl_lower_bound(2, 2, 2)
+        decision = BudgetPolicy().derive(tgds, len(database))
+        result = semi_oblivious_chase(
+            database, tgds, budget=decision.budget, record_derivation=False
+        )
+        assert result.outcome is ChaseOutcome.TERMINATED
+        assert result.max_depth <= depth_bound(tgds)

@@ -1,0 +1,153 @@
+"""Result cache: keys, persistence, byte-identical replay."""
+
+import json
+
+from repro.chase.engine import ChaseBudget
+from repro.model.parser import parse_database, parse_program
+from repro.runtime import (
+    BatchExecutor,
+    ChaseJob,
+    ResultCache,
+    result_cache_key,
+)
+
+
+def make_job(**kwargs):
+    defaults = dict(
+        program=parse_program("R(x, y) -> exists z . S(y, z)"),
+        database=parse_database("R(a, b)."),
+    )
+    defaults.update(kwargs)
+    return ChaseJob(**defaults)
+
+
+class TestCacheKey:
+    def test_key_covers_fingerprints_variant_and_budget(self):
+        job = make_job()
+        budget = ChaseBudget(max_atoms=100)
+        key = result_cache_key(job, budget)
+        pfp, dfp = job.fingerprint
+        assert pfp in key and dfp in key
+        assert ":semi-oblivious:" in key and ":a100:" in key
+
+    def test_key_ignores_max_seconds(self):
+        job = make_job()
+        assert result_cache_key(job, ChaseBudget(max_seconds=1.0)) == result_cache_key(
+            job, ChaseBudget(max_seconds=9.0)
+        )
+
+    def test_key_differs_by_variant_and_budget(self):
+        job = make_job()
+        other = make_job(variant="restricted")
+        budget = ChaseBudget()
+        assert result_cache_key(job, budget) != result_cache_key(other, budget)
+        assert result_cache_key(job, budget) != result_cache_key(
+            job, budget.with_max_atoms(7)
+        )
+
+    def test_isomorphic_jobs_share_a_key(self):
+        a = make_job()
+        b = make_job(
+            program=parse_program("R(u, v) -> exists q . S(v, q)"),
+            database=parse_database("R(a, b)."),
+        )
+        assert result_cache_key(a, ChaseBudget()) == result_cache_key(b, ChaseBudget())
+
+
+class TestResultCache:
+    def test_put_get_roundtrip_and_stats(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"size": 3}, "R(a, b)")
+        entry = cache.get("k")
+        assert entry is not None and entry.summary == {"size": 3}
+        assert entry.instance_text == "R(a, b)"
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "stores": 1}
+
+    def test_get_require_instance_misses_instanceless_entries(self):
+        cache = ResultCache()
+        cache.put("k", {"size": 1}, None)
+        assert cache.get("k", require_instance=True) is None
+        cache.put("k", {"size": 1}, "R(a, b)")
+        assert cache.get("k", require_instance=True) is not None
+
+    def test_corrupt_jsonl_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("good", {"size": 1}, None)
+        # Simulate a process killed mid-append: a truncated last line.
+        with path.open("a") as handle:
+            handle.write('{"key": "trunc", "summ')
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("good") is not None
+
+    def test_jsonl_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("k1", {"size": 1}, None)
+        cache.put("k2", {"size": 2}, "S(a)")
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("k2").instance_text == "S(a)"
+        # The file is line-oriented JSON.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["key"] == "k1"
+
+
+class TestExecutorCacheIntegration:
+    def test_hit_replays_byte_identical_summary(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache)
+        job = make_job()
+        cold = executor.run_all([job])[0]
+        warm = executor.run_all([job])[0]
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.summary_json() == cold.summary_json()
+
+    def test_isomorphic_job_hits_cache(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache)
+        executor.run_all([make_job()])
+        renamed = make_job(program=parse_program("R(p, q) -> exists n . S(q, n)"))
+        result = executor.run_all([renamed])[0]
+        assert result.cache_hit
+
+    def test_timeouts_are_not_cached(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache)
+        looping = make_job(
+            program=parse_program("R(x, y) -> exists z . R(y, z)"),
+            budget_mode="explicit",
+            budget=ChaseBudget(max_seconds=0.0),
+        )
+        result = executor.run_all([looping])[0]
+        assert result.status == "timeout"
+        assert len(cache) == 0
+        # A rerun executes again rather than replaying the timeout.
+        rerun = executor.run_all([looping])[0]
+        assert not rerun.cache_hit
+
+    def test_materializing_executor_reruns_instanceless_hits(self):
+        cache = ResultCache()
+        job = make_job()
+        plain = BatchExecutor(workers=1, cache=cache).run_all([job])[0]
+        assert plain.instance_text is None  # stored without the instance
+        materialized = BatchExecutor(workers=1, cache=cache, materialize=True).run_all(
+            [job]
+        )[0]
+        assert not materialized.cache_hit  # re-ran instead of replaying None
+        assert "S(b, " in materialized.instance_text
+        # The re-run upgraded the entry; a second materialising pass hits.
+        again = BatchExecutor(workers=1, cache=cache, materialize=True).run_all([job])[0]
+        assert again.cache_hit
+        assert again.instance_text == materialized.instance_text
+
+    def test_shared_jsonl_cache_across_executors(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        job = make_job()
+        first = BatchExecutor(workers=1, cache=ResultCache(path)).run_all([job])[0]
+        second = BatchExecutor(workers=1, cache=ResultCache(path)).run_all([job])[0]
+        assert not first.cache_hit and second.cache_hit
+        assert second.summary_json() == first.summary_json()

@@ -1,0 +1,146 @@
+"""Batch executor: serial/pool equivalence, streaming, errors, timeouts."""
+
+import pytest
+
+from repro.chase.engine import ChaseBudget
+from repro.model.parser import parse_database, parse_program
+from repro.runtime import (
+    BatchExecutor,
+    ChaseJob,
+    ResultCache,
+    execute_payload,
+)
+from repro.generators.workloads import mixed_workload_jobs
+
+
+def small_batch():
+    return [
+        ChaseJob(
+            program=parse_program("R(x, y) -> exists z . S(y, z)\nS(x, y) -> T(x)"),
+            database=parse_database("R(a, b).\nR(b, c)."),
+            job_id="terminating",
+        ),
+        ChaseJob(
+            program=parse_program("R(x, y) -> exists z . R(y, z)"),
+            database=parse_database("R(a, b)."),
+            job_id="looping",  # auto depth budget stops this instantly
+        ),
+        ChaseJob(
+            program=parse_program("Emp(x) -> exists d . Dept(x, d)"),
+            database=parse_database("Emp(e1).\nEmp(e2).\nEmp(e3)."),
+            job_id="explicit",
+            budget_mode="explicit",
+            budget=ChaseBudget(max_atoms=50),
+        ),
+    ]
+
+
+class TestSerialExecutor:
+    def test_results_in_submission_order_with_provenance(self):
+        results = BatchExecutor(workers=1).run_all(small_batch())
+        assert [r.job_id for r in results] == ["terminating", "looping", "explicit"]
+        by_id = {r.job_id: r for r in results}
+        assert by_id["terminating"].summary["outcome"] == "terminated"
+        assert by_id["looping"].summary["outcome"] == "depth_budget_exceeded"
+        assert by_id["looping"].budget_provenance["source"] == "paper-bound"
+        assert by_id["explicit"].budget_provenance["source"] == "explicit"
+        assert all(r.status == "ok" for r in results)
+
+    def test_streaming_yields_incrementally(self):
+        executor = BatchExecutor(workers=1)
+        stream = executor.run(small_batch())
+        first = next(stream)
+        assert first.job_id == "terminating"
+        assert [r.job_id for r in stream] == ["looping", "explicit"]
+
+    def test_materialize_includes_instance_text(self):
+        executor = BatchExecutor(workers=1, materialize=True)
+        result = executor.run_all(small_batch()[:1])[0]
+        assert "S(b, " in result.instance_text
+
+    def test_unparsable_program_becomes_error_result(self):
+        payload = {
+            "job_id": "bad",
+            "program_text": "this is not a rule",
+            "database_text": "R(a).",
+            "variant": "semi-oblivious",
+            "budget": ChaseBudget().as_dict(),
+        }
+        record = execute_payload(payload)
+        assert record["status"] == "error"
+        assert "ParseError" in record["error"]
+
+    def test_per_job_timeout_is_reported(self):
+        executor = BatchExecutor(workers=1, per_job_timeout=0.0)
+        looping = ChaseJob(
+            program=parse_program("R(x, y) -> exists z . R(y, z)"),
+            database=parse_database("R(a, b)."),
+            budget_mode="default",  # no depth budget: only time stops it
+        )
+        result = executor.run_all([looping])[0]
+        assert result.status == "timeout"
+        assert result.summary["outcome"] == "time_budget_exceeded"
+
+
+class TestPoolExecutor:
+    def test_pool_matches_serial_byte_for_byte(self):
+        jobs = small_batch()
+        serial = {r.job_id: r for r in BatchExecutor(workers=1).run_all(jobs)}
+        pooled = {r.job_id: r for r in BatchExecutor(workers=2).run_all(jobs)}
+        assert set(serial) == set(pooled)
+        for job_id in serial:
+            assert serial[job_id].summary_json() == pooled[job_id].summary_json()
+
+    def test_pool_with_cache_replays_duplicates(self):
+        jobs = small_batch()
+        duplicates = jobs + [
+            ChaseJob(
+                program=jobs[0].program,
+                database=jobs[0].database,
+                job_id="terminating-again",
+            )
+        ]
+        cache = ResultCache()
+        results = BatchExecutor(workers=2, cache=cache).run_all(duplicates)
+        by_id = {r.job_id: r for r in results}
+        assert len(by_id) == 4
+        assert by_id["terminating-again"].cache_hit
+        assert (
+            by_id["terminating-again"].summary_json()
+            == by_id["terminating"].summary_json()
+        )
+
+    def test_pool_on_mixed_workload_matches_serial(self):
+        jobs = mixed_workload_jobs(job_count=20, seed=3)
+        serial = {r.job_id: r for r in BatchExecutor(workers=1).run_all(jobs)}
+        pooled = {r.job_id: r for r in BatchExecutor(workers=2).run_all(jobs)}
+        assert set(serial) == set(pooled)
+        agreeing = [
+            job_id
+            for job_id in serial
+            if serial[job_id].status == "ok" and pooled[job_id].status == "ok"
+        ]
+        # Timeout-free jobs must agree byte for byte.
+        for job_id in agreeing:
+            assert serial[job_id].summary_json() == pooled[job_id].summary_json()
+
+
+class TestMixedWorkload:
+    def test_manifest_is_deterministic_and_mixed(self):
+        a = mixed_workload_jobs(job_count=30, seed=11)
+        b = mixed_workload_jobs(job_count=30, seed=11)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert [j.fingerprint for j in a] == [j.fingerprint for j in b]
+        families = {tag for j in a for tag in j.tags if tag.startswith("family:")}
+        assert len(families) >= 8
+
+    def test_auto_budgeted_terminating_sl_l_jobs_stay_within_budget(self):
+        jobs = mixed_workload_jobs(job_count=30, seed=11)
+        results = BatchExecutor(workers=1).run_all(jobs)
+        for result in results:
+            if (
+                result.budget_provenance["source"] == "paper-bound"
+                and result.budget_provenance["class"] in ("SL", "L")
+                and "terminating" in result.tags
+            ):
+                assert result.summary["outcome"] == "terminated", result.job_id

@@ -1,0 +1,106 @@
+"""ChaseJob validation and JSONL manifest round-trips."""
+
+import json
+
+import pytest
+
+from repro.chase.engine import ChaseBudget
+from repro.model.parser import parse_database, parse_program
+from repro.runtime import (
+    ChaseJob,
+    job_from_manifest_entry,
+    manifest_entry,
+    read_manifest,
+    write_manifest,
+)
+
+
+def make_job(**kwargs):
+    defaults = dict(
+        program=parse_program("R(x, y) -> exists z . S(y, z)"),
+        database=parse_database("R(a, b)."),
+    )
+    defaults.update(kwargs)
+    return ChaseJob(**defaults)
+
+
+class TestChaseJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_job(variant="bogus")
+        with pytest.raises(ValueError):
+            make_job(budget_mode="bogus")
+        with pytest.raises(ValueError):
+            make_job(budget_mode="explicit")  # no budget given
+
+    def test_default_job_id_derives_from_fingerprints(self):
+        job = make_job()
+        pfp, dfp = job.fingerprint
+        assert job.job_id == f"job-{pfp[:8]}-{dfp[:8]}"
+
+    def test_fingerprint_is_cached(self):
+        job = make_job()
+        assert job.fingerprint is job.fingerprint
+
+
+class TestManifests:
+    def test_entry_roundtrip_preserves_job_semantics(self):
+        job = make_job(
+            job_id="j1",
+            variant="restricted",
+            budget_mode="explicit",
+            budget=ChaseBudget(max_atoms=99, max_depth=4),
+            timeout_seconds=2.5,
+            tags=("family:test",),
+        )
+        entry = manifest_entry(job)
+        rebuilt = job_from_manifest_entry(json.loads(json.dumps(entry)))
+        assert rebuilt.job_id == "j1"
+        assert rebuilt.variant == "restricted"
+        assert rebuilt.budget == job.budget
+        assert rebuilt.timeout_seconds == 2.5
+        assert rebuilt.tags == ("family:test",)
+        assert rebuilt.fingerprint == job.fingerprint
+
+    def test_budget_spec_variants(self):
+        base = {"program": "R(x) -> S(x)", "database": "R(a)."}
+        assert job_from_manifest_entry({**base}).budget_mode == "auto"
+        assert job_from_manifest_entry({**base, "budget": "default"}).budget_mode == "default"
+        explicit = job_from_manifest_entry({**base, "budget": {"max_atoms": 5}})
+        assert explicit.budget_mode == "explicit"
+        assert explicit.budget.max_atoms == 5
+        with pytest.raises(ValueError):
+            job_from_manifest_entry({**base, "budget": 42})
+
+    def test_entry_requires_program_and_database(self):
+        with pytest.raises(ValueError):
+            job_from_manifest_entry({"database": "R(a)."})
+        with pytest.raises(ValueError):
+            job_from_manifest_entry({"program": "R(x) -> S(x)"})
+
+    def test_file_manifest_with_relative_paths(self, tmp_path):
+        (tmp_path / "onto.rules").write_text("R(x, y) -> exists z . S(y, z)\n")
+        (tmp_path / "db.facts").write_text("R(a, b).\n")
+        manifest = tmp_path / "manifest.jsonl"
+        manifest.write_text(
+            json.dumps({"id": "from-files", "rules": "onto.rules", "facts": "db.facts"})
+            + "\n# a comment line\n\n"
+        )
+        jobs = read_manifest(manifest)
+        assert len(jobs) == 1
+        assert jobs[0].job_id == "from-files"
+        assert len(jobs[0].database) == 1
+
+    def test_write_then_read_manifest(self, tmp_path):
+        jobs = [make_job(job_id="a"), make_job(job_id="b", variant="oblivious")]
+        path = tmp_path / "batch.jsonl"
+        write_manifest(jobs, path)
+        rebuilt = read_manifest(path)
+        assert [j.job_id for j in rebuilt] == ["a", "b"]
+        assert [j.fingerprint for j in rebuilt] == [j.fingerprint for j in jobs]
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"program": "R(x) -> S(x)"\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_manifest(path)
