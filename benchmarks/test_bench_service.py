@@ -1,0 +1,44 @@
+"""E16 — chase service daemon: throughput, latency, cache speedup.
+
+``python -m repro bench-service`` regenerates the full 200-job
+BENCH_service.json report; this benchmark keeps a small always-on smoke
+version in the suite.  Correctness properties (HTTP results byte
+identical to a direct ``BatchExecutor`` run, identical concurrent
+submissions executing exactly once, cache-hit rows byte identical on
+resubmission) are hard assertions; absolute throughput, latency, and
+the ≥10× cache-hit speedup target are reported, not asserted, because
+at smoke scale HTTP overhead dominates the tiny jobs.
+"""
+
+import pytest
+
+from repro.bench.drivers import SweepRow, service_benchmark_rows
+from repro.generators.workloads import mixed_workload_jobs
+from repro.service import ChaseService, ChaseServiceClient
+
+
+@pytest.mark.benchmark(group="E16-chase-service")
+def test_service_report(benchmark, report):
+    rows, summary = service_benchmark_rows(job_count=20, clients=2, workers=2, seed=7)
+    report("E16: chase service (HTTP over the batch runtime)", rows)
+    report(
+        "E16: summary",
+        [SweepRow(label="summary", parameters={}, measured=dict(summary))],
+    )
+    assert summary["byte_identical_vs_direct"]
+    assert summary["warm_hits_byte_identical"]
+    assert summary["dedup_single_execution"]
+    assert summary["warm_hits"] > 0
+    assert summary["cache_hit_speedup"] > 1.0
+
+    jobs = mixed_workload_jobs(job_count=5, seed=7)
+
+    def serve_batch():
+        with ChaseService(workers=2, max_queue=16) as service:
+            client = ChaseServiceClient(service.url, timeout=60.0)
+            client.wait_until_healthy()
+            rows, trailer = client.run_batch(jobs, wait=120.0)
+            assert trailer["complete"]
+            return rows
+
+    benchmark.pedantic(serve_batch, rounds=2, iterations=1)

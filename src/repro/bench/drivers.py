@@ -9,6 +9,7 @@ reports paper-vs-measured values.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -561,6 +562,284 @@ def write_runtime_report(
         "description": (
             "Concurrent batch executor with fingerprint cache and "
             "paper-derived auto-budgets on a mixed SL/L/G/random manifest"
+        ),
+        "python": platform.python_version(),
+        "rows": [r.as_flat_dict() for r in rows],
+        "summary": summary,
+    }
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# --------------------------------------------------------------------------
+# E16: chase service — HTTP daemon throughput, latency, cache speedup
+# --------------------------------------------------------------------------
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (q in [0, 1]); None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, int(math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+def service_benchmark_rows(
+    job_count: int = 200,
+    clients: int = 4,
+    workers: int = 2,
+    seed: int = 7,
+) -> Tuple[List[SweepRow], Dict[str, object]]:
+    """Measure the chase service daemon on the E15 mixed manifest.
+
+    Five measurements, each its own row:
+
+    1. **direct** — the same jobs through a serial ``BatchExecutor``,
+       the baseline the daemon's results must match byte for byte;
+    2. **service-cold** — the manifest over HTTP into a fresh daemon
+       (``POST /batches`` + streamed JSONL), summaries compared against
+       the direct baseline per job id;
+    3. **service-warm** — the identical manifest resubmitted: every
+       deterministic job must replay from the daemon's cache, and the
+       cacheable subset must be served ≥ 10× faster than its cold run
+       (``cache_hit_speedup``; non-deterministic timeout jobs are never
+       cached and re-run, so total wall clock is reported separately);
+    4. **latency** — ``clients`` threads doing single-job
+       submit/long-poll round trips against the warm daemon:
+       requests/sec plus p50/p95 latency;
+    5. **dedup** — a burst of identical, previously-unseen submissions:
+       real (non-cache-hit) executions must total exactly one.
+
+    Returns the rows plus a machine-readable summary.
+    """
+    import threading
+
+    from repro.generators.workloads import mixed_workload_jobs
+    from repro.runtime import BatchExecutor
+    from repro.runtime.jobs import ChaseJob, manifest_entry
+    from repro.service import ChaseService, ChaseServiceClient
+
+    jobs = mixed_workload_jobs(job_count=job_count, seed=seed)
+    manifest_text = "".join(
+        json.dumps(manifest_entry(job), sort_keys=True) + "\n" for job in jobs
+    )
+
+    start = time.perf_counter()
+    direct_results = BatchExecutor(workers=1).run_all(jobs)
+    direct_seconds = time.perf_counter() - start
+    # Byte-identity is only meaningful for deterministic outcomes: a
+    # timeout's summary records how far the run happened to get.
+    direct_by_id = {r.job_id: r.summary_json() for r in direct_results if r.status == "ok"}
+
+    # A production-shaped queue bound (64 < job_count): the manifest
+    # streams through it via ?admit_wait backpressure rather than the
+    # daemon being sized to the batch.  TTL is raised to keep the
+    # admission window (clamped to ttl/2) above the full batch wait.
+    with ChaseService(workers=workers, max_queue=64, ttl_seconds=3600.0) as service:
+        client = ChaseServiceClient(service.url, timeout=60.0)
+        client.wait_until_healthy()
+
+        def run_manifest() -> Tuple[float, List[Dict[str, object]]]:
+            start = time.perf_counter()
+            rows, trailer = client.run_batch(manifest_text, wait=600.0, admit_wait=600.0)
+            elapsed = time.perf_counter() - start
+            assert trailer["complete"], f"batch did not complete: {trailer}"
+            return elapsed, rows
+
+        cold_seconds, cold_rows = run_manifest()
+        warm_seconds, warm_rows = run_manifest()
+
+        cold_by_id = {str(r["id"]): r for r in cold_rows}
+        byte_identical = set(direct_by_id) <= set(cold_by_id) and all(
+            json.dumps(cold_by_id[job_id]["summary"], sort_keys=True) == expected
+            for job_id, expected in direct_by_id.items()
+        )
+        warm_hits = [r for r in warm_rows if r.get("cache") and r["cache"]["hit"]]
+        # The speedup numerator counts each cold *execution* once: rows
+        # marked deduped_of shared another row's run and inherit its
+        # wall clock, so including them would multiply-count it.
+        hit_speedup_rows = [
+            r
+            for r in warm_hits
+            if "deduped_of" not in cold_by_id.get(str(r["id"]), {"deduped_of": True})
+        ]
+        hit_cold_seconds = sum(
+            float(cold_by_id[str(r["id"])]["wall_seconds"]) for r in hit_speedup_rows
+        )
+        hit_warm_seconds = sum(float(r["wall_seconds"]) for r in hit_speedup_rows)
+        cache_hit_speedup = round(hit_cold_seconds / max(hit_warm_seconds, 1e-9), 1)
+        warm_identical = all(
+            json.dumps(r["summary"], sort_keys=True)
+            == json.dumps(cold_by_id[str(r["id"])]["summary"], sort_keys=True)
+            for r in warm_hits
+        )
+
+        # Latency phase: concurrent single-job round trips on the warm
+        # daemon — the steady-state serving path.
+        latencies: List[float] = []
+        latency_lock = threading.Lock()
+        thread_errors: List[BaseException] = []
+        shards = [jobs[i::clients] for i in range(clients)]
+
+        def round_trips(shard) -> None:
+            try:
+                shard_client = ChaseServiceClient(service.url, timeout=60.0)
+                for job in shard:
+                    start = time.perf_counter()
+                    record = shard_client.run_job(manifest_entry(job), timeout=120.0)
+                    elapsed = time.perf_counter() - start
+                    assert record["state"] == "done"
+                    with latency_lock:
+                        latencies.append(elapsed)
+            except BaseException as exc:  # noqa: BLE001 - re-raised after join:
+                # a silently-dead thread would bias the percentiles.
+                thread_errors.append(exc)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=round_trips, args=(shard,)) for shard in shards]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if thread_errors:
+            raise thread_errors[0]
+        latency_seconds = time.perf_counter() - start
+        requests_per_second = round(len(latencies) / max(latency_seconds, 1e-9), 1)
+        p50 = _percentile(latencies, 0.50)
+        p95 = _percentile(latencies, 0.95)
+
+        # Dedup phase: a burst of identical, never-seen-before jobs.
+        from repro.generators.families import sl_lower_bound
+
+        database, tgds = sl_lower_bound(2, 3, 3)
+        fresh = manifest_entry(
+            ChaseJob(program=tgds, database=database, job_id="dedup-probe")
+        )
+        before = service.scheduler.stats()
+        burst = 8
+        submissions: List[Dict[str, object]] = []
+
+        def submit_one() -> None:
+            try:
+                submissions.append(
+                    ChaseServiceClient(service.url, timeout=60.0).submit_job(fresh)
+                )
+            except BaseException as exc:  # noqa: BLE001 - re-raised after join
+                thread_errors.append(exc)
+
+        burst_threads = [threading.Thread(target=submit_one) for _ in range(burst)]
+        for thread in burst_threads:
+            thread.start()
+        for thread in burst_threads:
+            thread.join()
+        if thread_errors:
+            raise thread_errors[0]
+        for submitted in submissions:
+            client.job(str(submitted["job_id"]), wait=60.0)
+        after = service.scheduler.stats()
+        real_executions = (int(after["executed"]) - int(after["cache_hits"])) - (
+            int(before["executed"]) - int(before["cache_hits"])
+        )
+        single_execution = real_executions == 1
+
+        stats = service.stats_document()
+
+    rows = [
+        SweepRow(
+            label="service-direct",
+            parameters={"jobs": len(jobs)},
+            measured={"seconds": round(direct_seconds, 3)},
+        ),
+        SweepRow(
+            label="service-cold",
+            parameters={"jobs": len(jobs), "workers": workers},
+            measured={
+                "seconds": round(cold_seconds, 3),
+                "http_overhead": round(cold_seconds / max(direct_seconds, 1e-9), 2),
+                "byte_identical_vs_direct": byte_identical,
+            },
+        ),
+        SweepRow(
+            label="service-warm",
+            parameters={"jobs": len(jobs)},
+            measured={
+                "seconds": round(warm_seconds, 3),
+                "hits": len(warm_hits),
+                "cache_hit_speedup": cache_hit_speedup,
+                "total_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+                "byte_identical": warm_identical,
+            },
+        ),
+        SweepRow(
+            label="service-latency",
+            parameters={"requests": len(latencies), "clients": clients},
+            measured={
+                "requests_per_s": requests_per_second,
+                "p50_ms": round(p50 * 1000, 2) if p50 is not None else None,
+                "p95_ms": round(p95 * 1000, 2) if p95 is not None else None,
+            },
+        ),
+        SweepRow(
+            label="service-dedup",
+            parameters={"burst": burst},
+            measured={
+                "real_executions": real_executions,
+                "single_execution": single_execution,
+            },
+        ),
+    ]
+    summary = {
+        "job_count": len(jobs),
+        "clients": clients,
+        "workers": workers,
+        "direct_seconds": round(direct_seconds, 3),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_total_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "cache_hit_speedup": cache_hit_speedup,
+        "cache_speedup_target_met": cache_hit_speedup >= 10.0,
+        "warm_hits": len(warm_hits),
+        "byte_identical_vs_direct": byte_identical,
+        "warm_hits_byte_identical": warm_identical,
+        "requests_per_second": requests_per_second,
+        "latency_p50_ms": round(p50 * 1000, 2) if p50 is not None else None,
+        "latency_p95_ms": round(p95 * 1000, 2) if p95 is not None else None,
+        "dedup_real_executions": real_executions,
+        "dedup_single_execution": single_execution,
+        "cache_hit_rate": stats["cache_hit_rate"],
+    }
+    return rows, summary
+
+
+def write_service_report(
+    path: str = "BENCH_service.json",
+    rows: Optional[Sequence[SweepRow]] = None,
+    summary: Optional[Dict[str, object]] = None,
+    job_count: int = 200,
+    clients: int = 4,
+    workers: int = 2,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Run the service benchmark and write ``BENCH_service.json``.
+
+    The PR-facing artefact backing the daemon claims: HTTP results byte
+    identical to a direct ``BatchExecutor`` run, the cacheable subset of
+    a resubmitted manifest served ≥ 10× faster from cache, identical
+    concurrent submissions executing exactly once, and throughput plus
+    p50/p95 latency under concurrent clients.  See EXPERIMENTS.md (E16).
+    Pass precomputed ``rows``/``summary`` to write without re-running.
+    """
+    if rows is None or summary is None:
+        rows, summary = service_benchmark_rows(
+            job_count=job_count, clients=clients, workers=workers, seed=seed
+        )
+    report = {
+        "experiment": "E16-chase-service",
+        "description": (
+            "Chase service daemon (HTTP over the batch runtime) on the mixed "
+            "manifest: direct-vs-HTTP byte identity, cache replay speedup, "
+            "concurrent-client latency, in-flight dedup"
         ),
         "python": platform.python_version(),
         "rows": [r.as_flat_dict() for r in rows],

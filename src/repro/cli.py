@@ -11,11 +11,22 @@ Four subcommands mirror the library's main entry points::
                                                             [--legacy-engine]
     python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
                                              [--timeout S] [--materialize]
+    python -m repro serve     [--host H] [--port P] [--workers N] [--cache FILE]
+                              [--cache-max-entries N] [--queue-depth N] [--ttl S]
+                              [--timeout S] [--materialize]
 
-Two maintenance subcommands regenerate the benchmark reports::
+``serve`` starts the long-running chase service daemon: an HTTP job
+server (``POST /jobs``, ``POST /batches``, ``GET /jobs/<id>``,
+streaming ``GET /batches/<id>``, ``GET /healthz``, ``GET /stats``,
+``POST /shutdown``) over the batch runtime — see
+:mod:`repro.service`.  It runs until interrupted or shut down over
+HTTP, draining accepted jobs first.
+
+Three maintenance subcommands regenerate the benchmark reports::
 
     python -m repro bench-engine  [--output BENCH_engine.json]  [--repeats N]
     python -m repro bench-runtime [--output BENCH_runtime.json] [--jobs N] [--workers N]
+    python -m repro bench-service [--output BENCH_service.json] [--jobs N] [--clients N]
 
 Rule files contain one TGD per line (``R(x, y) -> exists z . S(y, z)``),
 database files one fact per line (``R(a, b).``); ``%`` and ``#`` start
@@ -163,6 +174,67 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if counts["error"] else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import ResultCache
+    from repro.service import ChaseService
+
+    cache = ResultCache(args.cache or None, max_entries=args.cache_max_entries)
+    service = ChaseService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.queue_depth,
+        cache=cache,
+        materialize=args.materialize,
+        per_job_timeout=args.timeout if args.timeout and args.timeout > 0 else None,
+        ttl_seconds=args.ttl,
+    )
+    service.start()
+    print(
+        f"chase service listening on {service.url} "
+        f"({args.workers} workers, queue depth {args.queue_depth}"
+        + (f", cache {args.cache}" if args.cache else ", in-memory cache")
+        + ")",
+        file=sys.stderr,
+    )
+    try:
+        while not service.wait_stopped(0.5):
+            pass
+    except KeyboardInterrupt:
+        print("interrupt: draining accepted jobs...", file=sys.stderr)
+        service.stop()
+    print(f"stopped; final stats: {service.scheduler.stats()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from repro.bench.drivers import format_table, service_benchmark_rows, write_service_report
+
+    rows, summary = service_benchmark_rows(
+        job_count=args.jobs, clients=args.clients, workers=args.workers, seed=args.seed
+    )
+    write_service_report(path=args.output, rows=rows, summary=summary)
+    print(format_table(rows))
+    print(
+        f"\n{summary['requests_per_second']} req/s with {summary['clients']} clients, "
+        f"p50 {summary['latency_p50_ms']}ms / p95 {summary['latency_p95_ms']}ms, "
+        f"cache-hit speedup {summary['cache_hit_speedup']}x, "
+        f"byte-identical vs direct: {summary['byte_identical_vs_direct']}, "
+        f"dedup single execution: {summary['dedup_single_execution']}",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+    healthy = (
+        summary["byte_identical_vs_direct"]
+        and summary["warm_hits_byte_identical"]
+        and summary["dedup_single_execution"]
+        # The ≥10x cache-hit target is an acceptance gate at report
+        # scale; smoke runs (CI's --jobs 40) only gate correctness.
+        and (summary["cache_speedup_target_met"] or args.jobs < 100)
+    )
+    return 0 if healthy else 1
+
+
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
     from repro.bench.drivers import engine_benchmark_rows, format_table, write_engine_report
 
@@ -269,6 +341,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.set_defaults(handler=_cmd_batch)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the chase service daemon (HTTP job server over the batch runtime)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    serve_parser.add_argument("--workers", type=int, default=2, help="scheduler worker threads")
+    serve_parser.add_argument("--cache", help="JSONL result cache file (created if missing)")
+    serve_parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=10_000,
+        help="LRU bound on in-memory cache entries",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=64, help="admission control: max queued jobs"
+    )
+    serve_parser.add_argument(
+        "--ttl", type=float, default=300.0, help="retention of finished job records (seconds)"
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-job wall-clock ceiling in seconds, bounding even hostile "
+        "explicit budgets (0 disables; default 60)",
+    )
+    serve_parser.add_argument(
+        "--materialize",
+        action="store_true",
+        help="include the materialised instance text in each result",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     bench_parser = subparsers.add_parser(
         "bench-engine",
         help="measure compiled-plan pipeline vs legacy engine, write BENCH_engine.json",
@@ -287,6 +393,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_runtime_parser.add_argument("--repeats", type=int, default=1)
     bench_runtime_parser.add_argument("--seed", type=int, default=7)
     bench_runtime_parser.set_defaults(handler=_cmd_bench_runtime)
+
+    bench_service_parser = subparsers.add_parser(
+        "bench-service",
+        help="measure the service daemon (throughput, latency, cache speedup), "
+        "write BENCH_service.json",
+    )
+    bench_service_parser.add_argument("--output", default="BENCH_service.json")
+    bench_service_parser.add_argument("--jobs", type=int, default=200)
+    bench_service_parser.add_argument("--clients", type=int, default=4)
+    bench_service_parser.add_argument("--workers", type=int, default=2)
+    bench_service_parser.add_argument("--seed", type=int, default=7)
+    bench_service_parser.set_defaults(handler=_cmd_bench_service)
     return parser
 
 

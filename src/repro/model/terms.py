@@ -12,6 +12,7 @@ which makes trigger application idempotent by construction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Tuple, Union
 
@@ -101,6 +102,36 @@ class Variable:
 # chase sizes.
 _NULL_INTERN: dict = {}
 
+#: Guards the read-len-then-insert in ``Null.__post_init__``: the chase
+#: service scheduler runs chases from several threads of one process,
+#: and two racing inserts computing ``len(_NULL_INTERN)`` before either
+#: lands would assign the same uid to two distinct nulls (silent atom
+#: merging).  Single-threaded callers pay one uncontended acquire per
+#: *distinct* null, which is noise next to building the key tuple.
+_NULL_INTERN_LOCK = threading.Lock()
+
+
+def trim_null_intern(threshold: int = 0) -> int:
+    """Clear the intern table once it exceeds ``threshold`` entries;
+    returns how many entries were dropped (0 if under the threshold).
+
+    The table grows with every distinct null the *process* ever
+    creates — fine for one-shot batch runs, unbounded for the chase
+    service daemon, which re-parses programs (fresh rule ids) per
+    execution so no entry is ever reused.  Only call this when no
+    ``Null`` from an earlier run can ever be compared with one created
+    later: uids restart from zero, so a stale null held across the
+    trim could alias a fresh one.  The daemon's scheduler calls it
+    between executions, when results have already been reduced to
+    plain text and no chase is running.
+    """
+    with _NULL_INTERN_LOCK:
+        size = len(_NULL_INTERN)
+        if size <= threshold:
+            return 0
+        _NULL_INTERN.clear()
+        return size
+
 
 @dataclass(frozen=True, eq=False)
 class Null:
@@ -147,7 +178,8 @@ class Null:
                 for name, term in self.binding
             ),
         )
-        interned = _NULL_INTERN.setdefault(key, len(_NULL_INTERN))
+        with _NULL_INTERN_LOCK:
+            interned = _NULL_INTERN.setdefault(key, len(_NULL_INTERN))
         object.__setattr__(self, "uid", interned)
 
     def __eq__(self, other: object) -> bool:

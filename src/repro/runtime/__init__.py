@@ -27,6 +27,7 @@ from repro.runtime.jobs import (
     database_fingerprint,
     job_from_manifest_entry,
     manifest_entry,
+    parse_manifest_text,
     program_fingerprint,
     read_manifest,
     read_manifest_lenient,
@@ -42,6 +43,7 @@ __all__ = [
     "program_fingerprint",
     "job_from_manifest_entry",
     "manifest_entry",
+    "parse_manifest_text",
     "read_manifest",
     "read_manifest_lenient",
     "write_manifest",

@@ -11,17 +11,72 @@ serialised with ``json.dumps(..., sort_keys=True)``.  Only
 deterministic outcomes are stored: the executor refuses to cache
 ``TIME_BUDGET_EXCEEDED`` runs (wall-clock budgets are an execution
 detail, which is also why ``max_seconds`` is not part of the key).
+
+The cache is built to be held open by a long-running process (the
+chase service daemon, :mod:`repro.service`):
+
+* every persisted entry carries a ``schema_version`` stamp; loading a
+  JSONL written by a different summary schema skips those lines with a
+  warning instead of replaying stale summaries,
+* an optional ``max_entries`` cap turns the in-memory store into an
+  LRU (both hits and stores refresh recency), so the daemon's memory
+  stays bounded across arbitrarily many runs, and
+* all operations take an internal lock, so the daemon's worker threads
+  can share one instance.
+
+Eviction is an in-memory affair: the JSONL spill stays append-only in
+normal operation, so a crash mid-append costs at most the line being
+written.  :meth:`compact` is the one in-place rewrite; it saves the
+merged content to a ``.compacting`` sidecar first, so even a kill
+between its truncate and write leaves a full copy to restore from.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import warnings
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
+
+try:  # POSIX advisory locks guard the shared spill across processes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextmanager
+def _flocked(handle):
+    """Exclusive advisory lock on an open file (no-op without fcntl).
+
+    Flushes the handle before unlocking: Python buffers writes in the
+    TextIOWrapper, and releasing the lock with the mutation still in
+    the buffer would let another locker observe the file mid-rewrite.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        handle.flush()
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        handle.flush()
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 from repro.chase.engine import ChaseBudget
 from repro.runtime.jobs import ChaseJob
+
+#: Version stamp of the persisted entry format *and* of the summary
+#: payload inside it.  Bump whenever ``ChaseResult.summary()`` (or the
+#: cache key composition) changes shape, so a daemon never replays
+#: summaries produced by an incompatible build.  Version 2 introduced
+#: the stamp itself: files from before it carry no version and are
+#: treated as stale.
+SCHEMA_VERSION = 2
 
 
 def result_cache_key(job: ChaseJob, budget: ChaseBudget) -> str:
@@ -47,73 +102,146 @@ class CacheEntry:
     key: str
     summary: Dict[str, object]
     instance_text: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
-        return {"key": self.key, "summary": self.summary, "instance": self.instance_text}
+        return {
+            "key": self.key,
+            "summary": self.summary,
+            "instance": self.instance_text,
+            "schema_version": self.schema_version,
+        }
 
 
 class ResultCache:
-    """In-memory cache with an optional append-only JSONL file behind it.
+    """Thread-safe LRU cache with an optional append-only JSONL behind it.
 
     With a ``path`` the cache loads existing entries on construction
     and appends every store, so separate processes (or separate batch
-    invocations) can share results through the file.
+    invocations) can share results through the file.  With
+    ``max_entries`` the in-memory store evicts its least-recently-used
+    entry once full — the bound a long-running daemon needs.
     """
 
-    def __init__(self, path: Optional[str | Path] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str | Path] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.path = Path(path) if path is not None else None
-        self._entries: Dict[str, CacheEntry] = {}
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.version_skipped = 0
         if self.path is not None and self.path.exists():
             self._load()
 
     def _load(self) -> None:
         assert self.path is not None
-        for line in self.path.read_text().splitlines():
+        stale_versions: set = set()
+        # Read under the same advisory lock compact() holds while
+        # truncate-rewriting in place, so a reader can never observe a
+        # half-rewritten file.
+        sidecar = self.path.with_suffix(self.path.suffix + ".compacting")
+        with self.path.open("a+") as handle, _flocked(handle):
+            handle.seek(0)
+            text = handle.read()
+            if sidecar.exists():
+                # compact() removes its sidecar inside the locked
+                # region on success, so one existing here means a
+                # crash interrupted the rewrite: the sidecar holds the
+                # complete pre-crash merged content.  The main file
+                # may additionally hold lines another process appended
+                # *after* the crash (the kernel released the dead
+                # holder's flock); keep both, sidecar first so the
+                # newer appends win on key conflicts at parse time.
+                text = sidecar.read_text() + text
+                handle.seek(0)
+                handle.truncate()
+                handle.write(text)
+                handle.flush()
+                sidecar.unlink()
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
+                version = record.get("schema_version")
+                if version != SCHEMA_VERSION:
+                    # A file written by an older (or newer) build: its
+                    # summaries may not match what today's runs produce,
+                    # and replaying them would silently break the
+                    # byte-identity guarantee.  Skip, don't crash.
+                    self.version_skipped += 1
+                    stale_versions.add(version)
+                    continue
                 entry = CacheEntry(
                     key=record["key"],
                     summary=record["summary"],
                     instance_text=record.get("instance"),
+                    schema_version=version,
                 )
-            except (json.JSONDecodeError, KeyError, TypeError):
+            except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
                 # A truncated or corrupt line (e.g. the process died
                 # mid-append) costs one entry, not the whole cache.
                 continue
+            # Later lines are more recent appends: inserting in file
+            # order leaves the newest entries at the LRU's fresh end.
             self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            self._evict_over_cap()
+        if self.version_skipped:
+            warnings.warn(
+                f"{self.path}: skipped {self.version_skipped} cache entr"
+                f"{'y' if self.version_skipped == 1 else 'ies'} with schema version(s) "
+                f"{sorted(stale_versions, key=repr)!r} (current is {SCHEMA_VERSION}); "
+                "stale summaries are re-run, not replayed",
+                stacklevel=2,
+            )
+
+    def _evict_over_cap(self) -> None:
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     # -- mapping protocol -------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __iter__(self) -> Iterator[CacheEntry]:
-        return iter(self._entries.values())
+        with self._lock:
+            return iter(list(self._entries.values()))
 
     # -- cache operations -------------------------------------------------
 
     def get(self, key: str, require_instance: bool = False) -> Optional[CacheEntry]:
-        """Look up a key, counting the hit or miss.
+        """Look up a key, counting the hit or miss and refreshing recency.
 
         With ``require_instance`` an entry stored without a
         materialised instance (by a non-materialising run) counts as a
         miss, so the caller re-runs and re-stores it with the instance.
         """
-        entry = self._entries.get(key)
-        if entry is None or (require_instance and entry.instance_text is None):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or (require_instance and entry.instance_text is None):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(
         self,
@@ -123,17 +251,91 @@ class ResultCache:
     ) -> CacheEntry:
         """Store a result, appending to the JSONL file when configured."""
         entry = CacheEntry(key=key, summary=summary, instance_text=instance_text)
-        self._entries[key] = entry
-        self.stores += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stores += 1
+            self._evict_over_cap()
+        # Append outside the cache lock: blocking on another process's
+        # flock (a long compact()) must stall only this store, not
+        # every concurrent lookup.  O_APPEND + the flock keep lines
+        # whole; duplicate keys from racing appends dedup on load.
         if self.path is not None:
-            with self.path.open("a") as handle:
+            with self.path.open("a") as handle, _flocked(handle):
                 handle.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
         return entry
 
+    def compact(self) -> int:
+        """Deduplicate the JSONL spill in place; returns the entry count.
+
+        An append-only file accumulates superseded and stale-version
+        lines; a long-running daemon calls this on drain so the next
+        start loads only what is current.  The file is re-read and
+        *merged* under an exclusive advisory lock (the same lock every
+        ``put`` append takes): current-version entries appended by
+        other processes sharing the file (and entries this process
+        evicted from memory) are kept, with this process's in-memory
+        state winning on key conflicts — compaction never deletes
+        another writer's committed results.  The rewrite happens in
+        place (same inode) so concurrent writers holding the path keep
+        appending to the compacted file, not to a replaced orphan;
+        before truncating, the merged content is written to a
+        ``<path>.compacting`` sidecar, so a crash mid-rewrite leaves a
+        complete copy to restore from (the sidecar is removed on
+        success).
+        """
+        with self._lock:
+            if self.path is None:
+                return len(self._entries)
+            with self.path.open("a+") as handle, _flocked(handle):
+                handle.seek(0)
+                merged: "OrderedDict[str, CacheEntry]" = OrderedDict()
+                for line in handle.read().splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        if record.get("schema_version") != SCHEMA_VERSION:
+                            continue
+                        entry = CacheEntry(
+                            key=record["key"],
+                            summary=record["summary"],
+                            instance_text=record.get("instance"),
+                        )
+                    except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
+                        continue
+                    merged[entry.key] = entry
+                # Append the in-memory entries in LRU order (coldest
+                # first) so a bounded reload keeps the hottest keys —
+                # _load treats later lines as fresher.  pop-then-set
+                # moves each key to the end.
+                for key, entry in self._entries.items():
+                    merged.pop(key, None)
+                    merged[key] = entry
+                content = "".join(
+                    json.dumps(entry.as_dict(), sort_keys=True) + "\n"
+                    for entry in merged.values()
+                )
+                sidecar = self.path.with_suffix(self.path.suffix + ".compacting")
+                sidecar.write_text(content)
+                handle.seek(0)
+                handle.truncate()
+                handle.write(content)
+                handle.flush()
+                # Removed inside the locked region: a sidecar observed
+                # by a lock holder therefore always means a crash, and
+                # _load restores from it.
+                sidecar.unlink(missing_ok=True)
+            return len(merged)
+
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "version_skipped": self.version_skipped,
+            }

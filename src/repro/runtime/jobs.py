@@ -18,7 +18,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chase import VARIANT_RUNNERS
 from repro.chase.engine import ChaseBudget
@@ -204,15 +204,24 @@ def read_manifest(path: str | Path) -> List[ChaseJob]:
     return jobs
 
 
-def read_manifest_lenient(path: str | Path) -> List[object]:
-    """Read a JSONL manifest, turning bad lines into :class:`ManifestError`.
+def parse_manifest_text(
+    text: str,
+    base_dir: Path = Path("."),
+    entry_parser: Optional[Callable[[Dict[str, object]], ChaseJob]] = None,
+) -> List[object]:
+    """Parse JSONL manifest text, turning bad lines into :class:`ManifestError`.
 
-    This is what ``python -m repro batch`` uses: one malformed job must
-    not sink the rest of the batch.
+    One malformed job must not sink the rest of the batch.  The shared
+    line loop behind both :func:`read_manifest_lenient` (the CLI) and
+    the service daemon's ``POST /batches`` handler, which passes an
+    ``entry_parser`` restricting entries to inline text.
     """
-    path = Path(path)
+    if entry_parser is None:
+        def entry_parser(entry: Dict[str, object]) -> ChaseJob:
+            return job_from_manifest_entry(entry, base_dir=base_dir)
+
     items: List[object] = []
-    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+    for line_number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -225,12 +234,19 @@ def read_manifest_lenient(path: str | Path) -> List[object]:
         if isinstance(entry, dict) and entry.get("id"):
             job_id = str(entry["id"])
         try:
-            items.append(job_from_manifest_entry(entry, base_dir=path.parent))
+            items.append(entry_parser(entry))
         except Exception as exc:  # noqa: BLE001 - any bad entry becomes an error row
             items.append(
                 ManifestError(job_id, line_number, f"{type(exc).__name__}: {exc}")
             )
     return items
+
+
+def read_manifest_lenient(path: str | Path) -> List[object]:
+    """Read a JSONL manifest file leniently; relative rule/fact paths
+    resolve against the manifest's directory."""
+    path = Path(path)
+    return parse_manifest_text(path.read_text(), base_dir=path.parent)
 
 
 def write_manifest(jobs: Iterable[ChaseJob], path: str | Path) -> None:

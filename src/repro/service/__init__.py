@@ -1,0 +1,47 @@
+"""Chase service daemon: a long-running HTTP job server over the batch
+runtime.
+
+::
+
+    client ──▶ HTTP server ──▶ scheduler ──▶ BatchExecutor ──▶ cache
+    (submit     (routes,        (admission,    (budgets,        (versioned,
+     poll,       long-poll,      dedup,         execution)       LRU-bounded,
+     stream)     streaming)      drain)                          JSONL spill)
+
+``python -m repro serve`` starts the daemon;
+:class:`~repro.service.client.ChaseServiceClient` talks to it.  The
+paper's ``d_C``/``f_C`` budgets are what make a shared daemon safe:
+every admitted job's work is bounded before it runs, so a queue bound
+is a bound on total outstanding work even for untrusted submissions.
+"""
+
+from repro.service.client import ChaseServiceClient, ServiceError
+from repro.service.queue import ACCEPTED, DEDUPED, REJECTED, ChaseScheduler, ExecutionGroup
+from repro.service.server import ChaseService
+from repro.service.state import (
+    DEFAULT_TTL_SECONDS,
+    DONE,
+    QUEUED,
+    RUNNING,
+    BatchRecord,
+    JobRecord,
+    JobRegistry,
+)
+
+__all__ = [
+    "ChaseService",
+    "ChaseServiceClient",
+    "ServiceError",
+    "ChaseScheduler",
+    "ExecutionGroup",
+    "ACCEPTED",
+    "DEDUPED",
+    "REJECTED",
+    "JobRegistry",
+    "JobRecord",
+    "BatchRecord",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "DEFAULT_TTL_SECONDS",
+]

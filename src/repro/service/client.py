@@ -1,0 +1,187 @@
+"""Thin HTTP client for the chase service daemon (stdlib ``urllib``).
+
+``ChaseServiceClient`` is what the CLI, the examples, the benchmark
+driver, and the end-to-end tests use; it speaks exactly the endpoint
+set of :mod:`repro.service.server` and returns the decoded JSON
+documents.  Submissions accept either a manifest-entry ``dict`` or a
+:class:`~repro.runtime.jobs.ChaseJob` (converted through
+:func:`~repro.runtime.jobs.manifest_entry`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.runtime.jobs import ChaseJob, manifest_entry
+
+JobSpec = Union[ChaseJob, Dict[str, object]]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response, carrying the HTTP status and decoded body."""
+
+    def __init__(self, status: int, document: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {document.get('error', document)}")
+        self.status = status
+        self.document = document
+
+
+def _entry(spec: JobSpec) -> Dict[str, object]:
+    return manifest_entry(spec) if isinstance(spec, ChaseJob) else dict(spec)
+
+
+class ChaseServiceClient:
+    """Talks to one daemon at ``base_url`` (e.g. ``http://127.0.0.1:8080``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        timeout: Optional[float] = None,
+    ):
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body is not None else {},
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                document = json.loads(raw)
+            except json.JSONDecodeError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(exc.code, document) from None
+
+    def _json(self, method: str, path: str, body: Optional[bytes] = None, **kwargs) -> Dict[str, object]:
+        with self._request(method, path, body, **kwargs) as response:
+            return json.loads(response.read())
+
+    # -- health and stats -------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("GET", "/stats")
+
+    def wait_until_healthy(self, timeout: float = 10.0, interval: float = 0.05) -> Dict[str, object]:
+        """Poll ``/healthz`` until the daemon answers (startup helper)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, ConnectionError, socket.timeout):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    # -- jobs -------------------------------------------------------------
+
+    def submit_job(self, spec: JobSpec) -> Dict[str, object]:
+        """POST one job; raises :class:`ServiceError` on 4xx (e.g. 429)."""
+        body = json.dumps(_entry(spec), sort_keys=True).encode("utf-8")
+        return self._json("POST", "/jobs", body)
+
+    def job(self, job_id: str, wait: Optional[float] = None) -> Dict[str, object]:
+        suffix = f"?wait={wait}" if wait is not None else ""
+        timeout = None if wait is None else wait + self.timeout
+        return self._json("GET", f"/jobs/{job_id}{suffix}", timeout=timeout)
+
+    def run_job(self, spec: JobSpec, timeout: float = 60.0) -> Dict[str, object]:
+        """Submit, long-poll to terminal state, and return the record."""
+        submitted = self.submit_job(spec)
+        job_id = str(submitted["job_id"])
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not terminal after {timeout}s")
+            record = self.job(job_id, wait=min(remaining, 10.0))
+            if record["state"] == "done":
+                return record
+
+    # -- batches ----------------------------------------------------------
+
+    def submit_batch(
+        self,
+        specs_or_text: Union[str, List[JobSpec]],
+        admit_wait: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """POST a JSONL manifest (text, or a list of jobs/entries).
+
+        Without ``admit_wait`` admission is atomic: a manifest that
+        exceeds the daemon's free queue capacity gets 429.  With it,
+        the daemon admits with backpressure for up to that many
+        seconds, so manifests larger than the queue bound stream
+        through it.  The daemon clamps the window to half its record
+        TTL (the 202 response reports ``admit_wait_effective``); jobs
+        not admitted within it come back as rejected error rows.
+        """
+        if isinstance(specs_or_text, str):
+            text = specs_or_text
+        else:
+            text = "".join(
+                json.dumps(_entry(spec), sort_keys=True) + "\n" for spec in specs_or_text
+            )
+        suffix = f"?admit_wait={admit_wait}" if admit_wait is not None else ""
+        timeout = self.timeout + (admit_wait or 0.0)
+        return self._json(
+            "POST",
+            f"/batches{suffix}",
+            text.encode("utf-8"),
+            content_type="application/jsonl",
+            timeout=timeout,
+        )
+
+    def iter_batch_results(
+        self, batch_id: str, wait: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Stream a batch's result rows (trailer line included, last)."""
+        suffix = f"?wait={wait}" if wait is not None else ""
+        timeout = self.timeout + (wait if wait is not None else 3600.0)
+        with self._request("GET", f"/batches/{batch_id}{suffix}", timeout=timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def batch_results(
+        self, batch_id: str, wait: Optional[float] = None
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+        """All result rows plus the trailer document, collected."""
+        rows = list(self.iter_batch_results(batch_id, wait=wait))
+        if not rows or "batch_id" not in rows[-1]:
+            raise ServiceError(502, {"error": f"batch {batch_id} stream ended without trailer"})
+        return rows[:-1], rows[-1]
+
+    def run_batch(
+        self,
+        specs_or_text: Union[str, List[JobSpec]],
+        wait: Optional[float] = None,
+        admit_wait: Optional[float] = None,
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+        """Submit a manifest and stream it to completion."""
+        submitted = self.submit_batch(specs_or_text, admit_wait=admit_wait)
+        return self.batch_results(str(submitted["batch_id"]), wait=wait)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to drain and stop."""
+        return self._json("POST", "/shutdown", b"")

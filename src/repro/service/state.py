@@ -1,0 +1,258 @@
+"""Job and batch registry for the chase service daemon.
+
+The registry is the daemon's single source of truth about submissions:
+every accepted job gets a :class:`JobRecord` that moves through
+``queued → running → done`` (``done`` covers ok, timeout, and error —
+the precise status lives in the result row).  Batches are thin views: a
+:class:`BatchRecord` is an ordered list of job ids plus any manifest
+lines that never became jobs.
+
+Memory stays bounded two ways:
+
+* terminal records are kept only for ``ttl_seconds`` after finishing
+  (long enough for clients to poll the result, short enough that a
+  daemon serving heavy traffic does not accumulate every job it ever
+  ran), swept opportunistically by :meth:`JobRegistry.sweep`, and
+* admission control lives in the scheduler, so the registry never sees
+  more queued work than the queue bound allows.
+
+All methods take the registry lock; waiting for a record to reach a
+terminal state uses a single condition variable notified on every
+transition, which is what the HTTP layer's long-poll (``GET
+/jobs/<id>?wait=S``) blocks on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Lifecycle states of a job record.
+QUEUED, RUNNING, DONE = "queued", "running", "done"
+
+#: Default retention of terminal records (seconds).
+DEFAULT_TTL_SECONDS = 300.0
+
+#: Minimum spacing between opportunistic sweeps (:meth:`maybe_sweep`):
+#: a full sweep scans every retained record, so running one after
+#: *every* job completion would make completions O(records) under
+#: sustained traffic.
+DEFAULT_SWEEP_INTERVAL_SECONDS = 5.0
+
+
+@dataclass
+class JobRecord:
+    """One accepted submission and, eventually, its result row."""
+
+    job_id: str  # service-assigned, unique for this daemon's lifetime
+    client_id: str  # the id the submitter used (manifest "id" field)
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, object]] = None  # JobResult.as_dict() shape
+    deduped_of: Optional[str] = None  # primary job id this one shared
+
+    @property
+    def terminal(self) -> bool:
+        return self.state == DONE
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON document ``GET /jobs/<id>`` returns."""
+        document: Dict[str, object] = {
+            "job_id": self.job_id,
+            "client_id": self.client_id,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+        }
+        if self.deduped_of is not None:
+            document["deduped_of"] = self.deduped_of
+        return document
+
+
+@dataclass
+class BatchRecord:
+    """An ordered manifest submission: job ids plus rejected lines."""
+
+    batch_id: str
+    job_ids: List[str] = field(default_factory=list)
+    manifest_errors: List[Dict[str, object]] = field(default_factory=list)
+    submitted_at: float = 0.0
+
+
+class JobRegistry:
+    """Thread-safe store of job and batch records with TTL retention."""
+
+    def __init__(
+        self,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        sweep_interval_seconds: float = DEFAULT_SWEEP_INTERVAL_SECONDS,
+    ) -> None:
+        self.ttl_seconds = ttl_seconds
+        self.sweep_interval_seconds = sweep_interval_seconds
+        self._last_sweep = 0.0
+        self._jobs: Dict[str, JobRecord] = {}
+        self._batches: Dict[str, BatchRecord] = {}
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._job_counter = itertools.count(1)
+        self._batch_counter = itertools.count(1)
+        self.swept = 0
+
+    # -- creation ---------------------------------------------------------
+
+    def create_job(self, client_id: str) -> JobRecord:
+        with self._lock:
+            record = JobRecord(
+                job_id=f"j-{next(self._job_counter):06d}",
+                client_id=client_id,
+                submitted_at=time.time(),
+            )
+            self._jobs[record.job_id] = record
+            return record
+
+    def create_batch(
+        self,
+        job_ids: List[str],
+        manifest_errors: Optional[List[Dict[str, object]]] = None,
+    ) -> BatchRecord:
+        with self._lock:
+            record = BatchRecord(
+                batch_id=f"b-{next(self._batch_counter):06d}",
+                job_ids=list(job_ids),
+                manifest_errors=list(manifest_errors or []),
+                submitted_at=time.time(),
+            )
+            self._batches[record.batch_id] = record
+            return record
+
+    # -- transitions ------------------------------------------------------
+
+    def mark_running(self, job_id: str) -> None:
+        with self._changed:
+            record = self._jobs.get(job_id)
+            if record is not None and record.state == QUEUED:
+                record.state = RUNNING
+                record.started_at = time.time()
+                self._changed.notify_all()
+
+    def mark_requeued(self, job_id: str) -> None:
+        """Return a record to the queue (dedup member whose shared
+        execution produced a non-deterministic result): back to
+        ``queued`` with the aborted attempt's start time cleared."""
+        with self._changed:
+            record = self._jobs.get(job_id)
+            if record is not None and not record.terminal:
+                record.state = QUEUED
+                record.started_at = None
+                self._changed.notify_all()
+
+    def mark_done(
+        self,
+        job_id: str,
+        result: Dict[str, object],
+        deduped_of: Optional[str] = None,
+    ) -> None:
+        with self._changed:
+            record = self._jobs.get(job_id)
+            if record is None:  # swept mid-flight (tiny TTL): nothing to record
+                return
+            record.state = DONE
+            record.finished_at = time.time()
+            record.result = result
+            record.deduped_of = deduped_of
+            self._changed.notify_all()
+
+    # -- lookup -----------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def batch(self, batch_id: str) -> Optional[BatchRecord]:
+        with self._lock:
+            return self._batches.get(batch_id)
+
+    def wait_for_job(self, job_id: str, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Block until the job is terminal (or ``timeout`` elapses).
+
+        Returns the record in whatever state it reached — the HTTP
+        long-poll serves non-terminal states too — or ``None`` for an
+        unknown id.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None or record.terminal:
+                    return record
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return record
+                self._changed.wait(remaining)
+
+    # -- retention --------------------------------------------------------
+
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Drop terminal job records older than the TTL; returns the count.
+
+        Batches are swept once every member job has been swept — a
+        batch stream can never dangle on ids the registry forgot first
+        — and a batch with no member jobs at all (every manifest line
+        failed) ages out on its own submission time.
+        """
+        now = time.time() if now is None else now
+        cutoff = now - self.ttl_seconds
+        with self._lock:
+            self._last_sweep = now
+            expired = [
+                job_id
+                for job_id, record in self._jobs.items()
+                if record.terminal and record.finished_at is not None
+                and record.finished_at <= cutoff
+            ]
+            for job_id in expired:
+                del self._jobs[job_id]
+            stale_batches = [
+                batch_id
+                for batch_id, batch in self._batches.items()
+                if not any(j in self._jobs for j in batch.job_ids)
+                and (batch.job_ids or batch.submitted_at <= cutoff)
+            ]
+            for batch_id in stale_batches:
+                del self._batches[batch_id]
+            self.swept += len(expired)
+            return len(expired)
+
+    def maybe_sweep(self, now: Optional[float] = None) -> int:
+        """Sweep only if ``sweep_interval_seconds`` has passed since the
+        last one — the hot-path (per-completion) variant."""
+        now = time.time() if now is None else now
+        with self._lock:
+            due = now - self._last_sweep >= self.sweep_interval_seconds
+        return self.sweep(now) if due else 0
+
+    # -- reporting --------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            states = {QUEUED: 0, RUNNING: 0, DONE: 0}
+            for record in self._jobs.values():
+                states[record.state] += 1
+            return {
+                "jobs": len(self._jobs),
+                "batches": len(self._batches),
+                "swept": self.swept,
+                **states,
+            }
+
+    def snapshot(self) -> Tuple[List[JobRecord], List[BatchRecord]]:
+        """Point-in-time copies of the record lists (for tests/debugging)."""
+        with self._lock:
+            return list(self._jobs.values()), list(self._batches.values())

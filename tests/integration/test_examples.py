@@ -18,6 +18,7 @@ def test_examples_are_present():
         "termination_audit.py",
         "paper_experiments.py",
         "batch_service.py",
+        "chase_service_client.py",
     } <= set(EXAMPLE_SCRIPTS)
 
 

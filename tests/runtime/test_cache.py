@@ -1,6 +1,8 @@
-"""Result cache: keys, persistence, byte-identical replay."""
+"""Result cache: keys, persistence, byte-identical replay, LRU, versioning."""
 
 import json
+
+import pytest
 
 from repro.chase.engine import ChaseBudget
 from repro.model.parser import parse_database, parse_program
@@ -10,6 +12,7 @@ from repro.runtime import (
     ResultCache,
     result_cache_key,
 )
+from repro.runtime.cache import SCHEMA_VERSION
 
 
 def make_job(**kwargs):
@@ -62,7 +65,14 @@ class TestResultCache:
         entry = cache.get("k")
         assert entry is not None and entry.summary == {"size": 3}
         assert entry.instance_text == "R(a, b)"
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "evictions": 0,
+            "version_skipped": 0,
+        }
 
     def test_get_require_instance_misses_instanceless_entries(self):
         cache = ResultCache()
@@ -94,6 +104,116 @@ class TestResultCache:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 2
         assert json.loads(lines[0])["key"] == "k1"
+
+
+class TestLRUEviction:
+    def test_put_evicts_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"size": 1})
+        cache.put("b", {"size": 2})
+        cache.put("c", {"size": 3})
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"size": 1})
+        cache.put("b", {"size": 2})
+        assert cache.get("a") is not None  # a is now the fresh one
+        cache.put("c", {"size": 3})
+        assert "a" in cache and "b" not in cache
+
+    def test_restore_respects_cap_keeping_newest_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        full = ResultCache(path)
+        for index in range(5):
+            full.put(f"k{index}", {"size": index})
+        bounded = ResultCache(path, max_entries=2)
+        assert len(bounded) == 2
+        assert bounded.get("k4") is not None and bounded.get("k3") is not None
+        assert bounded.get("k0") is None
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_eviction_is_memory_only_file_keeps_entries(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path, max_entries=1)
+        cache.put("a", {"size": 1})
+        cache.put("b", {"size": 2})
+        assert "a" not in cache
+        # The append-only spill still holds both committed entries.
+        assert len(path.read_text().strip().splitlines()) == 2
+
+
+class TestSchemaVersioning:
+    def test_entries_are_stamped(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        ResultCache(path).put("k", {"size": 1})
+        record = json.loads(path.read_text())
+        assert record["schema_version"] == SCHEMA_VERSION
+
+    def test_stale_version_lines_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        stale = {"key": "old", "summary": {"size": 9}, "schema_version": SCHEMA_VERSION - 1}
+        unversioned = {"key": "ancient", "summary": {"size": 8}}  # pre-stamp file
+        current = {"key": "new", "summary": {"size": 1}, "schema_version": SCHEMA_VERSION}
+        path.write_text("".join(json.dumps(r) + "\n" for r in (stale, unversioned, current)))
+        with pytest.warns(UserWarning, match="schema version"):
+            reloaded = ResultCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("new") is not None
+        assert reloaded.get("old") is None and reloaded.get("ancient") is None
+        assert reloaded.stats()["version_skipped"] == 2
+
+    def test_compact_drops_stale_and_superseded_lines(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        with path.open("w") as handle:
+            handle.write(json.dumps({"key": "old", "summary": {}, "schema_version": 0}) + "\n")
+        with pytest.warns(UserWarning):
+            cache = ResultCache(path)
+        cache.put("k", {"size": 1})
+        cache.put("k", {"size": 2})  # supersedes the first append
+        assert len(path.read_text().strip().splitlines()) == 3
+        assert cache.compact() == 1
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["summary"] == {"size": 2}
+        # A reload sees exactly the compacted state, warning-free.
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 1 and reloaded.version_skipped == 0
+
+    def test_load_restores_from_sidecar_after_crashed_compact(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put("k1", {"size": 1})
+        cache.put("k2", {"size": 2})
+        # Simulate a SIGKILL between compact()'s truncate and write:
+        # the main file is empty, the sidecar holds the full content.
+        sidecar = path.with_suffix(path.suffix + ".compacting")
+        sidecar.write_text(path.read_text())
+        path.write_text("")
+        recovered = ResultCache(path)
+        assert len(recovered) == 2
+        assert recovered.get("k1") is not None and recovered.get("k2") is not None
+        assert not sidecar.exists()  # restored and cleaned up
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_compact_preserves_entries_appended_by_other_writers(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        mine = ResultCache(path)
+        mine.put("mine", {"size": 1})
+        # A second process sharing the file commits its own entry...
+        ResultCache(path).put("theirs", {"size": 2})
+        # ...and an eviction drops "mine" from *memory* only.
+        bounded = ResultCache(path, max_entries=1)
+        assert "mine" not in bounded  # "theirs" is the fresher line
+        assert bounded.compact() == 2  # both committed entries survive
+        reloaded = ResultCache(path)
+        assert reloaded.get("mine") is not None
+        assert reloaded.get("theirs") is not None
 
 
 class TestExecutorCacheIntegration:

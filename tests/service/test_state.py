@@ -1,0 +1,129 @@
+"""Job registry: lifecycle, long-poll waits, TTL retention."""
+
+import threading
+import time
+
+from repro.service import DONE, QUEUED, RUNNING, JobRegistry
+
+
+class TestLifecycle:
+    def test_create_and_transition(self):
+        registry = JobRegistry()
+        record = registry.create_job("client-1")
+        assert record.state == QUEUED and record.client_id == "client-1"
+        assert registry.job(record.job_id) is record
+        registry.mark_running(record.job_id)
+        assert record.state == RUNNING and record.started_at is not None
+        registry.mark_done(record.job_id, {"id": "client-1", "status": "ok"})
+        assert record.state == DONE and record.terminal
+        assert record.result["status"] == "ok"
+
+    def test_mark_done_from_queued_state(self):
+        # Dedup members can complete without ever being marked running.
+        registry = JobRegistry()
+        record = registry.create_job("c")
+        registry.mark_done(record.job_id, {"status": "ok"}, deduped_of="j-000099")
+        assert record.terminal and record.deduped_of == "j-000099"
+        assert record.as_dict()["deduped_of"] == "j-000099"
+
+    def test_service_ids_are_unique_even_for_equal_client_ids(self):
+        registry = JobRegistry()
+        a, b = registry.create_job("same"), registry.create_job("same")
+        assert a.job_id != b.job_id
+
+    def test_batches_record_order_and_errors(self):
+        registry = JobRegistry()
+        batch = registry.create_batch(["j-1", "j-2"], [{"id": "line-3", "status": "error"}])
+        assert registry.batch(batch.batch_id) is batch
+        assert batch.job_ids == ["j-1", "j-2"]
+        assert batch.manifest_errors[0]["id"] == "line-3"
+        assert registry.batch("b-unknown") is None
+
+
+class TestWaiting:
+    def test_wait_returns_immediately_when_terminal(self):
+        registry = JobRegistry()
+        record = registry.create_job("c")
+        registry.mark_done(record.job_id, {"status": "ok"})
+        assert registry.wait_for_job(record.job_id, timeout=0.0).terminal
+
+    def test_wait_times_out_returning_nonterminal_record(self):
+        registry = JobRegistry()
+        record = registry.create_job("c")
+        start = time.monotonic()
+        waited = registry.wait_for_job(record.job_id, timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+        assert waited is record and not waited.terminal
+
+    def test_wait_unblocks_on_completion(self):
+        registry = JobRegistry()
+        record = registry.create_job("c")
+
+        def finish():
+            time.sleep(0.05)
+            registry.mark_done(record.job_id, {"status": "ok"})
+
+        thread = threading.Thread(target=finish)
+        thread.start()
+        waited = registry.wait_for_job(record.job_id, timeout=5.0)
+        thread.join()
+        assert waited.terminal
+
+    def test_wait_unknown_id_is_none(self):
+        assert JobRegistry().wait_for_job("j-nope", timeout=0.0) is None
+
+
+class TestRetention:
+    def test_sweep_drops_only_expired_terminal_records(self):
+        registry = JobRegistry(ttl_seconds=10.0)
+        done_old = registry.create_job("old")
+        done_new = registry.create_job("new")
+        queued = registry.create_job("queued")
+        registry.mark_done(done_old.job_id, {"status": "ok"})
+        registry.mark_done(done_new.job_id, {"status": "ok"})
+        done_old.finished_at = time.time() - 60.0
+        assert registry.sweep() == 1
+        assert registry.job(done_old.job_id) is None
+        assert registry.job(done_new.job_id) is not None
+        assert registry.job(queued.job_id) is not None
+        assert registry.counts()["swept"] == 1
+
+    def test_sweep_drops_batches_once_all_jobs_swept(self):
+        registry = JobRegistry(ttl_seconds=0.0)
+        record = registry.create_job("c")
+        batch = registry.create_batch([record.job_id])
+        registry.mark_done(record.job_id, {"status": "ok"})
+        registry.sweep(now=time.time() + 1.0)
+        assert registry.job(record.job_id) is None
+        assert registry.batch(batch.batch_id) is None
+
+    def test_empty_batch_ages_out_on_submission_time(self):
+        # A batch whose every manifest line failed has no member jobs;
+        # it must still age out rather than leak for the daemon's life.
+        registry = JobRegistry(ttl_seconds=10.0)
+        batch = registry.create_batch([], [{"id": "line-1", "status": "error"}])
+        registry.sweep()
+        assert registry.batch(batch.batch_id) is not None  # still within TTL
+        registry.sweep(now=time.time() + 60.0)
+        assert registry.batch(batch.batch_id) is None
+
+    def test_maybe_sweep_throttles_to_the_interval(self):
+        registry = JobRegistry(ttl_seconds=0.0, sweep_interval_seconds=3600.0)
+        record = registry.create_job("c")
+        registry.mark_done(record.job_id, {"status": "ok"})
+        future = time.time() + 1.0
+        assert registry.maybe_sweep(now=future) == 1  # first sweep runs
+        stale = registry.create_job("d")
+        registry.mark_done(stale.job_id, {"status": "ok"})
+        assert registry.maybe_sweep(now=future + 1.0) == 0  # throttled
+        assert registry.job(stale.job_id) is not None
+        assert registry.maybe_sweep(now=future + 7200.0) == 1  # due again
+
+    def test_batch_survives_while_any_job_lives(self):
+        registry = JobRegistry(ttl_seconds=0.0)
+        done = registry.create_job("done")
+        pending = registry.create_job("pending")
+        batch = registry.create_batch([done.job_id, pending.job_id])
+        registry.mark_done(done.job_id, {"status": "ok"})
+        registry.sweep(now=time.time() + 1.0)
+        assert registry.batch(batch.batch_id) is not None
