@@ -1,11 +1,11 @@
-"""E14 — engine speed: compiled rule plans vs the legacy rescan.
+"""E17 — engine speed: interned fact store vs compiled plans vs legacy.
 
-The compiled-plan pipeline (PR: "Compiled rule plans + incremental
-trigger pipeline") must apply exactly the triggers the legacy engine
-applied while being measurably faster on the lower-bound families.
-``python -m repro bench-engine`` regenerates the full BENCH_engine.json
-report; this benchmark keeps a small always-on smoke version of it in
-the suite.
+The store engine (PR: "Interned fact-store core") must produce results
+byte-identical to both the term-level compiled pipeline and the legacy
+rescan while being measurably faster on the lower-bound families.
+``python -m repro bench-engine`` regenerates the full
+BENCH_engine.json report; this benchmark keeps a small always-on smoke
+version of it in the suite.
 """
 
 import pytest
@@ -16,7 +16,7 @@ from repro.chase.semi_oblivious import semi_oblivious_chase
 from repro.generators.families import guarded_lower_bound, sl_lower_bound
 
 
-@pytest.mark.benchmark(group="E14-engine-speed")
+@pytest.mark.benchmark(group="E17-engine-speed")
 def test_engine_speed_report(benchmark, report):
     workloads = [
         ("sl(n=2,m=2,ell=2)", *sl_lower_bound(2, 2, 2)),
@@ -28,7 +28,7 @@ def test_engine_speed_report(benchmark, report):
         budget=ChaseBudget(max_atoms=100_000),
         repeats=1,
     )
-    report("E14: compiled pipeline vs legacy engine (semi-oblivious)", rows)
+    report("E17: fact-store engine vs plans vs legacy (semi-oblivious)", rows)
     # Equivalence is a hard requirement; speed is reported, not asserted,
     # to keep the suite robust on loaded CI machines.
     assert all(row.measured["equivalent"] for row in rows)

@@ -6,8 +6,15 @@ chase forest of Section 5, and depth bookkeeping (Definition 4.3).
 """
 
 from repro.chase.plan import CompiledRule, TriggerPipeline
+from repro.chase.store_plan import StoreCompiledRule, StoreTriggerPipeline
 from repro.chase.trigger import Trigger
-from repro.chase.engine import ChaseBudget, ChaseResult, ChaseStatistics, DerivationStep
+from repro.chase.engine import (
+    ENGINES,
+    ChaseBudget,
+    ChaseResult,
+    ChaseStatistics,
+    DerivationStep,
+)
 from repro.chase.semi_oblivious import SemiObliviousChase, semi_oblivious_chase
 from repro.chase.oblivious import ObliviousChase, oblivious_chase
 from repro.chase.restricted import RestrictedChase, restricted_chase
@@ -26,9 +33,12 @@ VARIANT_RUNNERS = {
 
 __all__ = [
     "VARIANT_RUNNERS",
+    "ENGINES",
     "Trigger",
     "CompiledRule",
     "TriggerPipeline",
+    "StoreCompiledRule",
+    "StoreTriggerPipeline",
     "ChaseBudget",
     "ChaseResult",
     "ChaseStatistics",

@@ -20,9 +20,18 @@ from repro.model.homomorphism import (
     find_homomorphisms_with_forced_atom_reference,
 )
 from repro.model.instance import Database, Instance
+from repro.model.store import Fact, FactStore
 from repro.model.tgd import TGD, TGDSet
 from repro.chase.plan import CompiledRule, TriggerPipeline
+from repro.chase.store_plan import StoreCompiledRule, StoreTriggerPipeline
 from repro.chase.trigger import Trigger
+
+#: Engine implementations selectable per run.  ``store`` (the default)
+#: runs on the interned fact store, ``plans`` on the term-level
+#: compiled pipeline it superseded, ``legacy`` on the original
+#: per-round rescan over the reference homomorphism search (the
+#: executable specification, also reachable as ``compiled=False``).
+ENGINES = ("store", "plans", "legacy")
 
 
 class ChaseOutcome(Enum):
@@ -94,6 +103,9 @@ class ChaseResult:
     ----------
     instance:
         The materialised instance (the chase result if ``terminated``).
+        On the store engine this decodes *lazily* on first access: a
+        caller that only reads the summary (the batch runtime's normal
+        mode) never pays for atom materialisation at all.
     terminated:
         True iff the run reached a fixpoint within budget, i.e. the
         instance is ``chase(D, Σ)``.
@@ -107,7 +119,6 @@ class ChaseResult:
         chase forest; empty when recording was disabled.
     """
 
-    instance: Instance
     terminated: bool
     outcome: ChaseOutcome
     statistics: ChaseStatistics
@@ -115,11 +126,28 @@ class ChaseResult:
     database_size: int
     derivation: Tuple[DerivationStep, ...] = ()
     depth_truncated: bool = False
+    #: Eagerly materialised instance (plans/legacy engines) — internal,
+    #: read through the ``instance`` property.
+    _materialized: Optional[Instance] = None
+    #: Pending decode source (store engine) plus its O(1) atom count.
+    _store: Optional["FactStore"] = None
+    _atom_count: int = 0
+
+    @property
+    def instance(self) -> Instance:
+        """The materialised instance (decoded from the store on demand)."""
+        if self._materialized is None:
+            assert self._store is not None
+            self._materialized = self._store.to_instance()
+            self._store = None
+        return self._materialized
 
     @property
     def size(self) -> int:
-        """Number of atoms in the materialised instance."""
-        return len(self.instance)
+        """Number of atoms in the result (O(1), no materialisation)."""
+        if self._materialized is not None:
+            return len(self._materialized)
+        return self._atom_count
 
     def summary(self) -> Dict[str, object]:
         """A plain-data summary of the run (picklable, JSON-friendly).
@@ -159,12 +187,15 @@ class BaseChaseEngine:
     trigger's result is produced (which binding labels its nulls, and
     when the trigger counts as active).
 
-    By default the driver runs on the compiled-plan pipeline
-    (:class:`~repro.chase.plan.TriggerPipeline`): rules are compiled
-    once per run, delta atoms are routed through a predicate-relevance
-    map, and trigger identities are compact term tuples.  Passing
-    ``compiled=False`` falls back to the original per-round rescan over
-    the reference homomorphism search — kept as the "before" engine for
+    By default the driver runs on the interned fact store
+    (``engine="store"``): predicates and terms are dictionary-encoded
+    to dense ids, joins intersect posting lists of packed int tuples,
+    and atoms are only materialised at API boundaries.
+    ``engine="plans"`` selects the term-level compiled pipeline
+    (:class:`~repro.chase.plan.TriggerPipeline`) the store superseded,
+    and ``engine="legacy"`` (equivalently ``compiled=False``) the
+    original per-round rescan over the reference homomorphism search —
+    kept as the executable specification and the "before" engine for
     benchmarks and equivalence tests.
     """
 
@@ -172,12 +203,24 @@ class BaseChaseEngine:
     #: restricted), the full ``h`` when False (oblivious).
     uses_frontier_identity: bool = True
 
+    #: Set by the shipped variants, which implement
+    #: :meth:`store_evaluate`.  Custom subclasses that only override
+    #: the term-level hooks keep working: ``engine="store"`` silently
+    #: falls back to the plans pipeline for them.
+    supports_store_engine: bool = False
+
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
-                 record_derivation: bool = True, compiled: bool = True) -> None:
+                 record_derivation: bool = True, compiled: bool = True,
+                 engine: Optional[str] = None) -> None:
         self.tgds = tgds
         self.budget = budget or ChaseBudget()
         self.record_derivation = record_derivation
-        self.compiled = compiled
+        if engine is None:
+            engine = "store" if compiled else "legacy"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
+        self.engine = engine
+        self.compiled = engine != "legacy"
 
     # -- variant hooks ------------------------------------------------------
 
@@ -223,10 +266,44 @@ class BaseChaseEngine:
                 return atoms
         return None
 
+    # -- store-engine hooks ---------------------------------------------------
+
+    def store_evaluate(
+        self, store: FactStore, rule: StoreCompiledRule, canonical, key
+    ) -> Optional[List[Fact]]:
+        """Id-space twin of :meth:`evaluate`: result facts if active.
+
+        Runs entirely on interned ids — no atom or null objects.
+        ``key`` is the trigger's applied-memo key, already built by the
+        driver (variants reuse it instead of re-deriving the frontier).
+        The shipped variants override this (and set
+        ``supports_store_engine``); the base raises so a forgotten
+        override fails loudly instead of silently diverging.
+        """
+        raise NotImplementedError
+
+    def _store_evaluate_by_containment(
+        self, store: FactStore, rule: StoreCompiledRule, canonical, key
+    ) -> Optional[List[Fact]]:
+        """Shared store evaluate for the ``result ⊄ I`` variants."""
+        facts = rule.result_facts(
+            store, canonical, full_labels=not self.uses_frontier_identity
+        )
+        contains = store.contains
+        for pid, ids in facts:
+            if not contains(pid, ids):
+                return facts
+        return None
+
+    def _begin_store_run(self) -> None:
+        """Reset per-run store-engine state (variant hook)."""
+
     # -- driver ---------------------------------------------------------------
 
     def run(self, database: Instance) -> ChaseResult:
         """Chase ``database`` (a :class:`Database` or ground instance)."""
+        if self.engine == "store" and self.supports_store_engine:
+            return self._run_store(database)
         start = time.perf_counter()
         instance = Instance(database)
         statistics = ChaseStatistics()
@@ -352,11 +429,128 @@ class BaseChaseEngine:
 
         statistics.wall_seconds = time.perf_counter() - start
         return ChaseResult(
-            instance=instance,
+            _materialized=instance,
             terminated=outcome is ChaseOutcome.TERMINATED,
             outcome=outcome,
             statistics=statistics,
             max_depth=instance.max_depth(),
+            database_size=len(database),
+            derivation=tuple(derivation),
+            depth_truncated=depth_truncated,
+        )
+
+    def _run_store(self, database: Instance) -> ChaseResult:
+        """The store-backed driver: the :meth:`run` loop over id tuples.
+
+        Control flow mirrors :meth:`run` statement for statement (same
+        rounds, same budget checks, same memoisation points), so the
+        two drivers consider and apply exactly the same triggers; only
+        the data plane differs.  Atoms are decoded at exactly two
+        boundaries: derivation recording and the final instance.
+        """
+        start = time.perf_counter()
+        store = FactStore()
+        delta: List[Fact] = [store.add_atom(a) for a in database]
+        statistics = ChaseStatistics()
+        derivation: List[DerivationStep] = []
+        applied: Set = set()
+        outcome = ChaseOutcome.TERMINATED
+        depth_truncated = False
+        pipeline = StoreTriggerPipeline(self.tgds, store)
+        self._begin_store_run()
+        budget = self.budget
+        uses_frontier = self.uses_frontier_identity
+        store_evaluate = self.store_evaluate
+        add_fact = store.add
+        fact_depth = store.fact_depth
+
+        first_round = True
+        while True:
+            if statistics.rounds >= budget.max_rounds:
+                outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
+                break
+            # Materialise the round's triggers up front; the pending
+            # list aliases no live posting list, so applying triggers
+            # below is free to mutate the store.
+            pending = (
+                pipeline.initial_pending(store, uses_frontier)
+                if first_round
+                else pipeline.delta_pending(store, delta, uses_frontier)
+            )
+            first_round = False
+            new_facts: List[Fact] = []
+            over_budget = False
+            for rule, ids, key in pending:
+                statistics.triggers_considered += 1
+                if key in applied:
+                    continue
+                result_facts = store_evaluate(store, rule, ids, key)
+                if result_facts is None:
+                    applied.add(key)
+                    continue
+                if budget.truncate_at_depth and budget.max_depth is not None:
+                    kept = [
+                        f for f in result_facts if fact_depth(f[1]) <= budget.max_depth
+                    ]
+                    if len(kept) < len(result_facts):
+                        depth_truncated = True
+                        # Not memoised: the trigger stays pending (see run()).
+                        result_facts = kept
+                        if not result_facts:
+                            continue
+                    else:
+                        applied.add(key)
+                else:
+                    applied.add(key)
+                added = [f for f in result_facts if add_fact(f[0], f[1])]
+                statistics.triggers_applied += 1
+                statistics.atoms_created += len(added)
+                if added:
+                    new_facts.extend(added)
+                    if self.record_derivation:
+                        trigger = rule.make_trigger(store, ids)
+                        derivation.append(
+                            DerivationStep(
+                                trigger=trigger,
+                                guard_image=trigger.guard_image(),
+                                new_atoms=tuple(
+                                    store.decode_fact(pid, fids) for pid, fids in added
+                                ),
+                            )
+                        )
+                if len(store) > budget.max_atoms:
+                    outcome = ChaseOutcome.ATOM_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+                if budget.max_depth is not None and any(
+                    fact_depth(fids) > budget.max_depth for _, fids in added
+                ):
+                    outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+                if (
+                    budget.max_seconds is not None
+                    and time.perf_counter() - start > budget.max_seconds
+                ):
+                    outcome = ChaseOutcome.TIME_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+            statistics.rounds += 1
+            if over_budget:
+                break
+            if not new_facts:
+                outcome = ChaseOutcome.TERMINATED
+                break
+            delta = new_facts
+
+        statistics.wall_seconds = time.perf_counter() - start
+        return ChaseResult(
+            _store=store,
+            _atom_count=len(store),
+            terminated=outcome is ChaseOutcome.TERMINATED,
+            outcome=outcome,
+            statistics=statistics,
+            max_depth=store.max_depth(),
             database_size=len(database),
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,

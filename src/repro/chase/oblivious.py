@@ -24,6 +24,7 @@ class ObliviousChase(BaseChaseEngine):
     """Oblivious chase engine: trigger identity is ``(σ, h)`` in full."""
 
     uses_frontier_identity = False
+    supports_store_engine = True
 
     def trigger_key(self, trigger: Trigger):
         return trigger.full_key()
@@ -44,6 +45,8 @@ class ObliviousChase(BaseChaseEngine):
     ) -> Optional[List[Atom]]:
         return self._evaluate_by_containment(instance, rule, binding)
 
+    store_evaluate = BaseChaseEngine._store_evaluate_by_containment
+
 
 def oblivious_chase(
     database: Database,
@@ -51,9 +54,11 @@ def oblivious_chase(
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
     compiled: bool = True,
+    engine: Optional[str] = None,
 ) -> ChaseResult:
     """Run the oblivious chase of ``database`` w.r.t. ``tgds``."""
-    engine = ObliviousChase(
-        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    chase_engine = ObliviousChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
+        engine=engine,
     )
-    return engine.run(database)
+    return chase_engine.run(database)

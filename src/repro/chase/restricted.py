@@ -7,15 +7,22 @@ on the order of trigger applications; the engine below applies all
 active triggers level by level, which yields one particular fair
 derivation.  The paper's introduction recommends it for RAM-based
 implementations; we include it as a comparison baseline.
+
+All engines decide activeness through one implementation per data
+plane: :func:`head_extension_exists` for term-level instances (shared
+by :meth:`Trigger.is_active_restricted` and the plans engine, so the
+two cannot drift) and
+:meth:`~repro.chase.store_plan.StoreCompiledRule.head_satisfied` on the
+store path, which the equivalence suite pins to the same verdicts.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.model.atoms import Atom
-from repro.model.homomorphism import extend_homomorphism
+from repro.model.homomorphism import Substitution, extend_homomorphism
 from repro.model.instance import Database, Instance
 from repro.model.terms import Constant
 from repro.model.tgd import TGDSet
@@ -24,16 +31,33 @@ from repro.chase.plan import CompiledRule
 from repro.chase.trigger import Trigger
 
 
+def head_extension_exists(
+    head_atoms: Sequence[Atom], instance: Instance, frontier_binding: Substitution
+) -> bool:
+    """True iff some ``h' ⊇ h|fr(σ)`` maps the head into ``instance``.
+
+    The single term-level implementation of the restricted chase's
+    head-satisfaction test (the negation of activeness), used by both
+    the trigger API and the plans engine.  Runs on a compiled head plan
+    cached per (head, frontier), so repeated checks of the same rule
+    reuse one plan.
+    """
+    return extend_homomorphism(head_atoms, instance, frontier_binding) is not None
+
+
 class RestrictedChase(BaseChaseEngine):
     """Restricted chase engine: fire only when the head is not yet satisfied."""
 
     uses_frontier_identity = True
+    supports_store_engine = True
 
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
-                 record_derivation: bool = True, compiled: bool = True) -> None:
+                 record_derivation: bool = True, compiled: bool = True,
+                 engine: Optional[str] = None) -> None:
         super().__init__(tgds, budget=budget, record_derivation=record_derivation,
-                         compiled=compiled)
+                         compiled=compiled, engine=engine)
         self._fire_counter = itertools.count()
+        self._satisfied_memo: set = set()
 
     def trigger_key(self, trigger: Trigger):
         # Like the semi-oblivious chase, a restricted-chase trigger never
@@ -56,14 +80,37 @@ class RestrictedChase(BaseChaseEngine):
     def evaluate(
         self, instance: Instance, rule: CompiledRule, binding
     ) -> Optional[List[Atom]]:
-        # Activeness: no extension of h|fr(σ) maps the head into the
-        # instance.  extend_homomorphism runs on a compiled head plan
-        # cached per (head, frontier), shared across all activeness
-        # checks of this rule.
-        seed = rule.frontier_binding(binding)
-        if extend_homomorphism(rule.tgd.head, instance, seed) is not None:
+        if head_extension_exists(rule.tgd.head, instance, rule.frontier_binding(binding)):
             return None
         return self.trigger_result(rule.make_trigger(binding))
+
+    # -- store engine --------------------------------------------------------
+
+    def _begin_store_run(self) -> None:
+        self._satisfied_memo = set()
+
+    def store_evaluate(self, store, rule, canonical, key):
+        # Head satisfaction is monotone (the chase only adds facts), so
+        # a positive verdict is memoised for the rest of the run under
+        # the trigger's frontier key.  The driver's applied-key memo
+        # already covers evaluated triggers; this memo additionally
+        # keeps triggers that stay pending (depth truncation) from
+        # re-running the head join.
+        memo = self._satisfied_memo
+        if key in memo:
+            return None
+        if rule.head_satisfied(store, canonical):
+            memo.add(key)
+            return None
+        # The counter ticks for every fired trigger — full rules
+        # included — to keep null numbering aligned with the legacy
+        # engine; the constant itself is only interned when a null will
+        # actually carry it.
+        fire = next(self._fire_counter)
+        fire_tid = (
+            store.intern_term(Constant(f"fire{fire}")) if rule.has_existentials else -1
+        )
+        return rule.result_facts_fired(store, canonical, fire_tid)
 
 
 def restricted_chase(
@@ -72,9 +119,11 @@ def restricted_chase(
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
     compiled: bool = True,
+    engine: Optional[str] = None,
 ) -> ChaseResult:
     """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``."""
-    engine = RestrictedChase(
-        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    chase_engine = RestrictedChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
+        engine=engine,
     )
-    return engine.run(database)
+    return chase_engine.run(database)

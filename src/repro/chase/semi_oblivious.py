@@ -24,6 +24,7 @@ class SemiObliviousChase(BaseChaseEngine):
     """Semi-oblivious chase engine: trigger identity is ``(σ, h|fr(σ))``."""
 
     uses_frontier_identity = True
+    supports_store_engine = True
 
     def trigger_key(self, trigger: Trigger):
         return trigger.frontier_key()
@@ -39,6 +40,10 @@ class SemiObliviousChase(BaseChaseEngine):
     ) -> Optional[List[Atom]]:
         return self._evaluate_by_containment(instance, rule, binding)
 
+    # Class-level alias, not a wrapper def: store_evaluate runs once
+    # per considered trigger, so the extra frame would be measurable.
+    store_evaluate = BaseChaseEngine._store_evaluate_by_containment
+
 
 def semi_oblivious_chase(
     database: Database,
@@ -46,16 +51,19 @@ def semi_oblivious_chase(
     budget: Optional[ChaseBudget] = None,
     record_derivation: bool = True,
     compiled: bool = True,
+    engine: Optional[str] = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
     Returns a :class:`ChaseResult`; ``result.terminated`` is True iff
     the chase reached a fixpoint within the budget, in which case
     ``result.instance`` is ``chase(D, Σ)`` and ``result.max_depth`` is
-    ``maxdepth(D, Σ)``.  ``compiled=False`` selects the legacy rescan
-    engine (benchmark baseline).
+    ``maxdepth(D, Σ)``.  ``engine`` picks the implementation
+    (``"store"``, ``"plans"`` or ``"legacy"``); ``compiled=False`` is
+    shorthand for the legacy rescan engine (benchmark baseline).
     """
-    engine = SemiObliviousChase(
-        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled
+    chase_engine = SemiObliviousChase(
+        tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
+        engine=engine,
     )
-    return engine.run(database)
+    return chase_engine.run(database)

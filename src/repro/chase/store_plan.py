@@ -1,0 +1,604 @@
+"""Compiled rule plans over the interned fact store.
+
+This is the :mod:`repro.chase.plan` pipeline recompiled against
+:class:`~repro.model.store.FactStore`: the same greedy join orders, the
+same per-atom bound-position templates, the same semi-naive delta
+routing — but every slot array holds dense term ids, candidate
+enumeration intersects posting lists of packed int tuples, and trigger
+keys, null labels and result facts are all built by indexing id tuples.
+No :class:`~repro.model.atoms.Atom` or
+:class:`~repro.model.terms.Null` object is constructed on this path;
+decoding happens only at API boundaries (derivation recording, the
+final :class:`~repro.model.instance.Instance`).
+
+Structure sharing with the term-level pipeline is deliberate: the atom
+order comes from :func:`~repro.model.homomorphism._plan_order` and the
+position templates from
+:func:`~repro.model.homomorphism.classify_atom_positions`, so the two
+compiled engines enumerate the same joins and the equivalence suite
+can compare them homomorphism for homomorphism.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.homomorphism import _plan_order, classify_atom_positions
+from repro.model.store import Fact, FactStore
+from repro.model.terms import Term, Variable
+from repro.model.tgd import TGD, TGDSet
+from repro.chase.trigger import Trigger
+
+#: A body homomorphism as term ids in the rule's sorted-variable order.
+CanonicalIds = Tuple[int, ...]
+
+#: Sentinel for an unbound slot (term ids are non-negative).
+_UNSET_ID = -1
+
+def _tuple_getter(indexes: Sequence[int]) -> Callable[[Sequence[int]], Tuple[int, ...]]:
+    """A callable extracting ``tuple(seq[i] for i in indexes)``.
+
+    Uses :func:`operator.itemgetter` (C speed) for the common case;
+    the 0- and 1-index arities need wrapping because itemgetter then
+    returns a scalar instead of a tuple.
+    """
+    if not indexes:
+        return lambda seq: ()
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda seq: (seq[index],)
+    return itemgetter(*indexes)
+
+
+#: A per-atom evaluation step over the store: (pid, consts, lookups,
+#: binds, checks) with positions 0-based and consts carrying term ids.
+_StoreStep = Tuple[
+    int,
+    Tuple[Tuple[int, int], ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Tuple[int, int], ...],
+]
+
+
+class StoreBodyPlan:
+    """A compiled backtracking join over id tuples.
+
+    The id-space twin of :class:`~repro.model.homomorphism.BodyPlan`:
+    fixed atom order, integer slots per variable, per-atom templates of
+    constant/lookup/bind/check positions.  ``bound_first`` variables
+    keep a slot even when they do not occur in the atoms (delta plans
+    seed them from the forced fact and read them back out).
+    """
+
+    __slots__ = ("atoms", "ordered", "variables", "slot_of", "_steps")
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        store: FactStore,
+        bound_first: Sequence[Variable] = (),
+        use_selectivity: bool = True,
+    ) -> None:
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        bound = frozenset(bound_first)
+        selectivity = None
+        if use_selectivity:
+            def selectivity(predicate: Predicate) -> int:
+                return store.count(store.intern_predicate(predicate))
+        self.ordered: Tuple[Atom, ...] = tuple(_plan_order(self.atoms, bound, selectivity))
+        slot_of: Dict[Variable, int] = {}
+        for v in sorted(bound, key=lambda v: v.name):
+            slot_of[v] = len(slot_of)
+        for a in self.ordered:
+            for arg in a.args:
+                if isinstance(arg, Variable) and arg not in slot_of:
+                    slot_of[arg] = len(slot_of)
+        self.slot_of = slot_of
+        self.variables: Tuple[Variable, ...] = tuple(
+            sorted(slot_of, key=lambda v: slot_of[v])
+        )
+        steps: List[_StoreStep] = []
+        known: Set[Variable] = set(bound)
+        for pattern in self.ordered:
+            predicate, consts, lookups, binds, checks = classify_atom_positions(
+                pattern, known, slot_of
+            )
+            steps.append(
+                (
+                    store.intern_predicate(predicate),
+                    tuple((i, store.intern_term(t)) for i, t in consts),
+                    lookups,
+                    binds,
+                    checks,
+                )
+            )
+            known |= pattern.variables()
+        self._steps: Tuple[_StoreStep, ...] = tuple(steps)
+
+    def fresh_slots(self) -> List[int]:
+        return [_UNSET_ID] * len(self.variables)
+
+    def iter_ids(
+        self, store: FactStore, slots: Optional[List[int]] = None
+    ) -> Iterator[List[int]]:
+        """Yield the live slot array for every body image in ``store``.
+
+        The *same* list is yielded each time; copy out what you need
+        before advancing.  ``store`` must not be mutated while the
+        generator is live (candidates alias posting lists).
+        """
+        if slots is None:
+            slots = [_UNSET_ID] * len(self.variables)
+        return self._backtrack(store, slots, self._steps, 0)
+
+    def _backtrack(
+        self,
+        store: FactStore,
+        slots: List[int],
+        steps: Tuple[_StoreStep, ...],
+        index: int,
+    ) -> Iterator[List[int]]:
+        if index == len(steps):
+            yield slots
+            return
+        pid, consts, lookups, binds, checks = steps[index]
+        if consts or lookups:
+            bound = list(consts)
+            for position, slot in lookups:
+                bound.append((position, slots[slot]))
+            candidates = store.candidates(pid, bound)
+        else:
+            candidates = store.facts_of(pid)
+        if not candidates:
+            return
+        next_index = index + 1
+        for ids in candidates:
+            for position, slot in binds:
+                slots[slot] = ids[position]
+            ok = True
+            for position, slot in checks:
+                if slots[slot] != ids[position]:
+                    ok = False
+                    break
+            if ok:
+                yield from self._backtrack(store, slots, steps, next_index)
+        for _, slot in binds:
+            slots[slot] = _UNSET_ID
+
+
+class StoreDeltaPlan:
+    """One body atom's semi-naive entry point in id space."""
+
+    __slots__ = (
+        "pid",
+        "plan",
+        "perm_get",
+        "consts",
+        "binds",
+        "checks",
+        "_direct_get",
+        "_direct_checks",
+    )
+
+    def __init__(self, pattern: Atom, rest: Sequence[Atom], rule: "StoreCompiledRule",
+                 store: FactStore) -> None:
+        self.pid = store.intern_predicate(pattern.predicate)
+        self.plan = StoreBodyPlan(rest, store, bound_first=tuple(pattern.variables()))
+        perm = tuple(self.plan.slot_of[v] for v in rule.sorted_variables)
+        self.perm_get = _tuple_getter(perm)
+        _, consts, _, self.binds, self.checks = classify_atom_positions(
+            pattern, set(), self.plan.slot_of
+        )
+        self.consts: Tuple[Tuple[int, int], ...] = tuple(
+            (i, store.intern_term(t)) for i, t in consts
+        )
+        # Single-atom bodies (every linear rule) skip the slot array
+        # entirely: the canonical tuple is a pure permutation of the
+        # forced fact, and repeated-variable checks compare positions
+        # of the forced fact against each other.
+        self._direct_get = None
+        self._direct_checks: Tuple[Tuple[int, int], ...] = ()
+        if not rest:
+            position_of_slot = {slot: position for position, slot in self.binds}
+            self._direct_get = _tuple_getter(tuple(position_of_slot[s] for s in perm))
+            self._direct_checks = tuple(
+                (position, position_of_slot[slot]) for position, slot in self.checks
+            )
+
+    def canonicals(self, store: FactStore, forced: Tuple[int, ...]) -> Iterator[CanonicalIds]:
+        """Canonical id bindings whose pattern maps onto ``forced``."""
+        for position, tid in self.consts:
+            if forced[position] != tid:
+                return
+        direct = self._direct_get
+        if direct is not None:
+            for position, first in self._direct_checks:
+                if forced[position] != forced[first]:
+                    return
+            yield direct(forced)
+            return
+        slots = self.plan.fresh_slots()
+        for position, slot in self.binds:
+            slots[slot] = forced[position]
+        for position, slot in self.checks:
+            if slots[slot] != forced[position]:
+                return
+        perm_get = self.perm_get
+        for bound in self.plan.iter_ids(store, slots):
+            yield perm_get(bound)
+
+
+class StoreCompiledRule:
+    """Everything per-TGD the store-backed chase needs, computed once.
+
+    A :data:`CanonicalIds` tuple lays out the body homomorphism's term
+    ids in sorted-variable order, exactly like the term-level
+    :class:`~repro.chase.plan.CompiledRule` canonical; trigger keys are
+    ``(rule index, id tuple)``.  Null labels are parallel
+    (names, ids) tuples whose name components are precomputed per rule
+    and labelling mode, in the sorted order
+    :func:`~repro.model.terms.make_null` would produce — so decoding a
+    store null yields a :class:`~repro.model.terms.Null` *equal* to the
+    legacy engine's.
+    """
+
+    __slots__ = (
+        "tgd",
+        "rule_id",
+        "index",
+        "body_plan",
+        "delta_plans",
+        "sorted_variables",
+        "frontier_get",
+        "has_existentials",
+        "_var_names",
+        "_frontier_index",
+        "_existentials",
+        "_head_template",
+        "_head_simple",
+        "_head_builders",
+        "_body_perm_get",
+        "_names_frontier",
+        "_names_full",
+        "_names_fired",
+        "_fire_slot",
+        "_head_plan",
+        "_head_seed",
+        "_head_single",
+        "_store",
+    )
+
+    def __init__(self, tgd: TGD, store: FactStore, index: int) -> None:
+        self.tgd = tgd
+        self.rule_id = tgd.rule_id
+        self.index = index
+        self._store = store
+        body = tgd.body
+        frontier = tgd.frontier()
+        self.sorted_variables: Tuple[Variable, ...] = tuple(
+            sorted(tgd.body_variables(), key=lambda v: v.name)
+        )
+        self._var_names = tuple(v.name for v in self.sorted_variables)
+        self._frontier_index = tuple(
+            i for i, v in enumerate(self.sorted_variables) if v in frontier
+        )
+        self.frontier_get = _tuple_getter(self._frontier_index)
+        self._existentials = tuple(
+            v.name for v in sorted(tgd.existential_variables(), key=lambda v: v.name)
+        )
+        self.has_existentials = bool(self._existentials)
+
+        self.body_plan = StoreBodyPlan(body, store)
+        self._body_perm_get = _tuple_getter(
+            tuple(self.body_plan.slot_of[v] for v in self.sorted_variables)
+        )
+        self.delta_plans: List[StoreDeltaPlan] = [
+            StoreDeltaPlan(pattern, body[:i] + body[i + 1 :], self, store)
+            for i, pattern in enumerate(body)
+        ]
+
+        # Head template: per head atom its pid plus one spec per
+        # argument — a canonical index for a frontier variable, or
+        # ``-1 - k`` for the k-th existential variable.
+        position_of = {v: i for i, v in enumerate(self.sorted_variables)}
+        existential_slot = {name: k for k, name in enumerate(self._existentials)}
+        self._head_template: Tuple[Tuple[int, Tuple[int, ...]], ...] = tuple(
+            (
+                store.intern_predicate(a.predicate),
+                tuple(
+                    position_of[arg]
+                    if arg in position_of
+                    else -1 - existential_slot[arg.name]
+                    for arg in a.args
+                ),
+            )
+            for a in tgd.head
+        )
+        # Precompiled head builders: a head atom whose arguments are all
+        # frontier variables is a pure permutation of the canonical
+        # tuple (an itemgetter); only atoms with existentials fall back
+        # to the template walk.  Rules without existentials skip null
+        # labelling entirely via ``_head_simple``.
+        self._head_builders = tuple(
+            (
+                pid,
+                _tuple_getter(template) if min(template, default=0) >= 0 else None,
+                template,
+            )
+            for pid, template in self._head_template
+        )
+        self._head_simple = (
+            tuple((pid, getter) for pid, getter, _ in self._head_builders)
+            if not self._existentials
+            else None
+        )
+
+        # Null label name tuples per labelling mode, pre-sorted the way
+        # make_null sorts binding items.
+        frontier_names = tuple(self._var_names[i] for i in self._frontier_index)
+        self._names_frontier = frontier_names
+        self._names_full = self._var_names
+        fired = sorted(frontier_names + ("__fire__",))
+        self._names_fired = tuple(fired)
+        self._fire_slot = fired.index("__fire__")
+
+        # Head-satisfaction plan (restricted chase): join the head into
+        # the store with the frontier seeded from the canonical tuple.
+        # Compiled lazily — only multi-atom heads under the restricted
+        # variant ever run it, and tiny workloads are dominated by
+        # per-run compilation otherwise.
+        self._head_plan = None
+        self._head_seed: Tuple[Tuple[int, int], ...] = ()
+        # Single-atom heads (the overwhelmingly common shape) shortcut
+        # the plan entirely: satisfaction is one posting-list probe
+        # (plus equality checks when an existential repeats in the atom).
+        self._head_single = None
+        if len(tgd.head) == 1:
+            head_atom = tgd.head[0]
+            bound_template: List[Tuple[int, int]] = []
+            first_of_existential: Dict[str, int] = {}
+            repeat_checks: List[Tuple[int, int]] = []
+            for position, arg in enumerate(head_atom.args):
+                canonical_index = position_of.get(arg)
+                if canonical_index is not None:
+                    bound_template.append((position, canonical_index))
+                else:
+                    seen_at = first_of_existential.get(arg.name)
+                    if seen_at is None:
+                        first_of_existential[arg.name] = position
+                    else:
+                        repeat_checks.append((seen_at, position))
+            self._head_single = (
+                store.intern_predicate(head_atom.predicate),
+                tuple(bound_template),
+                tuple(repeat_checks),
+            )
+
+    # -- trigger identity ---------------------------------------------------
+
+    def frontier_ids(self, canonical: CanonicalIds) -> CanonicalIds:
+        """``h|fr(σ)`` as an id tuple (semi-oblivious/restricted key)."""
+        return self.frontier_get(canonical)
+
+    # -- results ------------------------------------------------------------
+
+    def result_facts(
+        self, store: FactStore, canonical: CanonicalIds, full_labels: bool = False
+    ) -> List[Fact]:
+        """``result(σ, h)`` as packed facts, no atom materialisation."""
+        simple = self._head_simple
+        if simple is not None:
+            return [(pid, getter(canonical)) for pid, getter in simple]
+        if full_labels:
+            names, label_ids = self._names_full, canonical
+        else:
+            names = self._names_frontier
+            label_ids = self.frontier_get(canonical)
+        return self._build_facts(store, canonical, names, label_ids)
+
+    def result_facts_fired(
+        self, store: FactStore, canonical: CanonicalIds, fire_tid: int
+    ) -> List[Fact]:
+        """Restricted-chase result: frontier labels plus the fire mark."""
+        simple = self._head_simple
+        if simple is not None:
+            return [(pid, getter(canonical)) for pid, getter in simple]
+        label = list(self.frontier_get(canonical))
+        label.insert(self._fire_slot, fire_tid)
+        return self._build_facts(store, canonical, self._names_fired, tuple(label))
+
+    def _build_facts(
+        self,
+        store: FactStore,
+        canonical: CanonicalIds,
+        names: Tuple[str, ...],
+        label_ids: Tuple[int, ...],
+    ) -> List[Fact]:
+        rule_id = self.rule_id
+        intern_null = store.intern_null
+        nulls = [
+            intern_null(rule_id, name, names, label_ids)
+            for name in self._existentials
+        ]
+        return [
+            (pid, getter(canonical))
+            if getter is not None
+            else (
+                pid,
+                tuple(
+                    canonical[spec] if spec >= 0 else nulls[-1 - spec]
+                    for spec in template
+                ),
+            )
+            for pid, getter, template in self._head_builders
+        ]
+
+    # -- restricted activeness ----------------------------------------------
+
+    def head_satisfied(self, store: FactStore, canonical: CanonicalIds) -> bool:
+        """True iff some ``h' ⊇ h|fr(σ)`` maps the head into the store.
+
+        This is the restricted chase's activeness test run entirely on
+        posting lists: a single-atom head is one candidates() probe
+        seeded with frontier ids; multi-atom heads run the compiled
+        head plan and the first witness wins.
+        """
+        single = self._head_single
+        if single is not None:
+            pid, bound_template, repeat_checks = single
+            candidates = store.candidates(
+                pid, [(position, canonical[i]) for position, i in bound_template]
+            )
+            if not repeat_checks:
+                return bool(candidates)
+            for ids in candidates:
+                if all(ids[a] == ids[b] for a, b in repeat_checks):
+                    return True
+            return False
+        if self._head_plan is None:
+            frontier = self.tgd.frontier()
+            self._head_plan = StoreBodyPlan(
+                self.tgd.head,
+                self._store,
+                bound_first=tuple(sorted(frontier, key=lambda v: v.name)),
+            )
+            slot_of = self._head_plan.slot_of
+            self._head_seed = tuple(
+                (slot_of[v], i)
+                for i, v in enumerate(self.sorted_variables)
+                if v in frontier
+            )
+        slots = self._head_plan.fresh_slots()
+        for slot, i in self._head_seed:
+            slots[slot] = canonical[i]
+        for _ in self._head_plan.iter_ids(store, slots):
+            return True
+        return False
+
+    # -- decoding (API boundary) ---------------------------------------------
+
+    def make_trigger(self, store: FactStore, canonical: CanonicalIds) -> Trigger:
+        """Materialise the :class:`Trigger` for derivation recording."""
+        return Trigger(
+            tgd=self.tgd,
+            homomorphism=tuple(
+                (name, store.term_of_id(tid))
+                for name, tid in zip(self._var_names, canonical)
+            ),
+        )
+
+    # -- enumeration ---------------------------------------------------------
+
+    def initial_canonicals(self, store: FactStore) -> Iterator[CanonicalIds]:
+        perm_get = self._body_perm_get
+        for bound in self.body_plan.iter_ids(store):
+            yield perm_get(bound)
+
+
+#: A pending trigger: (rule, canonical ids, applied-memo key).
+PendingTrigger = Tuple[StoreCompiledRule, CanonicalIds, Tuple[int, CanonicalIds]]
+
+
+class StoreTriggerPipeline:
+    """Relevance-routed trigger enumeration over the fact store.
+
+    The id-space twin of :class:`~repro.chase.plan.TriggerPipeline`:
+    one :class:`StoreCompiledRule` per TGD, a ``pid -> [(rule, body
+    index)]`` relevance map, and per-round dedup of repeated body
+    images by their compact ``(rule index, id tuple)`` key.  Unlike the
+    term pipeline it hands the driver fully keyed *pending lists*
+    rather than a generator: the round's triggers are materialised
+    before application anyway, and building them in one flat loop
+    avoids per-trigger generator resumptions on the hottest path.
+    """
+
+    def __init__(self, tgds: TGDSet, store: FactStore) -> None:
+        self.rules: List[StoreCompiledRule] = [
+            StoreCompiledRule(t, store, index) for index, t in enumerate(tgds)
+        ]
+        self.relevance: Dict[int, List[Tuple[StoreCompiledRule, int]]] = {}
+        self._delta_entries: List[Tuple[StoreCompiledRule, int, int]] = []
+        for rule in self.rules:
+            for index, atom in enumerate(rule.tgd.body):
+                pid = store.intern_predicate(atom.predicate)
+                self.relevance.setdefault(pid, []).append((rule, index))
+                self._delta_entries.append((rule, index, pid))
+
+    def initial_pending(
+        self, store: FactStore, uses_frontier: bool
+    ) -> List[PendingTrigger]:
+        """All body homomorphisms into the store, keyed (round one)."""
+        pending: List[PendingTrigger] = []
+        append = pending.append
+        for rule in self.rules:
+            rule_index = rule.index
+            key_get = rule.frontier_get if uses_frontier else None
+            for canonical in rule.initial_canonicals(store):
+                key = (rule_index, key_get(canonical) if key_get else canonical)
+                append((rule, canonical, key))
+        return pending
+
+    def delta_pending(
+        self, store: FactStore, delta: Sequence[Fact], uses_frontier: bool
+    ) -> List[PendingTrigger]:
+        """Keyed triggers whose body image uses at least one delta fact.
+
+        A rule with a single-atom body cannot produce the same
+        canonical from two distinct forced facts (the canonical is a
+        permutation of the fact), and it has no second delta entry to
+        collide with — such entries skip the round-local ``seen`` set
+        entirely.
+        """
+        by_pid: Dict[int, List[Tuple[int, ...]]] = {}
+        relevance = self.relevance
+        for pid, ids in delta:
+            if pid in relevance:
+                by_pid.setdefault(pid, []).append(ids)
+        pending: List[PendingTrigger] = []
+        if not by_pid:
+            return pending
+        append = pending.append
+        seen: Set[Tuple[int, CanonicalIds]] = set()
+        seen_add = seen.add
+        for rule, index, pid in self._delta_entries:
+            forced_facts = by_pid.get(pid)
+            if not forced_facts:
+                continue
+            delta_plan = rule.delta_plans[index]
+            rule_index = rule.index
+            key_get = rule.frontier_get if uses_frontier else None
+            dedup = len(rule.delta_plans) > 1
+            direct = delta_plan._direct_get
+            if direct is not None and not dedup:
+                # Linear rule: one delta entry, injective pattern match.
+                direct_checks = delta_plan._direct_checks
+                consts = delta_plan.consts
+                for forced in forced_facts:
+                    ok = True
+                    for position, tid in consts:
+                        if forced[position] != tid:
+                            ok = False
+                            break
+                    if ok:
+                        for position, first in direct_checks:
+                            if forced[position] != forced[first]:
+                                ok = False
+                                break
+                    if not ok:
+                        continue
+                    canonical = direct(forced)
+                    key = (rule_index, key_get(canonical) if key_get else canonical)
+                    append((rule, canonical, key))
+                continue
+            for forced in forced_facts:
+                for canonical in delta_plan.canonicals(store, forced):
+                    dedup_key = (rule_index, canonical)
+                    if dedup_key in seen:
+                        continue
+                    seen_add(dedup_key)
+                    key = (rule_index, key_get(canonical) if key_get else canonical)
+                    append((rule, canonical, key))
+        return pending

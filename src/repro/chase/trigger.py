@@ -14,11 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.model.atoms import Atom
-from repro.model.homomorphism import (
-    Substitution,
-    apply_substitution,
-    find_homomorphisms_reference,
-)
+from repro.model.homomorphism import Substitution, apply_substitution
 from repro.model.instance import Instance
 from repro.model.terms import Term, Variable, make_null
 
@@ -92,16 +88,18 @@ class Trigger:
 
         The restricted (standard) chase only fires a trigger when there
         is *no* homomorphism ``h' ⊇ h|fr(σ)`` from the head into the
-        instance.  (Runs on the reference search; the compiled engine
-        checks activeness through a cached head plan instead, see
-        :meth:`RestrictedChase.evaluate`.)
+        instance.  Delegates to the single shared implementation
+        (:func:`repro.chase.restricted.head_extension_exists`) so the
+        trigger API and the engines cannot drift; the verdict is a pure
+        existence check, so the candidate exploration order underneath
+        cannot change it.
         """
+        from repro.chase.restricted import head_extension_exists
+
         frontier = self.tgd.frontier()
         substitution = self.substitution()
         seed: Substitution = {v: substitution[v] for v in frontier}
-        for _ in find_homomorphisms_reference(self.tgd.head, instance, seed=seed):
-            return False
-        return True
+        return not head_extension_exists(self.tgd.head, instance, seed)
 
     def guard_image(self) -> Optional[Atom]:
         """The image of the rule's guard atom, if the rule is guarded.

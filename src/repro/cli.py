@@ -8,7 +8,7 @@ Four subcommands mirror the library's main entry points::
                                                             [--max-atoms N] [--max-rounds N]
                                                             [--max-depth N] [--max-seconds S]
                                                             [--format text|json] [--output FILE]
-                                                            [--legacy-engine]
+                                                            [--engine store|plans|legacy]
     python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
                                              [--timeout S] [--materialize]
     python -m repro serve     [--host H] [--port P] [--workers N] [--cache FILE]
@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.chase import VARIANT_RUNNERS as _VARIANTS
+from repro.chase.engine import ENGINES as _ENGINES
 from repro.chase.engine import ChaseBudget
 from repro.core.bounds import depth_bound, magnitude, size_bound_factor
 from repro.core.classify import TGDClass, classify
@@ -100,12 +101,13 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         max_depth=args.max_depth,
         max_seconds=args.max_seconds,
     )
+    engine = "legacy" if args.legacy_engine else args.engine
     result = runner(
         database,
         program,
         budget=budget,
         record_derivation=False,
-        compiled=not args.legacy_engine,
+        engine=engine,
     )
     status = "terminated" if result.terminated else f"stopped ({result.outcome.value})"
     print(
@@ -143,6 +145,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=cache,
         materialize=args.materialize,
         per_job_timeout=args.timeout,
+        engine=args.engine,
     )
     out_handle = Path(args.output).open("w") if args.output else sys.stdout
     counts = {"ok": 0, "timeout": 0, "error": len(bad), "cached": 0}
@@ -236,19 +239,49 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
-    from repro.bench.drivers import engine_benchmark_rows, format_table, write_engine_report
+    from repro.bench.drivers import (
+        engine_benchmark_rows,
+        engine_memory_row,
+        format_table,
+        write_engine_report,
+    )
 
-    rows = engine_benchmark_rows(repeats=args.repeats)
-    report = write_engine_report(path=args.output, rows=rows)
+    rows = engine_benchmark_rows(repeats=args.repeats, quick=args.quick)
+    if not args.quick:
+        rows.append(engine_memory_row())
+    report = write_engine_report(path=args.output, rows=rows, quick=args.quick)
     print(format_table(rows))
     summary = report["summary"]
+    gates = (
+        ""
+        if args.quick
+        else (
+            f"min big SL/L speedup vs plans: "
+            f"{summary['min_big_sl_l_speedup_vs_plans']}x, "
+            f"min restricted-heavy speedup vs plans: "
+            f"{summary['min_restricted_heavy_speedup_vs_plans']}x, "
+        )
+    )
     print(
-        f"\nmin semi-oblivious speedup: {summary['min_semi_oblivious_speedup']}x, "
-        f"all runs equivalent: {summary['all_equivalent']}",
+        f"\nmin speedup vs legacy: {summary['min_speedup_vs_legacy']}x, "
+        f"{gates}all runs equivalent: {summary['all_equivalent']}",
         file=sys.stderr,
     )
     print(f"wrote {args.output}", file=sys.stderr)
-    return 0 if summary["all_equivalent"] else 1
+    if not summary["all_equivalent"]:
+        return 1
+    if args.quick:
+        # CI perf smoke: the store engine must stay ≥ 1.5× over the
+        # legacy rescan on the smoke workloads.
+        floor = summary["min_speedup_vs_legacy"]
+        if floor is None or floor < 1.5:
+            print(
+                f"perf smoke FAILED: store-vs-legacy speedup {floor}x < 1.5x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 0 if summary["big_sl_l_target_met"] and summary["restricted_heavy_target_met"] else 1
 
 
 def _cmd_bench_runtime(args: argparse.Namespace) -> int:
@@ -315,9 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chase_parser.add_argument("--output", help="write the materialised instance to a file")
     chase_parser.add_argument(
+        "--engine",
+        choices=list(_ENGINES),
+        default="store",
+        help="engine implementation: interned fact store (default), "
+        "term-level compiled plans, or the legacy rescan",
+    )
+    chase_parser.add_argument(
         "--legacy-engine",
         action="store_true",
-        help="use the pre-refactor rescan engine instead of compiled rule plans",
+        help="shorthand for --engine legacy (kept for compatibility)",
     )
     chase_parser.set_defaults(handler=_cmd_chase)
 
@@ -338,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--materialize",
         action="store_true",
         help="include the materialised instance text in each result",
+    )
+    batch_parser.add_argument(
+        "--engine",
+        choices=list(_ENGINES),
+        default=None,
+        help="chase engine implementation for all jobs (default: store)",
     )
     batch_parser.set_defaults(handler=_cmd_batch)
 
@@ -377,10 +423,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench-engine",
-        help="measure compiled-plan pipeline vs legacy engine, write BENCH_engine.json",
+        help="measure fact-store engine vs compiled plans vs legacy rescan, "
+        "write BENCH_engine.json",
     )
     bench_parser.add_argument("--output", default="BENCH_engine.json")
     bench_parser.add_argument("--repeats", type=int, default=3)
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="two-row CI perf smoke; exits non-zero if the store engine is "
+        "not ≥1.5x over the legacy rescan or results diverge",
+    )
     bench_parser.set_defaults(handler=_cmd_bench_engine)
 
     bench_runtime_parser = subparsers.add_parser(

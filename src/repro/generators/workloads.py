@@ -22,6 +22,10 @@ import random
 from typing import Callable, List, Tuple
 
 from repro.chase.engine import ChaseBudget
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Database
+from repro.model.terms import Constant, Variable
+from repro.model.tgd import TGD, TGDSet
 from repro.generators.families import (
     guarded_lower_bound,
     intro_nonterminating_example,
@@ -41,6 +45,68 @@ from repro.runtime.jobs import ChaseJob
 #: Explicit fallback budget for random guarded programs, whose paper
 #: bounds are far over any practical cap.
 _RANDOM_GUARDED_BUDGET = ChaseBudget(max_atoms=4_000, max_rounds=10_000)
+
+
+def restricted_heavy(chain_length: int, payloads: int) -> Tuple[Database, TGDSet]:
+    """A workload dominated by restricted-chase head-satisfaction checks.
+
+    ``payloads`` tagged tokens are propagated down a ``chain_length``
+    constant chain by an existential rule, and two echo rules keep
+    re-deriving triggers whose heads are *already* satisfied — so a
+    restricted-chase engine spends its time answering "does some
+    ``P(y, _, u)`` exist?", the check this family is built to stress:
+
+    * ``E(x,y), P(x,v,u) → ∃w P(y,w,u)`` — fires once per (position,
+      payload) frontier key, ``chain_length · payloads`` head joins;
+    * ``P(y,w,u) → Q(y,u)`` — full rule, containment only;
+    * ``E(x,y), Q(y,u) → ∃w P(y,w,u)`` and
+      ``E(x,y), P(x,v,u), Q(x,u) → ∃w P(y,w,u)`` — by the time their
+      bodies match, the head is always satisfied: pure check load.
+
+    Every trigger's activeness is decided by facts created in *earlier*
+    rounds, never by another trigger of the same round with a different
+    frontier key, so the fired-key set — and with it the result modulo
+    fire numbering — does not depend on within-round application order.
+    The chase terminates for all three variants.
+    """
+    if chain_length < 2 or payloads < 1:
+        raise ValueError("chain_length must be > 1 and payloads positive")
+    edge = Predicate("E", 2)
+    payload = Predicate("P", 3)
+    echo = Predicate("Q", 2)
+    chain = [Constant(f"a{i}") for i in range(1, chain_length + 1)]
+    tags = [Constant(f"t{j}") for j in range(1, payloads + 1)]
+    facts = [Atom(edge, (chain[i], chain[i + 1])) for i in range(chain_length - 1)]
+    facts.extend(Atom(payload, (chain[0], tag, tag)) for tag in tags)
+    database = Database(facts)
+
+    x, y, u, v, w = (Variable(name) for name in "xyuvw")
+    tgds = TGDSet(
+        [
+            TGD(
+                body=(Atom(edge, (x, y)), Atom(payload, (x, v, u))),
+                head=(Atom(payload, (y, w, u)),),
+                rule_id="rh_propagate",
+            ),
+            TGD(
+                body=(Atom(payload, (y, w, u)),),
+                head=(Atom(echo, (y, u)),),
+                rule_id="rh_echo",
+            ),
+            TGD(
+                body=(Atom(edge, (x, y)), Atom(echo, (y, u))),
+                head=(Atom(payload, (y, w, u)),),
+                rule_id="rh_recheck",
+            ),
+            TGD(
+                body=(Atom(edge, (x, y)), Atom(payload, (x, v, u)), Atom(echo, (x, u))),
+                head=(Atom(payload, (y, w, u)),),
+                rule_id="rh_recheck_join",
+            ),
+        ],
+        name=f"restricted_heavy(n={chain_length},m={payloads})",
+    )
+    return database, tgds
 
 
 def _family_makers(rng: random.Random) -> List[Callable[[int], ChaseJob]]:

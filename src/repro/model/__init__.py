@@ -9,6 +9,7 @@ dependencies (TGDs), homomorphisms, and a small concrete syntax.
 from repro.model.terms import Constant, Null, Term, Variable
 from repro.model.atoms import Atom, Predicate, Position
 from repro.model.instance import Database, Instance
+from repro.model.store import FactStore
 from repro.model.tgd import TGD, TGDSet
 from repro.model.homomorphism import (
     BodyPlan,
@@ -37,6 +38,7 @@ __all__ = [
     "Atom",
     "Instance",
     "Database",
+    "FactStore",
     "TGD",
     "TGDSet",
     "Substitution",

@@ -79,6 +79,21 @@ class Atom:
     def __hash__(self) -> int:
         return self._hash
 
+    @staticmethod
+    def from_trusted(predicate: "Predicate", args: Tuple[Term, ...]) -> "Atom":
+        """Construct without arity validation (decode hot path).
+
+        The fact store decodes tens of thousands of atoms whose shape
+        is correct by construction; this skips the dataclass ``__init__``
+        machinery while producing an atom indistinguishable from
+        ``Atom(predicate, args)`` (same fields, same cached hash).
+        """
+        atom = Atom.__new__(Atom)
+        object.__setattr__(atom, "predicate", predicate)
+        object.__setattr__(atom, "args", args)
+        object.__setattr__(atom, "_hash", hash((predicate, args)))
+        return atom
+
     def __str__(self) -> str:
         inner = ", ".join(str(arg) for arg in self.args)
         return f"{self.predicate.name}({inner})"

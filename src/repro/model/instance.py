@@ -31,6 +31,15 @@ class Instance:
         self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
         # (predicate, 0-based position, term) -> atoms having `term` there
         self._by_position: Dict[Tuple[Predicate, int, Term], Set[Atom]] = defaultdict(set)
+        # term -> number of argument occurrences across stored atoms.
+        # Maintained on add/discard so active_domain()/max_depth() are
+        # O(domain)/O(1) instead of rescanning every atom (depth
+        # bookkeeping and budget checks consult them per round).
+        self._domain: Dict[Term, int] = {}
+        self._max_depth = 0
+        # Set when the deepest term may have been discarded; the next
+        # max_depth() call recomputes from the (maintained) domain.
+        self._max_depth_dirty = False
         for a in atoms:
             self.add(a)
 
@@ -61,11 +70,37 @@ class Instance:
             raise ValueError(f"instances may only contain ground atoms, got {a}")
         if a in self._atoms:
             return False
+        self._index_new(a)
+        return True
+
+    def _index_new(self, a: Atom) -> None:
+        """Index an atom known to be ground and not yet present."""
         self._atoms.add(a)
         self._by_predicate[a.predicate].add(a)
+        domain = self._domain
         for i, term in enumerate(a.args):
             self._by_position[(a.predicate, i, term)].add(a)
-        return True
+            count = domain.get(term)
+            if count is None:
+                domain[term] = 1
+                if not self._max_depth_dirty:
+                    depth = term.depth
+                    if depth > self._max_depth:
+                        self._max_depth = depth
+            else:
+                domain[term] = count + 1
+
+    def extend_unique_ground(self, atoms: Iterable[Atom]) -> None:
+        """Bulk-load atoms the caller guarantees ground and all-new.
+
+        The fact store's decode boundary produces exactly such a
+        stream; skipping the per-atom groundness and membership checks
+        keeps materialisation cheap.  Feeding a duplicate or non-ground
+        atom through this method corrupts the indexes — use
+        :meth:`add` unless the guarantee holds by construction.
+        """
+        for a in atoms:
+            self._index_new(a)
 
     def add_all(self, atoms: Iterable[Atom]) -> List[Atom]:
         """Add several atoms; return the ones that were actually new."""
@@ -77,8 +112,18 @@ class Instance:
             return False
         self._atoms.discard(a)
         self._by_predicate[a.predicate].discard(a)
+        domain = self._domain
         for i, term in enumerate(a.args):
             self._by_position[(a.predicate, i, term)].discard(a)
+            count = domain.get(term, 0)
+            if count <= 1:
+                domain.pop(term, None)
+                # The deepest term may just have left the domain; defer
+                # the rescan to the next max_depth() call.
+                if term.depth >= self._max_depth:
+                    self._max_depth_dirty = True
+            else:
+                domain[term] = count - 1
         return True
 
     # -- queries ---------------------------------------------------------
@@ -134,31 +179,49 @@ class Instance:
         if len(bound) == 1:
             ((i, term),) = bound.items()
             return self._by_position.get((predicate, i, term), _EMPTY_ATOMS)
-        buckets = [
-            self._by_position.get((predicate, i, term), _EMPTY_ATOMS)
-            for i, term in bound.items()
-        ]
-        buckets.sort(key=len)
-        if not buckets[0]:
-            return _EMPTY_ATOMS
-        return buckets[0].intersection(*buckets[1:])
+        # Multi-bound probe: keep only the smallest bucket aside while
+        # scanning (no materialised-and-sorted bucket list), and bail
+        # out on the first empty bucket before fetching the rest.
+        by_position = self._by_position
+        smallest: Optional[Set[Atom]] = None
+        rest: List[Set[Atom]] = []
+        for i, term in bound.items():
+            bucket = by_position.get((predicate, i, term))
+            if not bucket:
+                return _EMPTY_ATOMS
+            if smallest is None or len(bucket) < len(smallest):
+                if smallest is not None:
+                    rest.append(smallest)
+                smallest = bucket
+            else:
+                rest.append(bucket)
+        assert smallest is not None
+        return smallest.intersection(*rest)
 
     def active_domain(self) -> Set[Term]:
-        """``dom(I)``: all constants and nulls occurring in the instance."""
-        domain: Set[Term] = set()
-        for a in self._atoms:
-            domain.update(a.args)
-        return domain
+        """``dom(I)``: all constants and nulls occurring in the instance.
+
+        Served from the maintained occurrence counts — O(|dom(I)|)
+        rather than a scan over every atom.
+        """
+        return set(self._domain)
 
     def constants(self) -> Set[Constant]:
-        return {t for t in self.active_domain() if isinstance(t, Constant)}
+        return {t for t in self._domain if isinstance(t, Constant)}
 
     def nulls(self) -> Set[Null]:
-        return {t for t in self.active_domain() if isinstance(t, Null)}
+        return {t for t in self._domain if isinstance(t, Null)}
 
     def max_depth(self) -> int:
-        """Maximum term depth over the instance (0 for the empty instance)."""
-        return max((t.depth for t in self.active_domain()), default=0)
+        """Maximum term depth over the instance (0 for the empty instance).
+
+        O(1) on the add-only path; the first call after a discard that
+        may have removed the deepest term recomputes from the domain.
+        """
+        if self._max_depth_dirty:
+            self._max_depth = max((t.depth for t in self._domain), default=0)
+            self._max_depth_dirty = False
+        return self._max_depth
 
     def copy(self) -> "Instance":
         return Instance(self._atoms)

@@ -1,0 +1,313 @@
+"""Interned fact store: the chase engine's integer data plane.
+
+The legacy hot path pays Python object costs per probe: every join
+step hashes a ``(Predicate, args)`` tuple, allocates :class:`Atom`
+objects for candidate results, and intersects ``Set[Atom]`` buckets.
+:class:`FactStore` dictionary-encodes the data plane instead:
+
+* predicates and ground terms are interned to dense integer ids;
+* each predicate's facts are packed tuples of term ids, kept in one
+  set per predicate (containment is an int-tuple hash probe);
+* a ``(predicate id, position, term id) -> facts`` posting index
+  replaces the per-position atom buckets, so joins intersect sets of
+  small-int tuples instead of boxed terms;
+* labelled nulls are invented as bare ids with a *decode recipe*
+  (rule id, variable, label names, label term ids) and only
+  materialised as :class:`~repro.model.terms.Null` objects at API
+  boundaries — :meth:`term_of_id` builds the exact structural null the
+  legacy engine would have built, so decoded instances compare equal
+  atom for atom and fingerprint identically.
+
+The store is add-only (the chase never retracts facts), which is what
+makes the incremental ``size``/``max_depth`` counters exact.  Because
+every key in the hot dictionaries is an int or a tuple of ints, the
+iteration order of its sets is independent of string-hash
+randomisation, unlike ``Set[Atom]`` buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.model.atoms import Atom, Predicate
+from repro.model.instance import Instance
+from repro.model.terms import Constant, Null, Term, Variable
+
+#: A fact as (predicate id, packed term-id tuple).
+Fact = Tuple[int, Tuple[int, ...]]
+
+#: Shared empty posting list for index misses; never mutated.
+_EMPTY_FACTS: Set[Tuple[int, ...]] = frozenset()  # type: ignore[assignment]
+
+
+class FactStore:
+    """Interned predicates, terms and facts with positional posting lists."""
+
+    __slots__ = (
+        "_pid_of",
+        "_pred_of",
+        "_facts",
+        "_id_of_term",
+        "_term_of_id",
+        "_depth_of_id",
+        "_null_ids",
+        "_null_recipe",
+        "_posting",
+        "_size",
+        "_max_depth",
+        "_has_foreign_nulls",
+    )
+
+    def __init__(self) -> None:
+        self._pid_of: Dict[Predicate, int] = {}
+        self._pred_of: List[Predicate] = []
+        self._facts: List[Set[Tuple[int, ...]]] = []
+        self._id_of_term: Dict[Term, int] = {}
+        # Decoded term per id; ``None`` marks a store-invented null that
+        # has not been materialised yet (see :meth:`term_of_id`).
+        self._term_of_id: List[Optional[Term]] = []
+        self._depth_of_id: List[int] = []
+        # (rule_id, variable, label names, label ids) -> null term id.
+        self._null_ids: Dict[Tuple[str, str, Tuple[str, ...], Tuple[int, ...]], int] = {}
+        self._null_recipe: Dict[int, Tuple[str, str, Tuple[str, ...], Tuple[int, ...]]] = {}
+        self._posting: Dict[Tuple[int, int, int], Set[Tuple[int, ...]]] = {}
+        self._size = 0
+        self._max_depth = 0
+        # True once a null built *outside* the store has been interned
+        # (e.g. the input instance is itself a chase result).  Invented
+        # nulls must then unify structurally with the foreign ones, or
+        # one null could end up with two ids and break fact dedup.
+        self._has_foreign_nulls = False
+
+    # -- interning ---------------------------------------------------------
+
+    def intern_predicate(self, predicate: Predicate) -> int:
+        """Dense id for ``predicate`` (created on first sight)."""
+        pid = self._pid_of.get(predicate)
+        if pid is None:
+            pid = len(self._pred_of)
+            self._pid_of[predicate] = pid
+            self._pred_of.append(predicate)
+            self._facts.append(set())
+        return pid
+
+    def intern_term(self, term: Term) -> int:
+        """Dense id for a ground term (constant or externally-built null)."""
+        tid = self._id_of_term.get(term)
+        if tid is None:
+            if isinstance(term, Variable):
+                raise ValueError(f"only ground terms can be interned, got {term!r}")
+            tid = len(self._term_of_id)
+            self._id_of_term[term] = tid
+            self._term_of_id.append(term)
+            self._depth_of_id.append(term.depth)
+            if isinstance(term, Null):
+                self._has_foreign_nulls = True
+        return tid
+
+    def intern_null(
+        self,
+        rule_id: str,
+        variable: str,
+        label_names: Tuple[str, ...],
+        label_ids: Tuple[int, ...],
+    ) -> int:
+        """Id of the labelled null ``⊥^variable_{rule, binding}``.
+
+        ``label_names``/``label_ids`` are the null's binding as parallel
+        tuples, already in sorted-name order (the rule templates
+        precompute the name tuple once).  No :class:`Null` object is
+        built here; the key tuple *is* the identity, and the recipe is
+        kept so :meth:`term_of_id` can materialise the structurally
+        identical null later.  Depth follows Definition 4.3:
+        ``1 + max(depth of binding terms, 0)``.
+        """
+        key = (rule_id, variable, label_names, label_ids)
+        tid = self._null_ids.get(key)
+        if tid is None:
+            if self._has_foreign_nulls:
+                # Slow path: the input contained nulls, so an invented
+                # null may already exist under a foreign id.  Build it
+                # structurally and unify through the term intern table.
+                binding = tuple(
+                    (n, self.term_of_id(i)) for n, i in zip(label_names, label_ids)
+                )
+                tid = self.intern_term(
+                    Null(rule_id=rule_id, variable=variable, binding=binding)
+                )
+                self._null_ids[key] = tid
+                return tid
+            depths = self._depth_of_id
+            tid = len(self._term_of_id)
+            self._null_ids[key] = tid
+            self._null_recipe[tid] = key
+            depth = 1 + max((depths[i] for i in label_ids), default=0)
+            self._term_of_id.append(None)
+            self._depth_of_id.append(depth)
+        return tid
+
+    def intern_atom(self, atom: Atom) -> Fact:
+        """Intern a ground atom as ``(pid, ids)`` without storing it."""
+        return (
+            self.intern_predicate(atom.predicate),
+            tuple(self.intern_term(t) for t in atom.args),
+        )
+
+    # -- decoding (the API boundary) ---------------------------------------
+
+    def predicate_of(self, pid: int) -> Predicate:
+        return self._pred_of[pid]
+
+    def pid(self, predicate: Predicate) -> Optional[int]:
+        """The id of an already-interned predicate, else ``None``."""
+        return self._pid_of.get(predicate)
+
+    def term_of_id(self, tid: int) -> Term:
+        """Materialise the term behind ``tid``.
+
+        Store-invented nulls are built lazily from their recipe; the
+        resulting :class:`Null` is *equal* (same intern uid) to the
+        null a legacy run labels with the same rule, variable and
+        binding.  The dependency chain is resolved with an explicit
+        stack — a budget-stopped non-terminating run nests nulls deeper
+        than Python's recursion limit.
+        """
+        terms = self._term_of_id
+        term = terms[tid]
+        if term is not None:
+            return term
+        recipes = self._null_recipe
+        stack = [tid]
+        while stack:
+            current = stack[-1]
+            if terms[current] is not None:
+                stack.pop()
+                continue
+            rule_id, variable, names, ids = recipes[current]
+            missing = [i for i in ids if terms[i] is None]
+            if missing:
+                stack.extend(missing)
+                continue
+            null = Null(
+                rule_id=rule_id,
+                variable=variable,
+                binding=tuple((n, terms[i]) for n, i in zip(names, ids)),
+            )
+            terms[current] = null
+            self._id_of_term.setdefault(null, current)
+            stack.pop()
+        return terms[tid]
+
+    def decode_fact(self, pid: int, ids: Tuple[int, ...]) -> Atom:
+        terms = self._term_of_id
+        term_of_id = self.term_of_id
+        return Atom.from_trusted(
+            self._pred_of[pid],
+            # Inline the decoded-null check; term_of_id only for misses.
+            tuple(terms[t] if terms[t] is not None else term_of_id(t) for t in ids),
+        )
+
+    def to_instance(self) -> Instance:
+        """Decode every stored fact into a fresh :class:`Instance`."""
+        decode = self.decode_fact
+        instance = Instance()
+        for pid, bucket in enumerate(self._facts):
+            instance.extend_unique_ground(decode(pid, ids) for ids in bucket)
+        return instance
+
+    def iter_facts(self) -> Iterator[Fact]:
+        for pid, bucket in enumerate(self._facts):
+            for ids in bucket:
+                yield (pid, ids)
+
+    # -- storage -----------------------------------------------------------
+
+    def add(self, pid: int, ids: Tuple[int, ...]) -> bool:
+        """Store a fact; return True if it was new."""
+        bucket = self._facts[pid]
+        if ids in bucket:
+            return False
+        bucket.add(ids)
+        posting = self._posting
+        for position, tid in enumerate(ids):
+            key = (pid, position, tid)
+            entry = posting.get(key)
+            if entry is None:
+                posting[key] = {ids}
+            else:
+                entry.add(ids)
+        self._size += 1
+        depths = self._depth_of_id
+        max_depth = self._max_depth
+        for tid in ids:
+            depth = depths[tid]
+            if depth > max_depth:
+                self._max_depth = max_depth = depth
+        return True
+
+    def add_atom(self, atom: Atom) -> Fact:
+        """Intern and store a ground atom; returns its ``(pid, ids)``."""
+        pid, ids = self.intern_atom(atom)
+        self.add(pid, ids)
+        return (pid, ids)
+
+    def contains(self, pid: int, ids: Tuple[int, ...]) -> bool:
+        return ids in self._facts[pid]
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def count(self, pid: int) -> int:
+        """Number of stored facts over predicate id ``pid`` (O(1))."""
+        return len(self._facts[pid])
+
+    def max_depth(self) -> int:
+        """Maximum term depth over all stored facts (incremental)."""
+        return self._max_depth
+
+    def fact_depth(self, ids: Tuple[int, ...]) -> int:
+        """Depth of a fact: max over its terms' depths (0 if nullary)."""
+        depths = self._depth_of_id
+        return max((depths[t] for t in ids), default=0)
+
+    def facts_of(self, pid: int) -> Set[Tuple[int, ...]]:
+        """Live view of all facts over ``pid``; do not mutate."""
+        return self._facts[pid]
+
+    def posting(self, pid: int, position: int, tid: int) -> Set[Tuple[int, ...]]:
+        """Live posting list for (pid, position, tid); do not mutate."""
+        return self._posting.get((pid, position, tid), _EMPTY_FACTS)
+
+    def candidates(
+        self, pid: int, bound: Sequence[Tuple[int, int]]
+    ) -> Set[Tuple[int, ...]]:
+        """Facts over ``pid`` matching the bound ``(position, tid)`` pairs.
+
+        Mirrors :meth:`Instance.candidates_view`: the result may alias a
+        live index set and must not be kept across mutations.  Multiple
+        bound positions intersect smallest-first without materialising
+        an intermediate bucket list, and any empty posting list
+        short-circuits the whole probe.
+        """
+        if not bound:
+            return self._facts[pid]
+        if len(bound) == 1:
+            position, tid = bound[0]
+            return self._posting.get((pid, position, tid), _EMPTY_FACTS)
+        posting = self._posting
+        smallest: Optional[Set[Tuple[int, ...]]] = None
+        rest: List[Set[Tuple[int, ...]]] = []
+        for position, tid in bound:
+            entry = posting.get((pid, position, tid))
+            if not entry:
+                return _EMPTY_FACTS
+            if smallest is None or len(entry) < len(smallest):
+                if smallest is not None:
+                    rest.append(smallest)
+                smallest = entry
+            else:
+                rest.append(entry)
+        assert smallest is not None
+        return smallest.intersection(*rest)

@@ -87,7 +87,11 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
 
     The payload and the returned record are plain data: texts, numbers
     and dicts.  Program/database are re-parsed in the worker, which
-    keeps null interning local to each process.
+    keeps null and term interning local to each process.  On the store
+    engine (the default) a summary-only job never materialises atom
+    objects at all: the chase runs on packed id tuples and only the
+    plain-data summary crosses the process boundary; the instance is
+    decoded to text solely when ``materialize`` asks for it.
     """
     try:
         program = parse_program(
@@ -96,8 +100,15 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         database = parse_database(str(payload["database_text"]))
         budget = ChaseBudget(**payload["budget"])  # type: ignore[arg-type]
         runner = VARIANT_RUNNERS[str(payload["variant"])]
+        engine = payload.get("engine")
         start = time.perf_counter()
-        result = runner(database, program, budget=budget, record_derivation=False)
+        result = runner(
+            database,
+            program,
+            budget=budget,
+            record_derivation=False,
+            engine=str(engine) if engine else None,
+        )
         record: Dict[str, object] = {
             "job_id": payload["job_id"],
             "status": (
@@ -133,6 +144,11 @@ class BatchExecutor:
     cache: Optional[ResultCache] = None
     materialize: bool = False
     per_job_timeout: Optional[float] = None
+    #: Chase engine implementation ("store", "plans", "legacy"); None
+    #: selects the library default.  Deliberately *not* part of the
+    #: result cache key: the engines are equivalence-tested, so a
+    #: summary replayed across engines is still correct.
+    engine: Optional[str] = None
 
     # -- job preparation --------------------------------------------------
 
@@ -163,6 +179,7 @@ class BatchExecutor:
             "variant": job.variant,
             "budget": budget.as_dict(),
             "materialize": self.materialize,
+            "engine": self.engine,
         }
 
     def _wrap(

@@ -1,0 +1,158 @@
+"""Unit tests for the interned fact store (the engine's data plane)."""
+
+import pytest
+
+from repro.model.atoms import Atom, Predicate, atom
+from repro.model.instance import Instance
+from repro.model.store import FactStore
+from repro.model.terms import Constant, Null, Variable, make_null
+
+
+@pytest.fixture
+def store() -> FactStore:
+    return FactStore()
+
+
+class TestInterning:
+    def test_predicates_get_dense_ids(self, store):
+        p = Predicate("P", 2)
+        q = Predicate("Q", 1)
+        assert store.intern_predicate(p) == 0
+        assert store.intern_predicate(q) == 1
+        assert store.intern_predicate(p) == 0  # idempotent
+        assert store.predicate_of(0) is p
+        assert store.pid(q) == 1
+        assert store.pid(Predicate("R", 3)) is None  # lookup never creates
+
+    def test_terms_get_dense_ids_and_round_trip(self, store):
+        a, b = Constant("a"), Constant("b")
+        ta = store.intern_term(a)
+        tb = store.intern_term(b)
+        assert ta != tb
+        assert store.intern_term(a) == ta
+        assert store.term_of_id(ta) == a
+        assert store.term_of_id(tb) == b
+
+    def test_variables_cannot_be_interned(self, store):
+        with pytest.raises(ValueError):
+            store.intern_term(Variable("x"))
+
+    def test_atom_round_trip(self, store):
+        fact = atom("R", Constant("a"), Constant("b"))
+        pid, ids = store.intern_atom(fact)
+        assert store.decode_fact(pid, ids) == fact
+
+    def test_decoded_atom_matches_plain_construction(self, store):
+        fact = atom("R", Constant("a"), Constant("b"))
+        pid, ids = store.intern_atom(fact)
+        decoded = store.decode_fact(pid, ids)
+        assert decoded == fact
+        assert hash(decoded) == hash(fact)
+        assert decoded in Instance([fact])
+
+
+class TestNullInterning:
+    def test_invented_null_decodes_to_structural_null(self, store):
+        a = Constant("a")
+        ta = store.intern_term(a)
+        tid = store.intern_null("r1", "z", ("x",), (ta,))
+        decoded = store.term_of_id(tid)
+        expected = make_null("r1", "z", {"x": a})
+        assert decoded == expected
+        assert decoded.depth == 1
+
+    def test_null_ids_are_label_keyed(self, store):
+        ta = store.intern_term(Constant("a"))
+        tb = store.intern_term(Constant("b"))
+        first = store.intern_null("r1", "z", ("x",), (ta,))
+        assert store.intern_null("r1", "z", ("x",), (ta,)) == first  # same label
+        assert store.intern_null("r1", "z", ("x",), (tb,)) != first  # other binding
+        assert store.intern_null("r1", "w", ("x",), (ta,)) != first  # other variable
+        assert store.intern_null("r2", "z", ("x",), (ta,)) != first  # other rule
+
+    def test_nested_null_depth_tracks_binding(self, store):
+        ta = store.intern_term(Constant("a"))
+        level1 = store.intern_null("r", "z", ("x",), (ta,))
+        level2 = store.intern_null("r", "z", ("x",), (level1,))
+        pid = store.intern_predicate(Predicate("P", 1))
+        store.add(pid, (level2,))
+        assert store.max_depth() == 2
+        assert store.term_of_id(level2).depth == 2
+
+    def test_deeply_nested_null_decodes_iteratively(self, store):
+        tid = store.intern_term(Constant("a"))
+        for _ in range(5000):  # far beyond the recursion limit
+            tid = store.intern_null("r", "z", ("x",), (tid,))
+        decoded = store.term_of_id(tid)
+        assert isinstance(decoded, Null)
+        assert decoded.depth == 5000
+
+    def test_foreign_null_unifies_with_invented_null(self, store):
+        # The input instance already contains the null this trigger
+        # would invent: both spellings must map to one id, or the same
+        # atom would exist as two distinct packed facts.
+        a = Constant("a")
+        foreign = make_null("r1", "z", {"x": a})
+        foreign_tid = store.intern_term(foreign)
+        ta = store.intern_term(a)
+        invented_tid = store.intern_null("r1", "z", ("x",), (ta,))
+        assert invented_tid == foreign_tid
+
+
+class TestStorage:
+    def test_add_and_contains(self, store):
+        pid, ids = store.intern_atom(atom("R", Constant("a"), Constant("b")))
+        assert not store.contains(pid, ids)
+        assert store.add(pid, ids)
+        assert store.contains(pid, ids)
+        assert not store.add(pid, ids)  # duplicate
+        assert len(store) == 1
+        assert store.count(pid) == 1
+
+    def test_posting_lists_index_every_position(self, store):
+        a, b = Constant("a"), Constant("b")
+        pid, ids = store.intern_atom(atom("R", a, b))
+        store.add(pid, ids)
+        ta, tb = store.intern_term(a), store.intern_term(b)
+        assert ids in store.posting(pid, 0, ta)
+        assert ids in store.posting(pid, 1, tb)
+        assert not store.posting(pid, 0, tb)
+
+    def test_candidates_intersection_and_short_circuit(self, store):
+        a, b, c = Constant("a"), Constant("b"), Constant("c")
+        r = Predicate("R", 2)
+        facts = [atom("R", a, b), atom("R", a, c), atom("R", b, c)]
+        packed = [store.add_atom(f) for f in facts]
+        pid = store.pid(r)
+        ta, tb, tc = (store.intern_term(t) for t in (a, b, c))
+        assert store.candidates(pid, []) == {ids for _, ids in packed}
+        assert store.candidates(pid, [(0, ta)]) == {packed[0][1], packed[1][1]}
+        assert store.candidates(pid, [(0, ta), (1, tc)]) == {packed[1][1]}
+        # Empty posting list short-circuits to the shared empty set.
+        missing = store.intern_term(Constant("zzz"))
+        assert store.candidates(pid, [(0, missing), (1, tb)]) == frozenset()
+
+    def test_to_instance_round_trips(self, store):
+        facts = [
+            atom("R", Constant("a"), Constant("b")),
+            atom("R", Constant("b"), Constant("c")),
+            atom("S", Constant("a")),
+        ]
+        for f in facts:
+            store.add_atom(f)
+        assert store.to_instance() == Instance(facts)
+
+    def test_max_depth_is_incremental(self, store):
+        assert store.max_depth() == 0
+        pid, ids = store.intern_atom(atom("R", Constant("a"), Constant("b")))
+        store.add(pid, ids)
+        assert store.max_depth() == 0
+        ta = store.intern_term(Constant("a"))
+        null_tid = store.intern_null("r", "z", ("x",), (ta,))
+        # Interning alone must not raise the depth: the null is not in
+        # any stored fact yet (inactive triggers intern labels too).
+        assert store.max_depth() == 0
+        spid = store.intern_predicate(Predicate("S", 1))
+        store.add(spid, (null_tid,))
+        assert store.max_depth() == 1
+        assert store.fact_depth((null_tid,)) == 1

@@ -336,25 +336,49 @@ class TestConnectionBound:
             job_id = submitted["job_id"]
 
             def long_poll():
-                connection = http.client.HTTPConnection("127.0.0.1", service.port, timeout=30.0)
-                try:
-                    connection.request("GET", f"/jobs/{job_id}?wait=20")
-                    connection.getresponse().read()
-                finally:
-                    connection.close()
+                # A slot may still be pinned by a just-finished client
+                # request (keep-alive teardown race): a poller that gets
+                # rejected retries until it actually holds a slot, so
+                # the test always ends up with both slots pinned.
+                poll_deadline = time_module.monotonic() + 10.0
+                while time_module.monotonic() < poll_deadline:
+                    connection = http.client.HTTPConnection(
+                        "127.0.0.1", service.port, timeout=30.0
+                    )
+                    try:
+                        connection.request("GET", f"/jobs/{job_id}?wait=20")
+                        response = connection.getresponse()
+                        status = response.status
+                        response.read()
+                    finally:
+                        connection.close()
+                    if status != 503:
+                        return
+                    time_module.sleep(0.02)
 
             pollers = [threading.Thread(target=long_poll, daemon=True) for _ in range(2)]
             for poller in pollers:
                 poller.start()
-            time_module.sleep(0.3)  # both long-polls now pin a connection slot
-            third = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10.0)
-            try:
-                third.request("GET", "/healthz")
-                response = third.getresponse()
-                assert response.status == 503
-                assert b"connection limit" in response.read()
-            finally:
-                third.close()
+            # Wait (bounded) until both long-polls have pinned their
+            # connection slots: once they have, every further request is
+            # rejected until the gate opens, so retrying until the first
+            # 503 closes the startup race a fixed sleep used to lose on
+            # cold or loaded machines.
+            deadline = time_module.monotonic() + 10.0
+            status, body = None, b""
+            while time_module.monotonic() < deadline:
+                third = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10.0)
+                try:
+                    third.request("GET", "/healthz")
+                    response = third.getresponse()
+                    status, body = response.status, response.read()
+                finally:
+                    third.close()
+                if status == 503:
+                    break
+                time_module.sleep(0.05)
+            assert status == 503, f"third connection never rejected (last: {status})"
+            assert b"connection limit" in body
             gate.set()
             for poller in pollers:
                 poller.join(timeout=30.0)
