@@ -1,22 +1,27 @@
-"""E17 — engine speed: interned fact store vs compiled plans vs legacy.
+"""E18 — columnar engine: layouts, snapshots, incremental re-chase.
 
-The store engine (PR: "Interned fact-store core") must produce results
-byte-identical to both the term-level compiled pipeline and the legacy
-rescan while being measurably faster on the lower-bound families.
-``python -m repro bench-engine`` regenerates the full
+The columnar (arrays) store layout must produce results equivalent to
+the PR 4 sets layout, the term-level compiled pipeline and the legacy
+rescan while being measurably faster; snapshots must round-trip
+losslessly; and ``resume_from`` re-chase of a database delta must equal
+the cold run.  ``python -m repro bench-engine`` regenerates the full
 BENCH_engine.json report; this benchmark keeps a small always-on smoke
 version of it in the suite.
 """
 
 import pytest
 
-from repro.bench.drivers import engine_benchmark_rows
+from repro.bench.drivers import (
+    engine_benchmark_rows,
+    incremental_rechase_row,
+    snapshot_roundtrip_row,
+)
 from repro.chase.engine import ChaseBudget
 from repro.chase.semi_oblivious import semi_oblivious_chase
 from repro.generators.families import guarded_lower_bound, sl_lower_bound
 
 
-@pytest.mark.benchmark(group="E17-engine-speed")
+@pytest.mark.benchmark(group="E18-columnar-engine")
 def test_engine_speed_report(benchmark, report):
     workloads = [
         ("sl(n=2,m=2,ell=2)", *sl_lower_bound(2, 2, 2)),
@@ -27,14 +32,41 @@ def test_engine_speed_report(benchmark, report):
         variants=("semi_oblivious",),
         budget=ChaseBudget(max_atoms=100_000),
         repeats=1,
+        layout="both",
     )
-    report("E17: fact-store engine vs plans vs legacy (semi-oblivious)", rows)
+    report("E18: columnar layout vs sets layout vs plans vs legacy", rows)
     # Equivalence is a hard requirement; speed is reported, not asserted,
     # to keep the suite robust on loaded CI machines.
     assert all(row.measured["equivalent"] for row in rows)
+    assert all("layout_speedup" in row.measured for row in rows)
     database, tgds = sl_lower_bound(2, 2, 2)
     benchmark.pedantic(
         lambda: semi_oblivious_chase(database, tgds, record_derivation=False),
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.benchmark(group="E18-columnar-engine")
+def test_snapshot_roundtrip_report(benchmark, report):
+    row = snapshot_roundtrip_row(
+        workload=("sl(n=2,m=2,ell=2)", *sl_lower_bound(2, 2, 2)),
+        budget=ChaseBudget(max_atoms=100_000),
+        repeats=1,
+    )
+    report("E18: snapshot encode/decode round trip", [row])
+    assert row.measured["equivalent"]
+    assert row.measured["snapshot_bytes"] > 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="E18-columnar-engine")
+def test_incremental_rechase_report(benchmark, report):
+    row = incremental_rechase_row(
+        chain_length=20, payloads=40, delta_payloads=3, repeats=1
+    )
+    report("E18: incremental (resume_from) vs cold re-chase", [row])
+    # Correctness always; the ≥3x speed gate lives in the full report,
+    # not the smoke (CI machines are too noisy at this size).
+    assert row.measured["equivalent"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -8,12 +8,14 @@ reports paper-vs-measured values.
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import os
 import platform
 import sys
 import time
+from contextlib import contextmanager
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -266,12 +268,50 @@ def ucq_data_complexity_rows(
 
 
 # --------------------------------------------------------------------------
-# E17: engine speed — interned fact store vs compiled plans vs legacy rescan
+# E18: columnar engine — layouts, snapshots, incremental re-chase
 # --------------------------------------------------------------------------
 
 #: The three engine implementations the report compares, slow to fast
 #: (ENGINES lists them fast to slow).
 _ENGINE_ORDER = tuple(reversed(ENGINES))
+
+
+@contextmanager
+def _store_layout(layout: Optional[str]):
+    """Pin the store layout through the REPRO_STORE_LAYOUT knob."""
+    from repro.model.store import LAYOUT_ENV_VAR
+
+    if layout is None:
+        yield
+        return
+    previous = os.environ.get(LAYOUT_ENV_VAR)
+    os.environ[LAYOUT_ENV_VAR] = layout
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(LAYOUT_ENV_VAR, None)
+        else:
+            os.environ[LAYOUT_ENV_VAR] = previous
+
+
+@contextmanager
+def _gc_paused():
+    """Collect, then disable the GC for the timed region.
+
+    Collector pauses land arbitrarily inside timed runs and were the
+    dominant noise source when comparing layouts (the columnar layout
+    allocates differently, so pauses bias the ratio, not just the
+    variance).
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def _peak_rss_mb() -> Optional[float]:
@@ -318,9 +358,9 @@ def _engine_workloads(
         ("linear(n=2,m=2,ell=1)", linear_lower_bound(2, 2, 1), all_variants, False),
         ("guarded(n=1,m=1,ell=1)", guarded_lower_bound(1, 1, 1), all_variants, False),
         ("sl-big(n=3,m=3,ell=2)", sl_lower_bound(3, 3, 2), ("semi_oblivious",), True),
-        ("linear-big(n=2,m=3,ell=2)", linear_lower_bound(2, 3, 2), ("semi_oblivious",), True),
-        ("restricted-heavy(n=150,m=40)", restricted_heavy(150, 40), ("restricted",), True),
+        ("linear-big(n=2,m=3,ell=3)", linear_lower_bound(2, 3, 3), ("semi_oblivious",), True),
         ("restricted-heavy(n=250,m=60)", restricted_heavy(250, 60), ("restricted",), True),
+        ("restricted-heavy(n=400,m=100)", restricted_heavy(400, 100), ("restricted",), True),
     ]:
         out.append((name, database, tgds, variants, big))
     return out
@@ -339,7 +379,9 @@ def _results_equivalent(variant: str, results: Dict[str, ChaseResult]) -> bool:
     from repro.model.serialization import fire_invariant_instance_key
 
     baseline = results["legacy"]
-    for engine in ("plans", "store"):
+    for engine in results:
+        if engine == "legacy":
+            continue
         candidate = results[engine]
         if (
             candidate.size != baseline.size
@@ -365,30 +407,52 @@ def engine_benchmark_rows(
     budget: Optional[ChaseBudget] = None,
     repeats: int = 3,
     quick: bool = False,
+    layout: str = "both",
 ) -> List[SweepRow]:
-    """Three-way engine comparison on the lower-bound families.
+    """Engine and layout comparison on the lower-bound families.
 
     Every workload runs through each chase variant on all three engines
-    — the interned fact store (the default), the term-level compiled
+    — the columnar fact store (the default), the term-level compiled
     plans it superseded (PR 1), and the legacy per-round rescan — best
-    of ``repeats`` runs each.  ``seconds`` times the run-to-summary
-    path (the batch runtime's mode: the store engine defers atom
-    decoding until the instance is actually read);
-    ``materialize_seconds`` times one extra run that also materialises
-    the full instance.  Each row records both speedups, peak RSS, and
-    that all engines produced byte-identical results
-    (:func:`_results_equivalent`).
+    of ``repeats`` runs each, GC paused during timed regions.  With
+    ``layout="both"`` (the default) the store engine is measured twice,
+    once per storage layout, giving every row a ``layout_speedup``
+    column (sets seconds / arrays seconds): the old-vs-new comparison
+    the columnar rebuild is gated on.  ``seconds`` times the
+    run-to-summary path (the batch runtime's mode); ``materialize_seconds``
+    times one extra run that also materialises the full instance.  Each
+    row records speedups, peak RSS, and that all engines *and layouts*
+    produced equivalent results (:func:`_results_equivalent`).
 
     ``workloads`` entries are ``(name, database, tgds)`` or
     ``(name, database, tgds, variants[, big])``.
     """
+    if layout not in ("both", "arrays", "sets"):
+        raise ValueError(f"unknown layout axis {layout!r}")
     runners = {
         "semi_oblivious": semi_oblivious_chase,
         "restricted": restricted_chase,
         "oblivious": oblivious_chase,
     }
     budget = budget or ChaseBudget(max_atoms=500_000)
+    store_layouts = ("sets", "arrays") if layout == "both" else (layout,)
     rows: List[SweepRow] = []
+
+    def timed(runner, database, tgds, engine, store_layout=None, materialize=False):
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            with _store_layout(store_layout), _gc_paused():
+                start = time.perf_counter()
+                result = runner(
+                    database, tgds, budget=budget, record_derivation=False, engine=engine
+                )
+                result.summary()
+                if materialize:
+                    len(result.instance)
+                best = min(best, time.perf_counter() - start)
+        return best, result
+
     for entry in workloads or _engine_workloads(quick=quick):
         name, database, tgds = entry[0], entry[1], entry[2]
         row_variants = entry[3] if len(entry) > 3 else tuple(variants)
@@ -396,64 +460,193 @@ def engine_benchmark_rows(
         for variant in row_variants:
             runner = runners[variant]
             timings: Dict[str, float] = {}
-            materialize_timings: Dict[str, float] = {}
             results: Dict[str, ChaseResult] = {}
-            for engine in _ENGINE_ORDER:
-                best = float("inf")
-                for _ in range(max(1, repeats)):
-                    start = time.perf_counter()
-                    result = runner(
-                        database,
-                        tgds,
-                        budget=budget,
-                        record_derivation=False,
-                        engine=engine,
-                    )
-                    result.summary()
-                    best = min(best, time.perf_counter() - start)
-                timings[engine] = best
-                results[engine] = result
-                if engine == "legacy":
-                    # Only the plans-vs-store materialize ratio is
-                    # reported; skip the (slowest) unused run.
-                    continue
-                start = time.perf_counter()
-                materialized = runner(
-                    database,
-                    tgds,
-                    budget=budget,
-                    record_derivation=False,
-                    engine=engine,
+            timings["legacy"], results["legacy"] = timed(runner, database, tgds, "legacy")
+            timings["plans"], results["plans"] = timed(runner, database, tgds, "plans")
+            for store_layout in store_layouts:
+                key = f"store-{store_layout}"
+                timings[key], results[key] = timed(
+                    runner, database, tgds, "store", store_layout=store_layout
                 )
-                len(materialized.instance)
-                materialize_timings[engine] = time.perf_counter() - start
-            store_seconds = max(timings["store"], 1e-9)
+            primary_layout = store_layouts[-1]
+            store_seconds = max(timings[f"store-{primary_layout}"], 1e-9)
+            materialize_plans, _ = timed(
+                runner, database, tgds, "plans", materialize=True
+            )
+            materialize_store, _ = timed(
+                runner, database, tgds, "store",
+                store_layout=primary_layout, materialize=True,
+            )
+            store_result = results[f"store-{primary_layout}"]
+            measured: Dict[str, object] = {
+                "atoms": store_result.size,
+                "legacy_seconds": round(timings["legacy"], 4),
+                "plans_seconds": round(timings["plans"], 4),
+                "store_seconds": round(timings[f"store-{primary_layout}"], 4),
+                "speedup_vs_plans": round(timings["plans"] / store_seconds, 2),
+                "speedup_vs_legacy": round(timings["legacy"] / store_seconds, 2),
+                "store_atoms_per_s": round(store_result.size / store_seconds),
+                "materialize_speedup_vs_plans": round(
+                    materialize_plans / max(materialize_store, 1e-9), 2
+                ),
+                "applied": store_result.statistics.triggers_applied,
+                "equivalent": _results_equivalent(variant, results),
+                "peak_rss_mb": _peak_rss_mb(),
+                # Kept for dashboards that read the E14 column.
+                "speedup": round(timings["legacy"] / store_seconds, 2),
+            }
+            if layout == "both":
+                measured["store_sets_seconds"] = round(timings["store-sets"], 4)
+                measured["layout_speedup"] = round(
+                    timings["store-sets"] / store_seconds, 2
+                )
             rows.append(
                 SweepRow(
                     label="engine-speed",
-                    parameters={"workload": name, "variant": variant, "big": big},
-                    measured={
-                        "atoms": results["store"].size,
-                        "legacy_seconds": round(timings["legacy"], 4),
-                        "plans_seconds": round(timings["plans"], 4),
-                        "store_seconds": round(timings["store"], 4),
-                        "speedup_vs_plans": round(timings["plans"] / store_seconds, 2),
-                        "speedup_vs_legacy": round(timings["legacy"] / store_seconds, 2),
-                        "store_atoms_per_s": round(results["store"].size / store_seconds),
-                        "materialize_speedup_vs_plans": round(
-                            materialize_timings["plans"]
-                            / max(materialize_timings["store"], 1e-9),
-                            2,
-                        ),
-                        "applied": results["store"].statistics.triggers_applied,
-                        "equivalent": _results_equivalent(variant, results),
-                        "peak_rss_mb": _peak_rss_mb(),
-                        # Kept for dashboards that read the E14 column.
-                        "speedup": round(timings["legacy"] / store_seconds, 2),
+                    parameters={
+                        "workload": name,
+                        "variant": variant,
+                        "big": big,
+                        "layout": primary_layout,
                     },
+                    measured=measured,
                 )
             )
     return rows
+
+
+def snapshot_roundtrip_row(
+    workload: Optional[Tuple[str, Database, TGDSet]] = None,
+    budget: Optional[ChaseBudget] = None,
+    repeats: int = 3,
+) -> SweepRow:
+    """Snapshot encode/decode throughput on a big chase result.
+
+    Chases the workload once on the store engine, then times
+    ``FactStore.snapshot()`` and ``FactStore.restore()`` (best of
+    ``repeats``), reporting MB/s both ways and that the restored store
+    decodes to the exact same instance (null recipes included).
+    """
+    from repro.model.store import FactStore
+
+    if workload is None:
+        database, tgds = sl_lower_bound(3, 3, 2)
+        name = "sl-big(n=3,m=3,ell=2)"
+    else:
+        name, database, tgds = workload
+    budget = budget or ChaseBudget(max_atoms=500_000)
+    result = semi_oblivious_chase(
+        database, tgds, budget=budget, record_derivation=False, engine="store"
+    )
+    blob = result.store_snapshot()
+    assert blob is not None
+    encode_seconds = float("inf")
+    decode_seconds = float("inf")
+    restored = None
+    for _ in range(max(1, repeats)):
+        with _gc_paused():
+            start = time.perf_counter()
+            blob = result.store_snapshot()
+            encode_seconds = min(encode_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            restored = FactStore.restore(blob)
+            decode_seconds = min(decode_seconds, time.perf_counter() - start)
+    megabytes = len(blob) / (1024 * 1024)
+    equivalent = (
+        len(restored) == result.size
+        and restored.max_depth() == result.max_depth
+        and restored.to_instance() == result.instance
+    )
+    return SweepRow(
+        label="snapshot-roundtrip",
+        parameters={"workload": name, "atoms": result.size},
+        measured={
+            "snapshot_bytes": len(blob),
+            "encode_seconds": round(encode_seconds, 4),
+            "decode_seconds": round(decode_seconds, 4),
+            "encode_mb_s": round(megabytes / max(encode_seconds, 1e-9), 1),
+            "decode_mb_s": round(megabytes / max(decode_seconds, 1e-9), 1),
+            "equivalent": equivalent,
+        },
+    )
+
+
+def incremental_rechase_row(
+    chain_length: int = 80,
+    payloads: int = 320,
+    delta_payloads: int = 20,
+    budget: Optional[ChaseBudget] = None,
+    repeats: int = 3,
+) -> SweepRow:
+    """Cold re-chase vs ``resume_from`` on a ~5% database delta.
+
+    The base database is ``restricted_heavy(chain_length, payloads -
+    delta_payloads)`` and the grown one adds ``delta_payloads`` payload
+    seeds (the base facts are a strict subset).  The cold run chases
+    the grown database from scratch; the incremental run restores the
+    base run's snapshot (restore cost included in its time) and chases
+    only the delta.  The semi-oblivious result is unique, so the two
+    instances must be equal atom for atom.
+    """
+    from repro.generators.workloads import restricted_heavy
+
+    budget = budget or ChaseBudget(max_atoms=500_000)
+    full_database, tgds = restricted_heavy(chain_length, payloads)
+    base_database, _ = restricted_heavy(chain_length, payloads - delta_payloads)
+    assert set(base_database) <= set(full_database)
+    base = semi_oblivious_chase(
+        base_database, tgds, budget=budget, record_derivation=False, engine="store"
+    )
+    assert base.terminated
+    snapshot = base.store_snapshot()
+    assert snapshot is not None
+
+    cold_seconds = float("inf")
+    cold = None
+    for _ in range(max(1, repeats)):
+        with _gc_paused():
+            start = time.perf_counter()
+            cold = semi_oblivious_chase(
+                full_database, tgds, budget=budget, record_derivation=False,
+                engine="store",
+            )
+            cold.summary()
+            cold_seconds = min(cold_seconds, time.perf_counter() - start)
+    resume_seconds = float("inf")
+    resumed = None
+    for _ in range(max(1, repeats)):
+        with _gc_paused():
+            start = time.perf_counter()
+            resumed = semi_oblivious_chase(
+                full_database, tgds, budget=budget, record_derivation=False,
+                engine="store", resume_from=snapshot,
+            )
+            resumed.summary()
+            resume_seconds = min(resume_seconds, time.perf_counter() - start)
+    equivalent = (
+        resumed.terminated
+        and cold.terminated
+        and resumed.size == cold.size
+        and resumed.instance == cold.instance
+    )
+    delta_fraction = (len(full_database) - len(base_database)) / len(full_database)
+    return SweepRow(
+        label="incremental-rechase",
+        parameters={
+            "workload": f"restricted-heavy(n={chain_length},m={payloads})",
+            "variant": "semi_oblivious",
+            "delta_facts": len(full_database) - len(base_database),
+            "delta_fraction": round(delta_fraction, 4),
+        },
+        measured={
+            "base_atoms": base.size,
+            "atoms": cold.size,
+            "cold_seconds": round(cold_seconds, 4),
+            "resume_seconds": round(resume_seconds, 4),
+            "incremental_speedup": round(cold_seconds / max(resume_seconds, 1e-9), 2),
+            "equivalent": equivalent,
+        },
+    )
 
 
 def engine_memory_row(
@@ -506,47 +699,90 @@ def write_engine_report(
     path: str = "BENCH_engine.json",
     rows: Optional[Sequence[SweepRow]] = None,
     quick: bool = False,
+    layout: str = "both",
     **kwargs,
 ) -> Dict[str, object]:
-    """Run the engine speed report and write it to ``path`` as JSON.
+    """Run the engine/layout report and write it to ``path`` as JSON.
 
-    The PR-facing artefact backing the interned-fact-store claim: the
-    store engine beats the PR 1 compiled-plan engine ≥ 2× on the
-    enlarged SL/L workloads and ≥ 3× on the restricted-heavy family
-    (run-to-summary path), with byte-identical results on every row;
-    see EXPERIMENTS.md (E17).  ``quick`` runs the two-row CI smoke
-    variant, whose gate is the store-vs-legacy speedup (≥ 1.5×).
+    The PR-facing artefact backing the columnar-store claims (E18):
+
+    * the arrays layout beats the PR 4 sets layout ≥ 1.3× on the big
+      SL/L and restricted-heavy rows (``layout_speedup``), with
+      equivalent results on every row;
+    * snapshot round trips are fast enough to ship (encode/decode MB/s
+      row) and lossless;
+    * ``resume_from`` re-chase of a ~5% database delta is ≥ 3× faster
+      than a cold re-chase, atom-for-atom equal;
+    * the store engine keeps (and extends) its E17 margins over the
+      plans and legacy engines.
+
+    ``quick`` runs the two-row CI smoke variant, whose gates are the
+    store-vs-legacy speedup (≥ 1.5×) and the arrays-vs-sets layout
+    speedup (≥ 1.0×, a no-regression floor on noisy CI runners).
     """
     if rows is None:
-        # Generating our own rows means owning the memory row too; a
-        # caller-supplied list (the CLI path) is taken as-is.
-        rows = engine_benchmark_rows(quick=quick, **kwargs)
+        # Generating our own rows means owning the extra rows too; a
+        # caller-supplied list (tests) is taken as-is.
+        rows = engine_benchmark_rows(quick=quick, layout=layout, **kwargs)
         if not quick:
+            rows.append(snapshot_roundtrip_row())
+            rows.append(incremental_rechase_row())
             rows.append(engine_memory_row())
     else:
         rows = list(rows)
     speed_rows = [r for r in rows if r.label == "engine-speed"]
 
-    def speedups(predicate) -> List[float]:
+    def plans_speedups(predicate) -> List[float]:
         return [
-            float(r.measured["speedup_vs_plans"])
-            for r in speed_rows
-            if predicate(r)
+            float(r.measured["speedup_vs_plans"]) for r in speed_rows if predicate(r)
         ]
 
-    big_semi = speedups(
-        lambda r: r.parameters.get("big") and r.parameters["variant"] != "restricted"
-    )
-    big_restricted = speedups(
-        lambda r: r.parameters.get("big") and r.parameters["variant"] == "restricted"
-    )
+    def layout_speedups(predicate) -> List[float]:
+        return [
+            float(r.measured["layout_speedup"])
+            for r in speed_rows
+            if "layout_speedup" in r.measured and predicate(r)
+        ]
+
+    def is_big_sl_l(r) -> bool:
+        return bool(r.parameters.get("big")) and r.parameters["variant"] != "restricted"
+
+    def is_big_restricted(r) -> bool:
+        return bool(r.parameters.get("big")) and r.parameters["variant"] == "restricted"
+
+    big_semi = plans_speedups(is_big_sl_l)
+    big_restricted = plans_speedups(is_big_restricted)
+    layout_semi = layout_speedups(is_big_sl_l)
+    layout_restricted = layout_speedups(is_big_restricted)
+    layout_all = layout_speedups(lambda r: True)
     vs_legacy = [float(r.measured["speedup_vs_legacy"]) for r in speed_rows]
+    snapshot_rows = [r for r in rows if r.label == "snapshot-roundtrip"]
+    incremental_rows = [r for r in rows if r.label == "incremental-rechase"]
+    incremental_speedup = (
+        min(float(r.measured["incremental_speedup"]) for r in incremental_rows)
+        if incremental_rows
+        else None
+    )
+    equivalence_rows = speed_rows + snapshot_rows + incremental_rows
     summary = {
-        "all_equivalent": all(bool(r.measured["equivalent"]) for r in speed_rows),
+        "all_equivalent": all(
+            bool(r.measured["equivalent"]) for r in equivalence_rows
+        ),
         "min_speedup_vs_legacy": min(vs_legacy) if vs_legacy else None,
+        "min_layout_speedup": min(layout_all) if layout_all else None,
         # The big-row acceptance gates are only meaningful on the full
         # workload set; quick mode reports them as None (not evaluated)
         # rather than false (regressed).
+        "min_big_sl_l_layout_speedup": min(layout_semi) if layout_semi else None,
+        "min_restricted_heavy_layout_speedup": (
+            min(layout_restricted) if layout_restricted else None
+        ),
+        "big_sl_l_layout_target_met": (
+            (min(layout_semi) >= 1.3) if layout_semi else None
+        ),
+        "restricted_heavy_layout_target_met": (
+            (min(layout_restricted) >= 1.3) if layout_restricted else None
+        ),
         "min_big_sl_l_speedup_vs_plans": min(big_semi) if big_semi else None,
         "min_restricted_heavy_speedup_vs_plans": (
             min(big_restricted) if big_restricted else None
@@ -555,13 +791,25 @@ def write_engine_report(
         "restricted_heavy_target_met": (
             (min(big_restricted) >= 3.0) if big_restricted else None
         ),
+        "incremental_speedup": incremental_speedup,
+        "incremental_target_met": (
+            (incremental_speedup >= 3.0) if incremental_speedup is not None else None
+        ),
+        "snapshot_encode_mb_s": (
+            float(snapshot_rows[0].measured["encode_mb_s"]) if snapshot_rows else None
+        ),
+        "snapshot_decode_mb_s": (
+            float(snapshot_rows[0].measured["decode_mb_s"]) if snapshot_rows else None
+        ),
     }
     report = {
-        "experiment": "E17-engine-speed",
+        "experiment": "E18-columnar-engine",
         "description": (
-            "Interned fact-store engine vs PR 1 compiled plans vs the legacy "
-            "rescan (compiled=False), best-of-N run-to-summary wall seconds; "
-            "materialize_seconds adds full instance decoding"
+            "Columnar fact store (arrays layout) vs the PR 4 sets layout, the "
+            "PR 1 compiled plans and the legacy rescan, best-of-N "
+            "run-to-summary wall seconds with GC paused; plus snapshot "
+            "round-trip throughput and incremental (resume_from) re-chase "
+            "vs cold on a ~5% database delta"
         ),
         "python": platform.python_version(),
         "rows": [r.as_flat_dict() for r in rows],

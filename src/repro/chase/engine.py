@@ -142,6 +142,21 @@ class ChaseResult:
             self._store = None
         return self._materialized
 
+    def store_snapshot(self) -> Optional[bytes]:
+        """Encode the result's fact store as transferable plain bytes.
+
+        Only available on the store engine while the result is still
+        backed by its store (i.e. before :attr:`instance` materialised
+        and released it); returns ``None`` otherwise.  The bytes feed
+        :func:`~repro.model.store.FactStore.restore` — and with it the
+        executor's snapshot payloads and ``resume_from`` re-chase.
+        Taking a snapshot does not consume the store: reading
+        :attr:`instance` afterwards still works.
+        """
+        if self._store is None:
+            return None
+        return self._store.snapshot(complete=self.terminated)
+
     @property
     def size(self) -> int:
         """Number of atoms in the result (O(1), no materialisation)."""
@@ -300,10 +315,43 @@ class BaseChaseEngine:
 
     # -- driver ---------------------------------------------------------------
 
-    def run(self, database: Instance) -> ChaseResult:
-        """Chase ``database`` (a :class:`Database` or ground instance)."""
+    def run(
+        self,
+        database,
+        resume_from: Optional[object] = None,
+        database_size: Optional[int] = None,
+    ) -> ChaseResult:
+        """Chase ``database`` (a :class:`Database` or ground instance).
+
+        Store-engine extensions:
+
+        * ``database`` may be a pre-seeded :class:`FactStore` (e.g.
+          restored from a snapshot shipped by the batch executor), in
+          which case its facts *are* the database and no parsing or
+          interning happens here.  Engines without store support decode
+          it back to an :class:`Instance` first.
+        * ``resume_from`` makes the run *incremental*: it is the
+          snapshot (bytes, or a live :class:`FactStore`, which is then
+          mutated in place) of a previously terminated chase over a
+          database ``D₀ ⊆ database``.  Only the facts of ``database``
+          not already present seed the trigger frontier, and the rounds
+          replay the semi-naive pipeline from there — the store-engine
+          analogue of resuming the chase after a database delta.  The
+          caller usually passes only the delta as ``database`` and the
+          full database's size as ``database_size`` (which otherwise
+          defaults to ``len(database)``).
+        """
         if self.engine == "store" and self.supports_store_engine:
-            return self._run_store(database)
+            return self._run_store(
+                database, resume_from=resume_from, database_size=database_size
+            )
+        if resume_from is not None:
+            raise ValueError(
+                "resume_from requires the store engine "
+                f"(this run uses engine={self.engine!r})"
+            )
+        if isinstance(database, FactStore):
+            database = database.to_instance()
         start = time.perf_counter()
         instance = Instance(database)
         statistics = ChaseStatistics()
@@ -439,7 +487,12 @@ class BaseChaseEngine:
             depth_truncated=depth_truncated,
         )
 
-    def _run_store(self, database: Instance) -> ChaseResult:
+    def _run_store(
+        self,
+        database,
+        resume_from: Optional[object] = None,
+        database_size: Optional[int] = None,
+    ) -> ChaseResult:
         """The store-backed driver: the :meth:`run` loop over id tuples.
 
         Control flow mirrors :meth:`run` statement for statement (same
@@ -447,10 +500,39 @@ class BaseChaseEngine:
         two drivers consider and apply exactly the same triggers; only
         the data plane differs.  Atoms are decoded at exactly two
         boundaries: derivation recording and the final instance.
+
+        With ``resume_from`` the first round is a *delta* round over
+        only the facts of ``database`` that the restored store did not
+        already contain: triggers whose body image lies entirely in the
+        old store fired (or were found inactive) in the base run and
+        are never re-enumerated, which is what makes a 5% database
+        delta cost ~5% of the chase instead of 100%.
         """
         start = time.perf_counter()
-        store = FactStore()
-        delta: List[Fact] = [store.add_atom(a) for a in database]
+        delta: List[Fact]
+        first_round = True
+        if resume_from is not None:
+            store = (
+                resume_from
+                if isinstance(resume_from, FactStore)
+                else FactStore.restore(resume_from)
+            )
+            delta = []
+            for a in database:
+                pid, ids = store.intern_atom(a)
+                if store.add(pid, ids):
+                    delta.append((pid, ids))
+            first_round = False
+            if database_size is None:
+                database_size = len(database)
+        elif isinstance(database, FactStore):
+            store = database
+            delta = []
+            database_size = len(store)
+        else:
+            store = FactStore()
+            delta = [store.add_atom(a) for a in database]
+            database_size = len(database)
         statistics = ChaseStatistics()
         derivation: List[DerivationStep] = []
         applied: Set = set()
@@ -463,8 +545,16 @@ class BaseChaseEngine:
         store_evaluate = self.store_evaluate
         add_fact = store.add
         fact_depth = store.fact_depth
+        if store.layout == "arrays" and not self.record_derivation and not (
+            budget.truncate_at_depth and budget.max_depth is not None
+        ):
+            # The columnar fast loop: same rounds, same memo points,
+            # same budget verdicts — but deltas are row ranges and the
+            # dominant rule shape is evaluated inline.
+            return self._run_store_columnar(
+                store, pipeline, delta, first_round, database_size, start
+            )
 
-        first_round = True
         while True:
             if statistics.rounds >= budget.max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
@@ -551,9 +641,186 @@ class BaseChaseEngine:
             outcome=outcome,
             statistics=statistics,
             max_depth=store.max_depth(),
-            database_size=len(database),
+            database_size=database_size,
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,
+        )
+
+    def _run_store_columnar(
+        self,
+        store: FactStore,
+        pipeline: StoreTriggerPipeline,
+        delta: List[Fact],
+        first_round: bool,
+        database_size: int,
+        start: float,
+    ) -> ChaseResult:
+        """The arrays-layout driver loop (summary mode).
+
+        Semantically identical to the loop in :meth:`_run_store` —
+        same trigger sets per round, same memoisation points, same
+        budget verdicts, same statistics — restructured around what the
+        columnar layout makes free:
+
+        * the round's delta is the row range past the previous round's
+          :meth:`~repro.model.store.FactStore.row_marks` instead of an
+          accumulated fact list (``delta_pending_rows``);
+        * the containment variants (semi-oblivious, oblivious) evaluate
+          *add-first*: ``store.add`` already reports whether a fact was
+          new, and "some result fact missing" is exactly "some add
+          returned True", so the separate containment scan disappears —
+          and a rule with one head atom and no existentials (the
+          dominant shape in every benchmark family) is one getter call
+          plus one add, no result list at all;
+        * statistics accumulate in locals and fold back once per run.
+
+        Derivation-recording and depth-truncating runs take the
+        general loop instead (they need per-trigger added-atom lists),
+        which keeps this loop free of both.
+        """
+        statistics = ChaseStatistics()
+        applied: Set = set()
+        outcome = ChaseOutcome.TERMINATED
+        budget = self.budget
+        uses_frontier = self.uses_frontier_identity
+        store_evaluate = self.store_evaluate
+        containment = (
+            type(self).store_evaluate is BaseChaseEngine._store_evaluate_by_containment
+        )
+        full_labels = not uses_frontier
+        add_fact = store.add
+        fact_depth = store.fact_depth
+        max_atoms = budget.max_atoms
+        max_rounds = budget.max_rounds
+        depth_limit = budget.max_depth
+        max_seconds = budget.max_seconds
+        perf_counter = time.perf_counter
+        applied_add = applied.add
+        rounds = 0
+        considered = 0
+        fired = 0
+        created = 0
+        pending: Optional[List] = (
+            pipeline.initial_pending(store, uses_frontier)
+            if first_round
+            else pipeline.delta_pending(store, delta, uses_frontier)
+        )
+        while True:
+            if rounds >= max_rounds:
+                outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
+                break
+            if pending is None:
+                pending = pipeline.delta_pending_rows(store, marks, uses_frontier)
+            marks = store.row_marks()
+            size_before = len(store)
+            over_budget = False
+            for rule, ids, key in pending:
+                considered += 1
+                if key in applied:
+                    continue
+                applied_add(key)
+                if containment:
+                    # Add-first containment: the trigger was active iff
+                    # any add reports a new fact — same verdict, same
+                    # final store, no separate containment scan.
+                    head_only = rule.head_only
+                    if head_only is not None:
+                        pid, getter = head_only
+                        fact_ids = getter(ids)
+                        if not add_fact(pid, fact_ids):
+                            continue
+                        fired += 1
+                        created += 1
+                        if (
+                            depth_limit is not None
+                            and fact_depth(fact_ids) > depth_limit
+                        ):
+                            outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                            over_budget = True
+                            break
+                    elif rule.head_single_fresh is not None:
+                        pid, fact_ids = rule.single_fresh_fact(store, ids, full_labels)
+                        if not add_fact(pid, fact_ids):
+                            continue
+                        fired += 1
+                        created += 1
+                        if (
+                            depth_limit is not None
+                            and fact_depth(fact_ids) > depth_limit
+                        ):
+                            outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                            over_budget = True
+                            break
+                    else:
+                        added = 0
+                        deep = False
+                        for pid, fact_ids in rule.result_facts(
+                            store, ids, full_labels=full_labels
+                        ):
+                            if add_fact(pid, fact_ids):
+                                added += 1
+                                if (
+                                    depth_limit is not None
+                                    and fact_depth(fact_ids) > depth_limit
+                                ):
+                                    deep = True
+                        if not added:
+                            continue
+                        fired += 1
+                        created += added
+                        if deep:
+                            outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                            over_budget = True
+                            break
+                else:
+                    result_facts = store_evaluate(store, rule, ids, key)
+                    if result_facts is None:
+                        continue
+                    fired += 1
+                    deep = False
+                    for pid, fact_ids in result_facts:
+                        if add_fact(pid, fact_ids):
+                            created += 1
+                            if (
+                                depth_limit is not None
+                                and fact_depth(fact_ids) > depth_limit
+                            ):
+                                deep = True
+                    if deep:
+                        outcome = ChaseOutcome.DEPTH_BUDGET_EXCEEDED
+                        over_budget = True
+                        break
+                if len(store) > max_atoms:
+                    outcome = ChaseOutcome.ATOM_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+                if max_seconds is not None and perf_counter() - start > max_seconds:
+                    outcome = ChaseOutcome.TIME_BUDGET_EXCEEDED
+                    over_budget = True
+                    break
+            rounds += 1
+            if over_budget:
+                break
+            if len(store) == size_before:
+                outcome = ChaseOutcome.TERMINATED
+                break
+            pending = None
+
+        statistics.rounds = rounds
+        statistics.triggers_considered = considered
+        statistics.triggers_applied = fired
+        statistics.atoms_created = created
+        statistics.wall_seconds = time.perf_counter() - start
+        return ChaseResult(
+            _store=store,
+            _atom_count=len(store),
+            terminated=outcome is ChaseOutcome.TERMINATED,
+            outcome=outcome,
+            statistics=statistics,
+            max_depth=store.max_depth(),
+            database_size=database_size,
+            derivation=(),
+            depth_truncated=False,
         )
 
     # -- trigger enumeration -----------------------------------------------------

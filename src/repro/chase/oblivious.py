@@ -55,10 +55,18 @@ def oblivious_chase(
     record_derivation: bool = True,
     compiled: bool = True,
     engine: Optional[str] = None,
+    resume_from: Optional[object] = None,
+    database_size: Optional[int] = None,
 ) -> ChaseResult:
-    """Run the oblivious chase of ``database`` w.r.t. ``tgds``."""
+    """Run the oblivious chase of ``database`` w.r.t. ``tgds``.
+
+    Supports pre-seeded fact stores and incremental ``resume_from``
+    snapshots like :func:`~repro.chase.semi_oblivious.semi_oblivious_chase`
+    (the oblivious result is unique too, so resumed and cold runs
+    produce equal instances).
+    """
     chase_engine = ObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
         engine=engine,
     )
-    return chase_engine.run(database)
+    return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

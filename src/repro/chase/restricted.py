@@ -120,10 +120,22 @@ def restricted_chase(
     record_derivation: bool = True,
     compiled: bool = True,
     engine: Optional[str] = None,
+    resume_from: Optional[object] = None,
+    database_size: Optional[int] = None,
 ) -> ChaseResult:
-    """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``."""
+    """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``.
+
+    ``resume_from`` continues a terminated restricted chase after a
+    database delta.  Head satisfaction is monotone, so the resumed run
+    is itself a valid fair restricted-chase derivation of the enlarged
+    database — but because the restricted chase is order-dependent in
+    general, it need not equal the cold derivation atom for atom; on
+    order-invariant programs (full TGDs, the ``restricted_heavy``
+    family) the two agree up to fire numbering
+    (:func:`~repro.model.serialization.fire_invariant_instance_key`).
+    """
     chase_engine = RestrictedChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
         engine=engine,
     )
-    return chase_engine.run(database)
+    return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

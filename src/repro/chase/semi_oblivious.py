@@ -52,6 +52,8 @@ def semi_oblivious_chase(
     record_derivation: bool = True,
     compiled: bool = True,
     engine: Optional[str] = None,
+    resume_from: Optional[object] = None,
+    database_size: Optional[int] = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -61,9 +63,17 @@ def semi_oblivious_chase(
     ``maxdepth(D, Σ)``.  ``engine`` picks the implementation
     (``"store"``, ``"plans"`` or ``"legacy"``); ``compiled=False`` is
     shorthand for the legacy rescan engine (benchmark baseline).
+
+    ``database`` may also be a pre-seeded
+    :class:`~repro.model.store.FactStore` (store engine only), and
+    ``resume_from`` a snapshot of a previously *terminated* run over a
+    sub-database: the chase then replays incrementally from the new
+    facts — because the semi-oblivious result is unique, the resumed
+    instance equals the cold ``chase(D ∪ Δ, Σ)`` exactly.  See
+    :meth:`~repro.chase.engine.BaseChaseEngine.run`.
     """
     chase_engine = SemiObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
         engine=engine,
     )
-    return chase_engine.run(database)
+    return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

@@ -181,6 +181,12 @@ class StoreDeltaPlan:
         "checks",
         "_direct_get",
         "_direct_checks",
+        "_forced_checks",
+        "_rest_pid",
+        "_rest_probe",
+        "_rest_const_probe",
+        "_rest_checks",
+        "_merge_get",
     )
 
     def __init__(self, pattern: Atom, rest: Sequence[Atom], rule: "StoreCompiledRule",
@@ -201,11 +207,44 @@ class StoreDeltaPlan:
         # of the forced fact against each other.
         self._direct_get = None
         self._direct_checks: Tuple[Tuple[int, int], ...] = ()
+        forced_position_of_slot = {slot: position for position, slot in self.binds}
+        self._forced_checks = tuple(
+            (position, forced_position_of_slot[slot]) for position, slot in self.checks
+        )
         if not rest:
-            position_of_slot = {slot: position for position, slot in self.binds}
-            self._direct_get = _tuple_getter(tuple(position_of_slot[s] for s in perm))
-            self._direct_checks = tuple(
-                (position, position_of_slot[slot]) for position, slot in self.checks
+            self._direct_get = _tuple_getter(
+                tuple(forced_position_of_slot[s] for s in perm)
+            )
+            self._direct_checks = self._forced_checks
+        # Two-atom bodies (forced pattern + one rest atom) skip the
+        # backtracking generator: the probe template binds the rest
+        # atom's shared positions from the forced fact, and the
+        # canonical tuple is one itemgetter over the concatenated
+        # ``forced + candidate`` row.
+        self._merge_get = None
+        if len(rest) == 1:
+            rest_pid, rest_consts, rest_lookups, rest_binds, rest_checks = (
+                self.plan._steps[0]
+            )
+            arity = pattern.predicate.arity
+            rest_position_of_slot = {slot: position for position, slot in rest_binds}
+            self._rest_pid = rest_pid
+            self._rest_const_probe = rest_consts
+            self._rest_probe = tuple(
+                (position, forced_position_of_slot[slot])
+                for position, slot in rest_lookups
+            )
+            self._rest_checks = tuple(
+                (position, rest_position_of_slot[slot])
+                for position, slot in rest_checks
+            )
+            self._merge_get = _tuple_getter(
+                tuple(
+                    forced_position_of_slot[slot]
+                    if slot in forced_position_of_slot
+                    else arity + rest_position_of_slot[slot]
+                    for slot in perm
+                )
             )
 
     def canonicals(self, store: FactStore, forced: Tuple[int, ...]) -> Iterator[CanonicalIds]:
@@ -229,6 +268,43 @@ class StoreDeltaPlan:
         perm_get = self.perm_get
         for bound in self.plan.iter_ids(store, slots):
             yield perm_get(bound)
+
+    def canonical_list(
+        self, store: FactStore, forced: Tuple[int, ...]
+    ) -> List[CanonicalIds]:
+        """:meth:`canonicals` as a list, through the two-atom fast path.
+
+        For a body of the forced pattern plus one rest atom, the join
+        is a single posting probe and the canonical tuples fall out of
+        one itemgetter over ``forced + candidate`` — no slot array, no
+        generator frames.  Larger bodies fall back to the general
+        backtracking enumerator.
+        """
+        merge = self._merge_get
+        if merge is None:
+            return list(self.canonicals(store, forced))
+        for position, tid in self.consts:
+            if forced[position] != tid:
+                return []
+        for position, first in self._forced_checks:
+            if forced[position] != forced[first]:
+                return []
+        bound = list(self._rest_const_probe)
+        for position, forced_position in self._rest_probe:
+            bound.append((position, forced[forced_position]))
+        candidates = (
+            store.candidates(self._rest_pid, bound)
+            if bound
+            else store.facts_of(self._rest_pid)
+        )
+        checks = self._rest_checks
+        if not checks:
+            return [merge(forced + candidate) for candidate in candidates]
+        return [
+            merge(forced + candidate)
+            for candidate in candidates
+            if all(candidate[a] == candidate[b] for a, b in checks)
+        ]
 
 
 class StoreCompiledRule:
@@ -269,6 +345,8 @@ class StoreCompiledRule:
         "_head_seed",
         "_head_single",
         "_store",
+        "head_only",
+        "head_single_fresh",
     )
 
     def __init__(self, tgd: TGD, store: FactStore, index: int) -> None:
@@ -317,22 +395,41 @@ class StoreCompiledRule:
             )
             for a in tgd.head
         )
-        # Precompiled head builders: a head atom whose arguments are all
-        # frontier variables is a pure permutation of the canonical
-        # tuple (an itemgetter); only atoms with existentials fall back
-        # to the template walk.  Rules without existentials skip null
-        # labelling entirely via ``_head_simple``.
+        # Precompiled head builders: every head atom is one itemgetter
+        # over the *combined* row ``canonical + nulls`` — a spec ``-1-k``
+        # (the k-th existential) maps past the canonical prefix, so a
+        # pure-frontier atom and an existential atom build identically
+        # at C speed.  Rules without existentials additionally keep the
+        # canonical-only getters (``_head_simple``) and skip null
+        # labelling entirely.
+        variable_count = len(self.sorted_variables)
         self._head_builders = tuple(
             (
                 pid,
-                _tuple_getter(template) if min(template, default=0) >= 0 else None,
-                template,
+                _tuple_getter(
+                    tuple(
+                        spec if spec >= 0 else variable_count + (-1 - spec)
+                        for spec in template
+                    )
+                ),
             )
             for pid, template in self._head_template
         )
-        self._head_simple = (
-            tuple((pid, getter) for pid, getter, _ in self._head_builders)
-            if not self._existentials
+        self._head_simple = self._head_builders if not self._existentials else None
+        # The dominant rule shape — one head atom, no existentials — as
+        # a bare (pid, getter) pair: the columnar driver inlines its
+        # containment evaluation without building a result list.
+        self.head_only = (
+            self._head_simple[0]
+            if self._head_simple is not None and len(self._head_simple) == 1
+            else None
+        )
+        # The other dominant shape: one head atom *with* existentials
+        # (every SL/L rule).  single_fresh_fact builds its one result
+        # fact without list machinery.
+        self.head_single_fresh = (
+            self._head_builders[0]
+            if len(tgd.head) == 1 and self._existentials
             else None
         )
 
@@ -373,6 +470,8 @@ class StoreCompiledRule:
                         repeat_checks.append((seen_at, position))
             self._head_single = (
                 store.intern_predicate(head_atom.predicate),
+                tuple(position for position, _ in bound_template),
+                _tuple_getter(tuple(index for _, index in bound_template)),
                 tuple(bound_template),
                 tuple(repeat_checks),
             )
@@ -399,6 +498,29 @@ class StoreCompiledRule:
             label_ids = self.frontier_get(canonical)
         return self._build_facts(store, canonical, names, label_ids)
 
+    def single_fresh_fact(
+        self, store: FactStore, canonical: CanonicalIds, full_labels: bool = False
+    ) -> Fact:
+        """The one result fact of a single-head existential rule.
+
+        The flattened twin of :meth:`result_facts` for the
+        ``head_single_fresh`` shape, used by the columnar driver: null
+        interning plus one template fill, no intermediate lists.
+        """
+        if full_labels:
+            names, label_ids = self._names_full, canonical
+        else:
+            names = self._names_frontier
+            label_ids = self.frontier_get(canonical)
+        rule_id = self.rule_id
+        intern_null = store.intern_null
+        combined = canonical + tuple(
+            intern_null(rule_id, name, names, label_ids)
+            for name in self._existentials
+        )
+        pid, getter = self.head_single_fresh
+        return pid, getter(combined)
+
     def result_facts_fired(
         self, store: FactStore, canonical: CanonicalIds, fire_tid: int
     ) -> List[Fact]:
@@ -419,22 +541,11 @@ class StoreCompiledRule:
     ) -> List[Fact]:
         rule_id = self.rule_id
         intern_null = store.intern_null
-        nulls = [
+        combined = canonical + tuple(
             intern_null(rule_id, name, names, label_ids)
             for name in self._existentials
-        ]
-        return [
-            (pid, getter(canonical))
-            if getter is not None
-            else (
-                pid,
-                tuple(
-                    canonical[spec] if spec >= 0 else nulls[-1 - spec]
-                    for spec in template
-                ),
-            )
-            for pid, getter, template in self._head_builders
-        ]
+        )
+        return [(pid, getter(combined)) for pid, getter in self._head_builders]
 
     # -- restricted activeness ----------------------------------------------
 
@@ -448,13 +559,13 @@ class StoreCompiledRule:
         """
         single = self._head_single
         if single is not None:
-            pid, bound_template, repeat_checks = single
-            candidates = store.candidates(
-                pid, [(position, canonical[i]) for position, i in bound_template]
-            )
+            pid, signature, value_get, bound_template, repeat_checks = single
             if not repeat_checks:
-                return bool(candidates)
-            for ids in candidates:
+                # Existence only: on the arrays layout this is one
+                # lookup in the (pid, signature) projection index.
+                return store.has_projection(pid, signature, value_get(canonical))
+            bound = [(position, canonical[i]) for position, i in bound_template]
+            for ids in store.candidates(pid, bound):
                 if all(ids[a] == ids[b] for a, b in repeat_checks):
                     return True
             return False
@@ -595,6 +706,84 @@ class StoreTriggerPipeline:
                 continue
             for forced in forced_facts:
                 for canonical in delta_plan.canonicals(store, forced):
+                    dedup_key = (rule_index, canonical)
+                    if dedup_key in seen:
+                        continue
+                    seen_add(dedup_key)
+                    key = (rule_index, key_get(canonical) if key_get else canonical)
+                    append((rule, canonical, key))
+        return pending
+
+    # (classic delta_pending above; columnar row-mark twin below)
+
+    def delta_pending_rows(
+        self, store: FactStore, marks: Sequence[int], uses_frontier: bool
+    ) -> List[PendingTrigger]:
+        """:meth:`delta_pending` over columnar row marks (arrays layout).
+
+        The delta is not a fact list but the row ranges past ``marks``
+        (the per-predicate row counts captured before the previous
+        round applied): new facts simply occupy the tail of their row
+        table, so the per-round regrouping by predicate disappears.
+        The enumerated trigger set and order match
+        :meth:`delta_pending` exactly — per (rule, body index) in
+        registration order, forced facts in insertion order — and the
+        linear-rule fast path builds its pending entries with a single
+        C-level ``map`` over the row slice.
+        """
+        pending: List[PendingTrigger] = []
+        append = pending.append
+        seen: Set[Tuple[int, CanonicalIds]] = set()
+        seen_add = seen.add
+        rows_since = store.rows_since
+        for rule, index, pid in self._delta_entries:
+            forced_facts = rows_since(pid, marks[pid])
+            if not forced_facts:
+                continue
+            delta_plan = rule.delta_plans[index]
+            rule_index = rule.index
+            key_get = rule.frontier_get if uses_frontier else None
+            dedup = len(rule.delta_plans) > 1
+            direct = delta_plan._direct_get
+            if direct is not None and not dedup:
+                # Linear rule: one delta entry, injective pattern match.
+                direct_checks = delta_plan._direct_checks
+                consts = delta_plan.consts
+                if not consts and not direct_checks:
+                    if key_get is None:
+                        pending.extend(
+                            [
+                                (rule, canonical, (rule_index, canonical))
+                                for canonical in map(direct, forced_facts)
+                            ]
+                        )
+                    else:
+                        pending.extend(
+                            [
+                                (rule, canonical, (rule_index, key_get(canonical)))
+                                for canonical in map(direct, forced_facts)
+                            ]
+                        )
+                    continue
+                for forced in forced_facts:
+                    ok = True
+                    for position, tid in consts:
+                        if forced[position] != tid:
+                            ok = False
+                            break
+                    if ok:
+                        for position, first in direct_checks:
+                            if forced[position] != forced[first]:
+                                ok = False
+                                break
+                    if not ok:
+                        continue
+                    canonical = direct(forced)
+                    key = (rule_index, key_get(canonical) if key_get else canonical)
+                    append((rule, canonical, key))
+                continue
+            for forced in forced_facts:
+                for canonical in delta_plan.canonical_list(store, forced):
                     dedup_key = (rule_index, canonical)
                     if dedup_key in seen:
                         continue

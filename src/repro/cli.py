@@ -9,8 +9,12 @@ Four subcommands mirror the library's main entry points::
                                                             [--max-depth N] [--max-seconds S]
                                                             [--format text|json] [--output FILE]
                                                             [--engine store|plans|legacy]
+                                                            [--resume-from SNAP] [--save-snapshot FILE]
+    python -m repro snapshot  dump database.facts --output FILE [--rules R [--variant V]]
+    python -m repro snapshot  inspect FILE
+    python -m repro snapshot  restore FILE [--output facts.txt]
     python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
-                                             [--timeout S] [--materialize]
+                                             [--timeout S] [--materialize] [--incremental]
     python -m repro serve     [--host H] [--port P] [--workers N] [--cache FILE]
                               [--cache-max-entries N] [--queue-depth N] [--ttl S]
                               [--timeout S] [--materialize]
@@ -102,13 +106,52 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         max_seconds=args.max_seconds,
     )
     engine = "legacy" if args.legacy_engine else args.engine
+    if args.resume_from and engine != "store":
+        print(
+            "--resume-from requires the store engine (use --engine store)",
+            file=sys.stderr,
+        )
+        return 2
+    resume_from = None
+    if args.resume_from:
+        from repro.model.store import inspect_snapshot
+
+        resume_from = Path(args.resume_from).read_bytes()
+        if inspect_snapshot(resume_from).get("complete") is not True:
+            print(
+                f"{args.resume_from} is not a terminated chase-result snapshot; "
+                "resuming from it would silently drop pending triggers "
+                "(use 'snapshot dump --rules' or 'chase --save-snapshot' on a "
+                "run that terminated)",
+                file=sys.stderr,
+            )
+            return 2
     result = runner(
         database,
         program,
         budget=budget,
         record_derivation=False,
         engine=engine,
+        resume_from=resume_from,
     )
+    if args.save_snapshot:
+        blob = result.store_snapshot()
+        if blob is None:
+            print(
+                "--save-snapshot requires the store engine (use --engine store)",
+                file=sys.stderr,
+            )
+            return 2
+        if not result.terminated:
+            print(
+                f"not saving a snapshot of a budget-stopped run "
+                f"({result.outcome.value}): it is an incomplete prefix that "
+                "--resume-from would refuse anyway",
+                file=sys.stderr,
+            )
+            return 2
+        Path(args.save_snapshot).write_bytes(blob)
+        print(f"snapshot: {len(blob)} bytes -> {args.save_snapshot}", file=sys.stderr)
     status = "terminated" if result.terminated else f"stopped ({result.outcome.value})"
     print(
         f"{status}: {result.size} atoms, max depth {result.max_depth}, "
@@ -132,6 +175,64 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     return 0 if result.terminated else 1
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.model.serialization import instance_to_text
+    from repro.model.store import FactStore, inspect_snapshot
+    from repro.runtime.jobs import encode_database_snapshot
+
+    if args.action == "dump":
+        database = _load_database(args.database)
+        if args.rules:
+            program = _load_program(args.rules)
+            runner = _VARIANTS[args.variant]
+            result = runner(database, program, record_derivation=False, engine="store")
+            blob = result.store_snapshot()
+            assert blob is not None  # engine="store" always carries a store
+            status = "terminated" if result.terminated else result.outcome.value
+            print(
+                f"chased {len(database)} facts -> {result.size} atoms ({status})",
+                file=sys.stderr,
+            )
+            if not result.terminated:
+                print(
+                    "warning: budget-stopped prefix — the snapshot is marked "
+                    "incomplete and --resume-from will refuse it",
+                    file=sys.stderr,
+                )
+        else:
+            blob = encode_database_snapshot(database)
+        Path(args.output).write_bytes(blob)
+        print(f"wrote {len(blob)} bytes to {args.output}", file=sys.stderr)
+        return 0
+    data = Path(args.snapshot).read_bytes()
+    if args.action == "inspect":
+        header = inspect_snapshot(data)
+        null_count = sum(1 for t in header["terms"] if not isinstance(t, str))
+        document = {
+            "bytes": len(data),
+            "complete": header.get("complete"),
+            "predicates": {
+                f"{name}/{arity}": count
+                for (name, arity), count in zip(header["predicates"], header["facts"])
+            },
+            "facts": header["size"],
+            "terms": len(header["terms"]),
+            "nulls": null_count,
+            "max_depth": header["max_depth"],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    # restore: decode back to fact text.
+    store = FactStore.restore(data)
+    text = instance_to_text(store.to_instance())
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"restored {len(store)} facts to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.runtime import BatchExecutor, ResultCache, read_manifest_lenient
     from repro.runtime.jobs import ManifestError
@@ -140,12 +241,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     jobs = [item for item in items if not isinstance(item, ManifestError)]
     bad = [item for item in items if isinstance(item, ManifestError)]
     cache = ResultCache(args.cache) if args.cache else None
+    if args.incremental and cache is None:
+        print(
+            "--incremental needs --cache to hold resume snapshots; running cold",
+            file=sys.stderr,
+        )
     executor = BatchExecutor(
         workers=args.workers,
         cache=cache,
         materialize=args.materialize,
         per_job_timeout=args.timeout,
         engine=args.engine,
+        incremental=args.incremental,
     )
     out_handle = Path(args.output).open("w") if args.output else sys.stdout
     counts = {"ok": 0, "timeout": 0, "error": len(bad), "cached": 0}
@@ -243,25 +350,35 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         engine_benchmark_rows,
         engine_memory_row,
         format_table,
+        incremental_rechase_row,
+        snapshot_roundtrip_row,
         write_engine_report,
     )
 
-    rows = engine_benchmark_rows(repeats=args.repeats, quick=args.quick)
+    rows = engine_benchmark_rows(
+        repeats=args.repeats, quick=args.quick, layout=args.layout
+    )
     if not args.quick:
+        rows.append(snapshot_roundtrip_row(repeats=args.repeats))
+        rows.append(incremental_rechase_row(repeats=args.repeats))
         rows.append(engine_memory_row())
     report = write_engine_report(path=args.output, rows=rows, quick=args.quick)
     print(format_table(rows))
     summary = report["summary"]
-    gates = (
-        ""
-        if args.quick
-        else (
-            f"min big SL/L speedup vs plans: "
-            f"{summary['min_big_sl_l_speedup_vs_plans']}x, "
-            f"min restricted-heavy speedup vs plans: "
-            f"{summary['min_restricted_heavy_speedup_vs_plans']}x, "
+    gates = ""
+    if not args.quick:
+        if summary["min_big_sl_l_layout_speedup"] is not None:
+            gates += (
+                f"min big SL/L layout speedup (arrays vs sets): "
+                f"{summary['min_big_sl_l_layout_speedup']}x, "
+                f"min restricted-heavy layout speedup: "
+                f"{summary['min_restricted_heavy_layout_speedup']}x, "
+            )
+        gates += (
+            f"incremental re-chase speedup: {summary['incremental_speedup']}x, "
+            f"snapshot {summary['snapshot_encode_mb_s']}/"
+            f"{summary['snapshot_decode_mb_s']} MB/s enc/dec, "
         )
-    )
     print(
         f"\nmin speedup vs legacy: {summary['min_speedup_vs_legacy']}x, "
         f"{gates}all runs equivalent: {summary['all_equivalent']}",
@@ -272,7 +389,8 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         return 1
     if args.quick:
         # CI perf smoke: the store engine must stay ≥ 1.5× over the
-        # legacy rescan on the smoke workloads.
+        # legacy rescan, and the arrays layout must not regress below
+        # the sets layout, on the smoke workloads.
         floor = summary["min_speedup_vs_legacy"]
         if floor is None or floor < 1.5:
             print(
@@ -280,8 +398,23 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+        layout_floor = summary["min_layout_speedup"]
+        if layout_floor is not None and layout_floor < 1.0:
+            print(
+                f"perf smoke FAILED: arrays-vs-sets layout speedup "
+                f"{layout_floor}x < 1.0x",
+                file=sys.stderr,
+            )
+            return 1
         return 0
-    return 0 if summary["big_sl_l_target_met"] and summary["restricted_heavy_target_met"] else 1
+    healthy = (
+        summary["big_sl_l_target_met"]
+        and summary["restricted_heavy_target_met"]
+        and summary["big_sl_l_layout_target_met"] is not False
+        and summary["restricted_heavy_layout_target_met"] is not False
+        and summary["incremental_target_met"]
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_bench_runtime(args: argparse.Namespace) -> int:
@@ -359,7 +492,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shorthand for --engine legacy (kept for compatibility)",
     )
+    chase_parser.add_argument(
+        "--resume-from",
+        help="resume incrementally from a store snapshot of a previous "
+        "terminated run over a sub-database (store engine only); pass the "
+        "full grown database as the facts file",
+    )
+    chase_parser.add_argument(
+        "--save-snapshot",
+        help="write the result's store snapshot here (store engine only)",
+    )
     chase_parser.set_defaults(handler=_cmd_chase)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot",
+        help="dump, inspect, or restore fact-store snapshots",
+    )
+    snapshot_subparsers = snapshot_parser.add_subparsers(dest="action", required=True)
+    snapshot_dump = snapshot_subparsers.add_parser(
+        "dump", help="encode a database (or its chase result) as a snapshot"
+    )
+    snapshot_dump.add_argument("database", help="file with one fact per line")
+    snapshot_dump.add_argument("--output", required=True, help="snapshot file to write")
+    snapshot_dump.add_argument(
+        "--rules", help="chase the database with these rules first and snapshot the result"
+    )
+    snapshot_dump.add_argument(
+        "--variant", choices=sorted(_VARIANTS), default="semi-oblivious"
+    )
+    snapshot_dump.set_defaults(handler=_cmd_snapshot)
+    snapshot_inspect = snapshot_subparsers.add_parser(
+        "inspect", help="print a snapshot's header (predicates, sizes) as JSON"
+    )
+    snapshot_inspect.add_argument("snapshot", help="snapshot file")
+    snapshot_inspect.set_defaults(handler=_cmd_snapshot)
+    snapshot_restore = snapshot_subparsers.add_parser(
+        "restore", help="decode a snapshot back to fact text"
+    )
+    snapshot_restore.add_argument("snapshot", help="snapshot file")
+    snapshot_restore.add_argument("--output", help="write facts here instead of stdout")
+    snapshot_restore.set_defaults(handler=_cmd_snapshot)
 
     batch_parser = subparsers.add_parser(
         "batch",
@@ -384,6 +556,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(_ENGINES),
         default=None,
         help="chase engine implementation for all jobs (default: store)",
+    )
+    batch_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="resume cache-missed jobs from cached snapshots of the same "
+        "program over a sub-database (needs --cache; stores snapshots "
+        "alongside summaries)",
     )
     batch_parser.set_defaults(handler=_cmd_batch)
 
@@ -429,10 +608,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--output", default="BENCH_engine.json")
     bench_parser.add_argument("--repeats", type=int, default=3)
     bench_parser.add_argument(
+        "--layout",
+        choices=["both", "arrays", "sets"],
+        default="both",
+        help="store layouts to measure: 'both' adds the sets-vs-arrays "
+        "comparison columns (and their gates) to every store-engine row",
+    )
+    bench_parser.add_argument(
         "--quick",
         action="store_true",
         help="two-row CI perf smoke; exits non-zero if the store engine is "
-        "not ≥1.5x over the legacy rescan or results diverge",
+        "not ≥1.5x over the legacy rescan, the arrays layout regresses "
+        "below 1.0x of the sets layout, or results diverge",
     )
     bench_parser.set_defaults(handler=_cmd_bench_engine)
 

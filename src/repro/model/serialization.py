@@ -52,7 +52,20 @@ def program_to_text(program: TGDSet) -> str:
 
 
 def database_to_text(database: Database) -> str:
-    return "\n".join(sorted(f"{atom_to_text(a)}." for a in database))
+    return "\n".join(database_fact_lines(database))
+
+
+def database_fact_lines(database: Database) -> Tuple[str, ...]:
+    """The database's facts as sorted ``R(a, b).`` lines.
+
+    The set-comparison currency of incremental re-chase: a cache entry
+    stores its base database as these lines, and the executor
+    recognises "previous job + delta" by checking that the base lines
+    are a subset of the new job's (the delta being the complement).
+    Databases are ground, so the sorted line tuple is canonical without
+    any null relabelling.
+    """
+    return tuple(sorted(f"{atom_to_text(a)}." for a in database))
 
 
 def instance_to_text(instance: Instance) -> str:

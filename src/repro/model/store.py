@@ -6,11 +6,9 @@ objects for candidate results, and intersects ``Set[Atom]`` buckets.
 :class:`FactStore` dictionary-encodes the data plane instead:
 
 * predicates and ground terms are interned to dense integer ids;
-* each predicate's facts are packed tuples of term ids, kept in one
-  set per predicate (containment is an int-tuple hash probe);
-* a ``(predicate id, position, term id) -> facts`` posting index
-  replaces the per-position atom buckets, so joins intersect sets of
-  small-int tuples instead of boxed terms;
+* each predicate's facts are packed tuples of term ids;
+* a positional posting index replaces the per-position atom buckets,
+  so joins run over packed int tuples instead of boxed terms;
 * labelled nulls are invented as bare ids with a *decode recipe*
   (rule id, variable, label names, label term ids) and only
   materialised as :class:`~repro.model.terms.Null` objects at API
@@ -18,15 +16,55 @@ objects for candidate results, and intersects ``Set[Atom]`` buckets.
   legacy engine would have built, so decoded instances compare equal
   atom for atom and fingerprint identically.
 
+Two storage layouts are selectable per store (``layout=`` or the
+``REPRO_STORE_LAYOUT`` environment knob):
+
+``arrays`` (the default)
+    The columnar layout.  Facts over a predicate live in one
+    insertion-ordered row table (their position is the fact's *row
+    id*); each ``(predicate, position, term)`` posting bucket is an
+    append-only column holding the facts in ascending row order.
+    Because the store is add-only and a fact enters each bucket at
+    most once, the columns are sorted by row id and deduplicated *by
+    construction* — nothing is ever sorted or hashed on the append
+    path.  Multi-position *enumeration* walks the smallest column and
+    filters it by direct position compares; multi-position *existence*
+    tests (the restricted chase's head-satisfaction probe) are one
+    hash lookup in a lazily built projection index per position
+    signature, carrying a dirty watermark that marks how far it has
+    caught up with the row table (appends between probes cost nothing
+    until a probe needs them).  Earlier iterations kept the columns as
+    ``array('q')`` row ids galloped with cursors + ``bisect`` (lost:
+    every probe re-boxed machine ints into Python objects) and
+    intersected via per-column watermarked hash sets (lost: direct
+    compares need no maintenance at all) — the packed ``array('q')``
+    form survives as the snapshot wire format, where it belongs.
+
+``sets``
+    The PR 4 layout — one Python ``set`` of packed fact tuples per
+    posting key, with the original driver loop above it — kept fully
+    selectable so the equivalence suite and the layout benchmark
+    (BENCH_engine.json E18) can compare old and new byte for byte.
+
 The store is add-only (the chase never retracts facts), which is what
-makes the incremental ``size``/``max_depth`` counters exact.  Because
-every key in the hot dictionaries is an int or a tuple of ints, the
-iteration order of its sets is independent of string-hash
-randomisation, unlike ``Set[Atom]`` buckets.
+makes the incremental ``size``/``max_depth`` counters exact, the
+posting columns naturally row-sorted, and the :meth:`snapshot`/
+:meth:`restore` pair a faithful transfer format: a snapshot packs the
+interner tables plus the per-predicate fact columns
+(``array('q').tobytes()``) into one plain-bytes blob that a worker
+process can restore without re-parsing or re-hashing any text.
+Because every key in the hot dictionaries is an int or a tuple of
+ints, derivation order is independent of string hash randomisation in
+both layouts.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import sys
+from array import array
+from operator import itemgetter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.model.atoms import Atom, Predicate
@@ -36,32 +74,64 @@ from repro.model.terms import Constant, Null, Term, Variable
 #: A fact as (predicate id, packed term-id tuple).
 Fact = Tuple[int, Tuple[int, ...]]
 
+#: Storage layouts selectable per store.
+LAYOUTS = ("arrays", "sets")
+
+#: Environment knob choosing the default layout (benchmark fallback).
+LAYOUT_ENV_VAR = "REPRO_STORE_LAYOUT"
+
 #: Shared empty posting list for index misses; never mutated.
 _EMPTY_FACTS: Set[Tuple[int, ...]] = frozenset()  # type: ignore[assignment]
+
+#: Magic prefix of the snapshot wire format (bumped on format changes).
+SNAPSHOT_MAGIC = b"RSNP1\n"
+
+
+def default_layout() -> str:
+    """The process-default layout: ``REPRO_STORE_LAYOUT`` or ``arrays``."""
+    layout = os.environ.get(LAYOUT_ENV_VAR, "arrays")
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"{LAYOUT_ENV_VAR}={layout!r} is not a store layout; expected one of {LAYOUTS}"
+        )
+    return layout
 
 
 class FactStore:
     """Interned predicates, terms and facts with positional posting lists."""
 
     __slots__ = (
+        "layout",
         "_pid_of",
         "_pred_of",
-        "_facts",
         "_id_of_term",
         "_term_of_id",
         "_depth_of_id",
         "_null_ids",
         "_null_recipe",
-        "_posting",
         "_size",
         "_max_depth",
         "_has_foreign_nulls",
+        # sets layout
+        "_facts",
+        "_posting",
+        # arrays layout
+        "_rows",
+        "_row_of",
+        "_cols",
+        "_built",
+        "_proj",
+        "_depth_marks",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, layout: Optional[str] = None) -> None:
+        if layout is None:
+            layout = default_layout()
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {layout!r}, expected one of {LAYOUTS}")
+        self.layout = layout
         self._pid_of: Dict[Predicate, int] = {}
         self._pred_of: List[Predicate] = []
-        self._facts: List[Set[Tuple[int, ...]]] = []
         self._id_of_term: Dict[Term, int] = {}
         # Decoded term per id; ``None`` marks a store-invented null that
         # has not been materialised yet (see :meth:`term_of_id`).
@@ -70,7 +140,6 @@ class FactStore:
         # (rule_id, variable, label names, label ids) -> null term id.
         self._null_ids: Dict[Tuple[str, str, Tuple[str, ...], Tuple[int, ...]], int] = {}
         self._null_recipe: Dict[int, Tuple[str, str, Tuple[str, ...], Tuple[int, ...]]] = {}
-        self._posting: Dict[Tuple[int, int, int], Set[Tuple[int, ...]]] = {}
         self._size = 0
         self._max_depth = 0
         # True once a null built *outside* the store has been interned
@@ -78,6 +147,31 @@ class FactStore:
         # nulls must then unify structurally with the foreign ones, or
         # one null could end up with two ids and break fact dedup.
         self._has_foreign_nulls = False
+        if layout == "sets":
+            self._facts: List[Set[Tuple[int, ...]]] = []
+            self._posting: Dict[Tuple[int, int, int], Set[Tuple[int, ...]]] = {}
+        else:
+            # Row tables: _rows[pid] lists packed facts in insertion
+            # order (the index is the row id) and _row_of[pid] maps a
+            # fact back to its row (containment + dedup).
+            # _cols[pid][position] maps a term id to its posting column
+            # (facts ascending by row id) — built *lazily* on the first
+            # probe of that (predicate, position): positions no join
+            # ever binds (most of a wide predicate) are never indexed,
+            # and the add path only maintains the columns in
+            # _built[pid].
+            self._rows: List[List[Tuple[int, ...]]] = []
+            self._row_of: List[Dict[Tuple[int, ...], int]] = []
+            self._cols: List[List[Optional[Dict[int, List[Tuple[int, ...]]]]]] = []
+            self._built: List[List[int]] = []
+            # Projection existence indexes: per predicate, a position
+            # signature (e.g. ``(0, 2)``) maps to a
+            # ``[projection set, watermark, getter]`` triple used by
+            # multi-position existence probes (see has_candidate).
+            self._proj: List[Dict[Tuple[int, ...], list]] = []
+            # Depth bookkeeping is deferred too: rows before this
+            # per-predicate watermark have been folded into _max_depth.
+            self._depth_marks: List[int] = []
 
     # -- interning ---------------------------------------------------------
 
@@ -88,7 +182,15 @@ class FactStore:
             pid = len(self._pred_of)
             self._pid_of[predicate] = pid
             self._pred_of.append(predicate)
-            self._facts.append(set())
+            if self.layout == "sets":
+                self._facts.append(set())
+            else:
+                self._rows.append([])
+                self._row_of.append({})
+                self._cols.append([None] * predicate.arity)
+                self._built.append([])
+                self._proj.append({})
+                self._depth_marks.append(0)
         return pid
 
     def intern_term(self, term: Term) -> int:
@@ -97,6 +199,19 @@ class FactStore:
         if tid is None:
             if isinstance(term, Variable):
                 raise ValueError(f"only ground terms can be interned, got {term!r}")
+            if isinstance(term, Null):
+                # The null may already live here as a bare recipe id —
+                # e.g. this store was restored from a snapshot and the
+                # caller re-interns a null of the original input (the
+                # resume_from delta path).  Handing out a second id
+                # would break fact dedup, so match the recipe first.
+                tid = self._match_null_recipe(term)
+                if tid is not None:
+                    self._id_of_term[term] = tid
+                    if self._term_of_id[tid] is None:
+                        self._term_of_id[tid] = term
+                    self._has_foreign_nulls = True
+                    return tid
             tid = len(self._term_of_id)
             self._id_of_term[term] = tid
             self._term_of_id.append(term)
@@ -104,6 +219,30 @@ class FactStore:
             if isinstance(term, Null):
                 self._has_foreign_nulls = True
         return tid
+
+    def _match_null_recipe(self, null: Null) -> Optional[int]:
+        """The id already registered for ``null``'s structural label, if any.
+
+        Resolves the null's binding terms through the intern table
+        (recursing through nested nulls, memoising hits) and looks the
+        resulting ``(rule, variable, names, ids)`` key up in the recipe
+        registry.  Returns ``None`` when any binding term is unknown —
+        then the null genuinely is foreign to this store.
+        """
+        label_ids: List[int] = []
+        for _, term in null.binding:
+            tid = self._id_of_term.get(term)
+            if tid is None and isinstance(term, Null):
+                tid = self._match_null_recipe(term)
+                if tid is not None:
+                    self._id_of_term[term] = tid
+            if tid is None:
+                return None
+            label_ids.append(tid)
+        names = tuple(name for name, _ in null.binding)
+        return self._null_ids.get(
+            (null.rule_id, null.variable, names, tuple(label_ids))
+        )
 
     def intern_null(
         self,
@@ -136,14 +275,19 @@ class FactStore:
                     Null(rule_id=rule_id, variable=variable, binding=binding)
                 )
                 self._null_ids[key] = tid
+                self._null_recipe.setdefault(tid, key)
                 return tid
             depths = self._depth_of_id
             tid = len(self._term_of_id)
             self._null_ids[key] = tid
             self._null_recipe[tid] = key
-            depth = 1 + max((depths[i] for i in label_ids), default=0)
+            depth = 0
+            for i in label_ids:
+                candidate = depths[i]
+                if candidate > depth:
+                    depth = candidate
             self._term_of_id.append(None)
-            self._depth_of_id.append(depth)
+            self._depth_of_id.append(depth + 1)
         return tid
 
     def intern_atom(self, atom: Atom) -> Fact:
@@ -211,31 +355,59 @@ class FactStore:
         """Decode every stored fact into a fresh :class:`Instance`."""
         decode = self.decode_fact
         instance = Instance()
-        for pid, bucket in enumerate(self._facts):
-            instance.extend_unique_ground(decode(pid, ids) for ids in bucket)
+        for pid in range(len(self._pred_of)):
+            instance.extend_unique_ground(
+                decode(pid, ids) for ids in self.facts_of(pid)
+            )
         return instance
 
     def iter_facts(self) -> Iterator[Fact]:
-        for pid, bucket in enumerate(self._facts):
-            for ids in bucket:
+        for pid in range(len(self._pred_of)):
+            for ids in self.facts_of(pid):
                 yield (pid, ids)
 
     # -- storage -----------------------------------------------------------
 
     def add(self, pid: int, ids: Tuple[int, ...]) -> bool:
         """Store a fact; return True if it was new."""
-        bucket = self._facts[pid]
-        if ids in bucket:
-            return False
-        bucket.add(ids)
-        posting = self._posting
-        for position, tid in enumerate(ids):
-            key = (pid, position, tid)
-            entry = posting.get(key)
-            if entry is None:
-                posting[key] = {ids}
-            else:
-                entry.add(ids)
+        if self.layout == "sets":
+            bucket = self._facts[pid]
+            if ids in bucket:
+                return False
+            bucket.add(ids)
+            posting = self._posting
+            for position, tid in enumerate(ids):
+                key = (pid, position, tid)
+                entry = posting.get(key)
+                if entry is None:
+                    posting[key] = {ids}
+                else:
+                    entry.add(ids)
+        else:
+            rows = self._rows[pid]
+            row = len(rows)
+            # setdefault: one hash probe decides "duplicate?" and
+            # inserts the new row id in the same motion.
+            if self._row_of[pid].setdefault(ids, row) != row:
+                return False
+            rows.append(ids)
+            # Appends in row order keep every column sorted and
+            # deduplicated without hashing — and only the columns some
+            # probe has actually built get maintained at all (a
+            # single-atom-body rule set never builds any).
+            cols = self._cols[pid]
+            for position in self._built[pid]:
+                tid = ids[position]
+                column = cols[position]
+                bucket = column.get(tid)
+                if bucket is None:
+                    column[tid] = [ids]
+                else:
+                    bucket.append(ids)
+            # Depth folding is deferred: max_depth() scans the rows
+            # past each predicate's depth watermark on read.
+            self._size += 1
+            return True
         self._size += 1
         depths = self._depth_of_id
         max_depth = self._max_depth
@@ -252,7 +424,9 @@ class FactStore:
         return (pid, ids)
 
     def contains(self, pid: int, ids: Tuple[int, ...]) -> bool:
-        return ids in self._facts[pid]
+        if self.layout == "sets":
+            return ids in self._facts[pid]
+        return ids in self._row_of[pid]
 
     # -- queries -----------------------------------------------------------
 
@@ -261,53 +435,446 @@ class FactStore:
 
     def count(self, pid: int) -> int:
         """Number of stored facts over predicate id ``pid`` (O(1))."""
-        return len(self._facts[pid])
+        if self.layout == "sets":
+            return len(self._facts[pid])
+        return len(self._rows[pid])
 
     def max_depth(self) -> int:
-        """Maximum term depth over all stored facts (incremental)."""
-        return self._max_depth
+        """Maximum term depth over all stored facts.
+
+        The sets layout folds depths in eagerly on every add; the
+        arrays layout defers the fold to this read, scanning only the
+        rows appended since the last call (per-predicate watermarks),
+        so unbudgeted chase runs pay for depth bookkeeping once instead
+        of per fact.
+        """
+        if self.layout == "sets":
+            return self._max_depth
+        best = self._max_depth
+        depths = self._depth_of_id
+        marks = self._depth_marks
+        for pid, rows in enumerate(self._rows):
+            mark = marks[pid]
+            if mark != len(rows):
+                for ids in rows[mark:]:
+                    for tid in ids:
+                        depth = depths[tid]
+                        if depth > best:
+                            best = depth
+                marks[pid] = len(rows)
+        self._max_depth = best
+        return best
 
     def fact_depth(self, ids: Tuple[int, ...]) -> int:
         """Depth of a fact: max over its terms' depths (0 if nullary)."""
         depths = self._depth_of_id
         return max((depths[t] for t in ids), default=0)
 
-    def facts_of(self, pid: int) -> Set[Tuple[int, ...]]:
-        """Live view of all facts over ``pid``; do not mutate."""
-        return self._facts[pid]
+    def facts_of(self, pid: int):
+        """All facts over ``pid`` as a live, do-not-mutate iterable.
 
-    def posting(self, pid: int, position: int, tid: int) -> Set[Tuple[int, ...]]:
-        """Live posting list for (pid, position, tid); do not mutate."""
-        return self._posting.get((pid, position, tid), _EMPTY_FACTS)
-
-    def candidates(
-        self, pid: int, bound: Sequence[Tuple[int, int]]
-    ) -> Set[Tuple[int, ...]]:
-        """Facts over ``pid`` matching the bound ``(position, tid)`` pairs.
-
-        Mirrors :meth:`Instance.candidates_view`: the result may alias a
-        live index set and must not be kept across mutations.  Multiple
-        bound positions intersect smallest-first without materialising
-        an intermediate bucket list, and any empty posting list
-        short-circuits the whole probe.
+        The sets layout hands out its live bucket set; the arrays
+        layout its live row table (a list in insertion order).  Both
+        alias engine internals for speed — treat them as frozen.
         """
-        if not bound:
+        if self.layout == "sets":
             return self._facts[pid]
-        if len(bound) == 1:
-            position, tid = bound[0]
-            return self._posting.get((pid, position, tid), _EMPTY_FACTS)
-        posting = self._posting
-        smallest: Optional[Set[Tuple[int, ...]]] = None
-        rest: List[Set[Tuple[int, ...]]] = []
-        for position, tid in bound:
-            entry = posting.get((pid, position, tid))
+        return self._rows[pid]
+
+    def row_marks(self) -> List[int]:
+        """Per-predicate row counts (arrays layout): the delta watermark.
+
+        The columnar driver snapshots this before applying a round and
+        reads the round's delta back with :meth:`rows_since` — no
+        per-fact bookkeeping, because new facts simply occupy the row
+        range past the mark.
+        """
+        if self.layout != "arrays":
+            raise TypeError("row_marks() requires the arrays layout")
+        return [len(rows) for rows in self._rows]
+
+    def rows_since(self, pid: int, mark: int) -> List[Tuple[int, ...]]:
+        """The facts over ``pid`` appended after ``mark`` (arrays layout)."""
+        return self._rows[pid][mark:]
+
+    def _column(self, pid: int, position: int) -> Dict[int, List[Tuple[int, ...]]]:
+        """The posting column index for (pid, position), built on first use.
+
+        Backfilled from the row table in insertion order (so buckets
+        come out ascending by row id) and maintained by ``add`` from
+        then on.
+        """
+        column = self._cols[pid][position]
+        if column is None:
+            column = {}
+            for ids in self._rows[pid]:
+                tid = ids[position]
+                bucket = column.get(tid)
+                if bucket is None:
+                    column[tid] = [ids]
+                else:
+                    bucket.append(ids)
+            self._cols[pid][position] = column
+            self._built[pid].append(position)
+        return column
+
+    def posting(self, pid: int, position: int, tid: int):
+        """Read-only posting list for ``(pid, position, tid)``.
+
+        This is the safe public accessor (the join hot path goes
+        through :meth:`candidates` instead).  The arrays layout returns
+        an immutable tuple of the column's packed facts in row order;
+        the sets layout returns a ``frozenset`` copy under
+        ``__debug__`` (catching accidental mutation in tests) and the
+        live set only under ``-O``.
+        """
+        if self.layout == "sets":
+            entry = self._posting.get((pid, position, tid))
             if not entry:
                 return _EMPTY_FACTS
-            if smallest is None or len(entry) < len(smallest):
-                if smallest is not None:
-                    rest.append(smallest)
-                smallest = entry
+            if __debug__:
+                return frozenset(entry)
+            return entry  # pragma: no cover - exercised only under -O
+        bucket = self._column(pid, position).get(tid)
+        if not bucket:
+            return ()
+        return tuple(bucket)
+
+    def posting_rows(self, pid: int, position: int, tid: int) -> memoryview:
+        """One posting column as a read-only ``memoryview`` of packed
+        row ids (arrays layout only) — ascending by construction.
+
+        This is the zero-copy-consumable face of the columnar index
+        (the ids are packed into a fresh ``array('q')``; the view into
+        it is read-only), used by tooling and tests that want the sorted
+        ids rather than decoded facts.
+        """
+        if self.layout != "arrays":
+            raise TypeError("posting_rows() requires the arrays layout")
+        bucket = self._column(pid, position).get(tid)
+        row_of = self._row_of[pid]
+        ids = array("q", (row_of[ids_] for ids_ in bucket)) if bucket else array("q")
+        return memoryview(ids).toreadonly()
+
+    def has_projection(
+        self, pid: int, signature: Tuple[int, ...], value: Tuple[int, ...]
+    ) -> bool:
+        """:meth:`has_candidate` with the probe pre-split by the caller.
+
+        ``signature`` is the tuple of bound positions and ``value`` the
+        term ids at them — the form compiled head plans can build with
+        one itemgetter.  On the arrays layout a multi-position probe is
+        one lookup in the projection index; the sets layout falls back
+        to the posting-set intersection.
+        """
+        if not signature:
+            return self.count(pid) > 0
+        if self.layout == "sets":
+            if len(signature) == 1:
+                return bool(self._posting.get((pid, signature[0], value[0])))
+            return bool(self.candidates(pid, tuple(zip(signature, value))))
+        if len(signature) == 1:
+            return value[0] in self._column(pid, signature[0])
+        rows = self._rows[pid]
+        entry = self._proj[pid].get(signature)
+        if entry is None:
+            getter = itemgetter(*signature)
+            projections = set(map(getter, rows))
+            self._proj[pid][signature] = [projections, len(rows), getter]
+        else:
+            projections, watermark, getter = entry
+            if watermark != len(rows):
+                projections.update(map(getter, rows[watermark:]))
+                entry[1] = len(rows)
+        return value in projections
+
+    def has_candidate(self, pid: int, bound: Sequence[Tuple[int, int]]) -> bool:
+        """True iff some stored fact over ``pid`` matches ``bound``.
+
+        The existence-only twin of :meth:`candidates` with the probe as
+        ``(position, tid)`` pairs; :meth:`has_projection` is the same
+        verdict for callers that pre-split signature and value.
+        """
+        if self.layout == "sets":
+            if not bound:
+                return bool(self._facts[pid])
+            if len(bound) == 1:
+                position, tid = bound[0]
+                return bool(self._posting.get((pid, position, tid)))
+            return bool(self.candidates(pid, bound))
+        if not bound:
+            return bool(self._rows[pid])
+        if len(bound) == 1:
+            position, tid = bound[0]
+            return tid in self._column(pid, position)
+        if len(bound) == 2:
+            (position_a, tid_a), (position_b, tid_b) = bound
+            return self.has_projection(pid, (position_a, position_b), (tid_a, tid_b))
+        return self.has_projection(
+            pid,
+            tuple(position for position, _ in bound),
+            tuple(tid for _, tid in bound),
+        )
+
+    def candidates(self, pid: int, bound: Sequence[Tuple[int, int]]):
+        """Facts over ``pid`` matching the bound ``(position, tid)`` pairs.
+
+        Returns an iterable of packed fact tuples; it may alias live
+        index state and must not be kept across mutations.  The sets
+        layout intersects posting sets smallest first; the arrays
+        layout walks the *smallest* posting column and filters it by
+        direct position compares, yielding facts in insertion (row)
+        order.  A provably empty probe returns a falsy empty container
+        either way.
+        """
+        if self.layout == "sets":
+            if not bound:
+                return self._facts[pid]
+            if len(bound) == 1:
+                position, tid = bound[0]
+                return self._posting.get((pid, position, tid), _EMPTY_FACTS)
+            posting = self._posting
+            smallest: Optional[Set[Tuple[int, ...]]] = None
+            rest: List[Set[Tuple[int, ...]]] = []
+            for position, tid in bound:
+                entry = posting.get((pid, position, tid))
+                if not entry:
+                    return _EMPTY_FACTS
+                if smallest is None or len(entry) < len(smallest):
+                    if smallest is not None:
+                        rest.append(smallest)
+                    smallest = entry
+                else:
+                    rest.append(entry)
+            assert smallest is not None
+            return smallest.intersection(*rest)
+        if not bound:
+            return self._rows[pid]
+        if len(bound) == 1:
+            position, tid = bound[0]
+            return self._column(pid, position).get(tid, ())
+        # Multi-position probe: walk the smallest column and keep the
+        # facts whose remaining bound positions match.  A direct
+        # ``ids[position] == tid`` compare per fact beats any hash
+        # index here — same O(smallest column) as a set intersection,
+        # but with int compares instead of tuple hashes and zero index
+        # maintenance on the add path.
+        buckets: List[Tuple[int, int, List[Tuple[int, ...]]]] = []
+        for position, tid in bound:
+            bucket = self._column(pid, position).get(tid)
+            if not bucket:
+                return ()
+            buckets.append((position, tid, bucket))
+        best = 0
+        for index in range(1, len(buckets)):
+            if len(buckets[index][2]) < len(buckets[best][2]):
+                best = index
+        smallest = buckets[best][2]
+        if len(buckets) == 2:
+            position, tid, _ = buckets[1 - best]
+            return [ids for ids in smallest if ids[position] == tid]
+        rest = [
+            (position, tid)
+            for index, (position, tid, _) in enumerate(buckets)
+            if index != best
+        ]
+        return [
+            ids
+            for ids in smallest
+            if all(ids[position] == tid for position, tid in rest)
+        ]
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, complete: Optional[bool] = None) -> bytes:
+        """Encode the whole store as one plain-bytes blob.
+
+        ``complete`` stamps the header with what the caller knows about
+        the store's provenance: ``True`` for a *terminated* chase
+        result (safe to resume from), ``False`` for a budget-stopped
+        prefix (resuming would silently drop the still-pending
+        triggers), ``None``/absent when the store is not a chase result
+        at all (e.g. an encoded database shipped to a worker).
+
+        The wire format is a JSON header (interner tables: predicates,
+        constants, null recipes) followed by packed binary columns —
+        the per-id depth column and, per predicate, the fact rows as
+        ``array('q').tobytes()``.  :meth:`restore` rebuilds an
+        equivalent store (either layout) without parsing any fact text
+        or re-deriving any null label; decoding the restored store
+        yields atoms equal to the original's, and canonical
+        fingerprints are preserved.
+
+        Foreign nulls (interned from an input instance rather than
+        invented here) are recipe-encoded at snapshot time: their
+        binding terms are interned on the fly, so the snapshot may
+        intern a few extra terms into this store as a side effect —
+        harmless, since interning never changes the stored facts.
+        """
+        terms: List[object] = []
+        index = 0
+        while index < len(self._term_of_id):
+            recipe = self._null_recipe.get(index)
+            if recipe is not None:
+                rule_id, variable, names, ids = recipe
+                terms.append([rule_id, variable, list(names), list(ids)])
             else:
-                rest.append(entry)
-        assert smallest is not None
-        return smallest.intersection(*rest)
+                term = self._term_of_id[index]
+                assert term is not None, "id without a term or a recipe"
+                if isinstance(term, Constant):
+                    terms.append(term.name)
+                else:
+                    # A foreign null: synthesise the recipe its inventor
+                    # would have used.  intern_term may append binding
+                    # terms (the while loop picks them up).
+                    ids = tuple(self.intern_term(t) for _, t in term.binding)
+                    names = tuple(n for n, _ in term.binding)
+                    key = (term.rule_id, term.variable, names, ids)
+                    self._null_recipe[index] = key
+                    self._null_ids.setdefault(key, index)
+                    terms.append([term.rule_id, term.variable, list(names), list(ids)])
+            index += 1
+        header = {
+            "version": 1,
+            "byteorder": sys.byteorder,
+            "itemsize": array("q").itemsize,
+            "predicates": [[p.name, p.arity] for p in self._pred_of],
+            "terms": terms,
+            "facts": [self.count(pid) for pid in range(len(self._pred_of))],
+            "size": self._size,
+            # max_depth() first: the arrays layout folds depths lazily.
+            "max_depth": self.max_depth(),
+            "foreign": self._has_foreign_nulls,
+            "complete": complete,
+        }
+        header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+        chunks = [
+            SNAPSHOT_MAGIC,
+            len(header_bytes).to_bytes(8, "little"),
+            header_bytes,
+            array("q", self._depth_of_id).tobytes(),
+        ]
+        for pid in range(len(self._pred_of)):
+            flat = array("q")
+            for ids in self.facts_of(pid):
+                flat.extend(ids)
+            chunks.append(flat.tobytes())
+        return b"".join(chunks)
+
+    @classmethod
+    def restore(cls, data: bytes, layout: Optional[str] = None) -> "FactStore":
+        """Rebuild a store from :meth:`snapshot` bytes.
+
+        ``layout`` selects the storage layout of the restored store
+        (default: the process default) — snapshots are layout-agnostic.
+        """
+        header, offset = inspect_snapshot(data, _with_offset=True)
+        store = cls(layout=layout)
+        itemsize = int(header["itemsize"])
+        arities = [int(arity) for _, arity in header["predicates"]]
+        expected = (
+            offset
+            + len(header["terms"]) * itemsize
+            + sum(
+                int(count) * arity * itemsize
+                for count, arity in zip(header["facts"], arities)
+            )
+        )
+        if len(data) != expected:
+            # A crash mid-write (or a clipped base64 cache line) must
+            # fail loudly, not restore a silently incomplete store.
+            raise ValueError(
+                f"truncated or padded snapshot: {len(data)} bytes, "
+                f"header promises {expected}"
+            )
+        for name, arity in header["predicates"]:
+            store.intern_predicate(Predicate(str(name), int(arity)))
+        id_of_term = store._id_of_term
+        term_of_id = store._term_of_id
+        null_ids = store._null_ids
+        null_recipe = store._null_recipe
+        for entry in header["terms"]:
+            tid = len(term_of_id)
+            if isinstance(entry, str):
+                constant = Constant(entry)
+                id_of_term[constant] = tid
+                term_of_id.append(constant)
+            else:
+                rule_id, variable, names, ids = entry
+                key = (str(rule_id), str(variable), tuple(names), tuple(ids))
+                null_ids[key] = tid
+                null_recipe[tid] = key
+                term_of_id.append(None)
+        term_count = len(term_of_id)
+        depths = array("q")
+        depths.frombytes(data[offset : offset + term_count * itemsize])
+        offset += term_count * itemsize
+        if header["byteorder"] != sys.byteorder:  # pragma: no cover - cross-endian
+            depths.byteswap()
+        store._depth_of_id = list(depths)
+        for pid, fact_count in enumerate(header["facts"]):
+            arity = store._pred_of[pid].arity
+            length = fact_count * arity * itemsize
+            flat = array("q")
+            flat.frombytes(data[offset : offset + length])
+            offset += length
+            if header["byteorder"] != sys.byteorder:  # pragma: no cover
+                flat.byteswap()
+            store._load_facts(pid, arity, flat, fact_count)
+        store._size = int(header["size"])
+        store._max_depth = int(header["max_depth"])
+        store._has_foreign_nulls = bool(header["foreign"])
+        return store
+
+    def _load_facts(self, pid: int, arity: int, flat: array, fact_count: int) -> None:
+        """Bulk-load trusted (pre-deduplicated) facts from a flat column."""
+        if arity == 0:
+            # A nullary predicate holds at most the empty fact.
+            facts = [()] * fact_count
+        else:
+            facts = [
+                tuple(flat[base : base + arity])
+                for base in range(0, fact_count * arity, arity)
+            ]
+        if self.layout == "sets":
+            bucket = self._facts[pid]
+            bucket.update(facts)
+            posting = self._posting
+            for ids in facts:
+                for position, tid in enumerate(ids):
+                    key = (pid, position, tid)
+                    entry = posting.get(key)
+                    if entry is None:
+                        posting[key] = {ids}
+                    else:
+                        entry.add(ids)
+        else:
+            rows = self._rows[pid]
+            row_of = self._row_of[pid]
+            for ids in facts:
+                row_of[ids] = len(rows)
+                rows.append(ids)
+            # Posting columns stay unbuilt (they backfill lazily on
+            # first probe), and the caller (restore) sets _max_depth
+            # from the header: these rows are already folded.
+            self._depth_marks[pid] = len(rows)
+
+
+def inspect_snapshot(data: bytes, _with_offset: bool = False):
+    """Decode just the JSON header of a snapshot (cheap: no fact load).
+
+    Returns the header dict — predicates, interner tables, fact counts,
+    size, max depth — which is what ``python -m repro snapshot inspect``
+    prints.
+    """
+    if not data.startswith(SNAPSHOT_MAGIC):
+        raise ValueError("not a fact-store snapshot (bad magic)")
+    start = len(SNAPSHOT_MAGIC)
+    header_length = int.from_bytes(data[start : start + 8], "little")
+    header_start = start + 8
+    header = json.loads(data[header_start : header_start + header_length])
+    if header.get("version") != 1:
+        raise ValueError(f"unsupported snapshot version {header.get('version')!r}")
+    if _with_offset:
+        return header, header_start + header_length
+    return header

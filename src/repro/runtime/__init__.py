@@ -17,7 +17,12 @@ from repro.runtime.budget_policy import (
     BudgetDecision,
     BudgetPolicy,
 )
-from repro.runtime.cache import CacheEntry, ResultCache, result_cache_key
+from repro.runtime.cache import (
+    CacheEntry,
+    ResultCache,
+    lineage_cache_key,
+    result_cache_key,
+)
 from repro.runtime.executor import BatchExecutor, JobResult, execute_payload
 from repro.runtime.jobs import (
     BUDGET_MODES,
@@ -25,6 +30,7 @@ from repro.runtime.jobs import (
     ChaseJob,
     ManifestError,
     database_fingerprint,
+    encode_database_snapshot,
     job_from_manifest_entry,
     manifest_entry,
     parse_manifest_text,
@@ -40,6 +46,7 @@ __all__ = [
     "ChaseJob",
     "ManifestError",
     "database_fingerprint",
+    "encode_database_snapshot",
     "program_fingerprint",
     "job_from_manifest_entry",
     "manifest_entry",
@@ -53,6 +60,7 @@ __all__ = [
     "DEFAULT_DEPTH_CAP",
     "CacheEntry",
     "ResultCache",
+    "lineage_cache_key",
     "result_cache_key",
     "BatchExecutor",
     "JobResult",

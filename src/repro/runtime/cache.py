@@ -33,6 +33,7 @@ between its truncate and write leaves a full copy to restore from.
 
 from __future__ import annotations
 
+import base64
 import json
 import threading
 import warnings
@@ -40,7 +41,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 try:  # POSIX advisory locks guard the shared spill across processes
     import fcntl
@@ -75,8 +76,10 @@ from repro.runtime.jobs import ChaseJob
 #: cache key composition) changes shape, so a daemon never replays
 #: summaries produced by an incompatible build.  Version 2 introduced
 #: the stamp itself: files from before it carry no version and are
-#: treated as stale.
-SCHEMA_VERSION = 2
+#: treated as stale.  Version 3 added the optional store-snapshot
+#: payload (``snapshot``/``database``/``lineage``) behind incremental
+#: re-chase.
+SCHEMA_VERSION = 3
 
 
 def result_cache_key(job: ChaseJob, budget: ChaseBudget) -> str:
@@ -95,22 +98,79 @@ def result_cache_key(job: ChaseJob, budget: ChaseBudget) -> str:
     )
 
 
+def lineage_cache_key(job: ChaseJob) -> str:
+    """The *lineage* key: everything of the cache key except the data.
+
+    Two jobs share a lineage when they run the same program under the
+    same variant and the same budget *policy* — i.e. when one could be
+    "the previous job plus a database delta" of the other.  The
+    database fingerprint is deliberately absent (the data is what the
+    delta changes), and so are resolved budget numbers for ``auto`` /
+    ``default`` modes, because paper-derived budgets scale with the
+    database size and must be re-resolved for the grown job.  Explicit
+    budgets stay part of the identity verbatim.
+    """
+    pfp, _ = job.fingerprint
+    if job.budget_mode == "explicit" and job.budget is not None:
+        budget = job.budget
+        depth = "-" if budget.max_depth is None else str(budget.max_depth)
+        budget_part = (
+            f"explicit:a{budget.max_atoms}:r{budget.max_rounds}:d{depth}"
+            f":t{int(budget.truncate_at_depth)}"
+        )
+    else:
+        budget_part = job.budget_mode
+    return f"{pfp}:{job.variant}:{budget_part}"
+
+
 @dataclass
 class CacheEntry:
-    """One stored result: the summary and (optionally) the instance."""
+    """One stored result: the summary and (optionally) the instance.
+
+    ``snapshot``/``database_lines``/``lineage`` travel together: an
+    incremental-capable entry additionally holds the terminated run's
+    fact-store snapshot, the fact lines of the database it was chased
+    from (the subset check of "previous job + delta"), and its lineage
+    key (how the executor finds it without knowing the old database).
+    The snapshot is raw bytes in memory and base64 in the JSONL spill.
+    """
 
     key: str
     summary: Dict[str, object]
     instance_text: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
+    snapshot: Optional[bytes] = None
+    database_lines: Optional[List[str]] = None
+    lineage: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "key": self.key,
             "summary": self.summary,
             "instance": self.instance_text,
             "schema_version": self.schema_version,
         }
+        if self.snapshot is not None:
+            record["snapshot"] = base64.b64encode(self.snapshot).decode("ascii")
+            record["database"] = self.database_lines
+            record["lineage"] = self.lineage
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "CacheEntry":
+        """Build an entry from a decoded JSONL record (current schema)."""
+        snapshot_b64 = record.get("snapshot")
+        return cls(
+            key=record["key"],  # type: ignore[arg-type]
+            summary=record["summary"],  # type: ignore[arg-type]
+            instance_text=record.get("instance"),  # type: ignore[arg-type]
+            schema_version=record.get("schema_version", SCHEMA_VERSION),  # type: ignore[arg-type]
+            snapshot=(
+                base64.b64decode(snapshot_b64) if isinstance(snapshot_b64, str) else None
+            ),
+            database_lines=record.get("database"),  # type: ignore[arg-type]
+            lineage=record.get("lineage"),  # type: ignore[arg-type]
+        )
 
 
 class ResultCache:
@@ -133,6 +193,9 @@ class ResultCache:
         self.path = Path(path) if path is not None else None
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        # lineage key -> cache key of the freshest snapshot-bearing
+        # entry of that lineage (the incremental re-chase base).
+        self._lineage: Dict[str, str] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -182,13 +245,15 @@ class ResultCache:
                     self.version_skipped += 1
                     stale_versions.add(version)
                     continue
-                entry = CacheEntry(
-                    key=record["key"],
-                    summary=record["summary"],
-                    instance_text=record.get("instance"),
-                    schema_version=version,
-                )
-            except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
+                entry = CacheEntry.from_record(record)
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                AttributeError,
+                ValueError,
+                # base64 failures raise binascii.Error, a ValueError.
+            ):
                 # A truncated or corrupt line (e.g. the process died
                 # mid-append) costs one entry, not the whole cache.
                 continue
@@ -196,6 +261,8 @@ class ResultCache:
             # order leaves the newest entries at the LRU's fresh end.
             self._entries[entry.key] = entry
             self._entries.move_to_end(entry.key)
+            if entry.lineage is not None and entry.snapshot is not None:
+                self._lineage[entry.lineage] = entry.key
             self._evict_over_cap()
         if self.version_skipped:
             warnings.warn(
@@ -208,7 +275,9 @@ class ResultCache:
 
     def _evict_over_cap(self) -> None:
         while self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            key, entry = self._entries.popitem(last=False)
+            if entry.lineage is not None and self._lineage.get(entry.lineage) == key:
+                del self._lineage[entry.lineage]
             self.evictions += 1
 
     # -- mapping protocol -------------------------------------------------
@@ -248,12 +317,29 @@ class ResultCache:
         key: str,
         summary: Dict[str, object],
         instance_text: Optional[str] = None,
+        snapshot: Optional[bytes] = None,
+        database_lines: Optional[Sequence[str]] = None,
+        lineage: Optional[str] = None,
     ) -> CacheEntry:
-        """Store a result, appending to the JSONL file when configured."""
-        entry = CacheEntry(key=key, summary=summary, instance_text=instance_text)
+        """Store a result, appending to the JSONL file when configured.
+
+        ``snapshot``/``database_lines``/``lineage`` (all or none) make
+        the entry an incremental re-chase base: :meth:`snapshot_for`
+        serves the freshest such entry per lineage key.
+        """
+        entry = CacheEntry(
+            key=key,
+            summary=summary,
+            instance_text=instance_text,
+            snapshot=snapshot,
+            database_lines=list(database_lines) if database_lines is not None else None,
+            lineage=lineage,
+        )
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            if lineage is not None and snapshot is not None:
+                self._lineage[lineage] = key
             self.stores += 1
             self._evict_over_cap()
         # Append outside the cache lock: blocking on another process's
@@ -298,12 +384,14 @@ class ResultCache:
                         record = json.loads(line)
                         if record.get("schema_version") != SCHEMA_VERSION:
                             continue
-                        entry = CacheEntry(
-                            key=record["key"],
-                            summary=record["summary"],
-                            instance_text=record.get("instance"),
-                        )
-                    except (json.JSONDecodeError, KeyError, TypeError, AttributeError):
+                        entry = CacheEntry.from_record(record)
+                    except (
+                        json.JSONDecodeError,
+                        KeyError,
+                        TypeError,
+                        AttributeError,
+                        ValueError,
+                    ):
                         continue
                     merged[entry.key] = entry
                 # Append the in-memory entries in LRU order (coldest
@@ -328,6 +416,25 @@ class ResultCache:
                 # _load restores from it.
                 sidecar.unlink(missing_ok=True)
             return len(merged)
+
+    def snapshot_for(self, lineage: str) -> Optional[CacheEntry]:
+        """The freshest snapshot-bearing entry of ``lineage``, if any.
+
+        Counts as neither a hit nor a miss (it is a *base* lookup, not
+        a result lookup), but refreshes the entry's LRU recency — a
+        lineage in active incremental use should not be the first thing
+        evicted.
+        """
+        with self._lock:
+            key = self._lineage.get(lineage)
+            if key is None:
+                return None
+            entry = self._entries.get(key)
+            if entry is None or entry.snapshot is None:
+                del self._lineage[lineage]
+                return None
+            self._entries.move_to_end(key)
+            return entry
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

@@ -7,11 +7,25 @@ The executor is the runtime's scheduler.  For each job it
    :mod:`repro.runtime.budget_policy`),
 2. consults the :class:`ResultCache` and replays hits without running
    anything,
-3. otherwise ships a plain-data payload (program/database text plus
-   budget numbers — nothing with interpreter-local state such as
-   interned null uids crosses a process boundary) to a worker, and
+3. otherwise ships a plain-data payload to a worker — the program as
+   text, the database as a packed fact-store *snapshot*
+   (:func:`~repro.runtime.jobs.encode_database_snapshot`; workers
+   restore it and skip parse + intern entirely, and nothing with
+   interpreter-local state such as interned null uids crosses a
+   process boundary), and
 4. streams :class:`JobResult` records back as jobs finish, storing
    deterministic outcomes in the cache.
+
+With ``incremental=True`` the executor additionally recognises
+"previous job + delta": cache misses consult the lineage index
+(:func:`~repro.runtime.cache.lineage_cache_key`) for a snapshot of a
+terminated run of the same program/variant/budget-policy over a
+*subset* of the new database, and resume the chase from it with only
+the delta facts (``resume_from``).  Resumed results report the same
+instance/size/outcome as a cold run for the variants with
+order-independent results, but their round/trigger statistics reflect
+only the delta work — which is the point — so incremental mode is
+opt-in for deployments that assert cold-run byte-identity.
 
 ``workers <= 1`` selects the serial in-process mode, which yields
 results in submission order and is bit-for-bit deterministic; larger
@@ -33,9 +47,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.chase import VARIANT_RUNNERS
 from repro.chase.engine import ChaseBudget, ChaseOutcome
 from repro.model.parser import parse_database, parse_program
-from repro.model.serialization import database_to_text, instance_to_text, program_to_text
+from repro.model.serialization import (
+    database_to_text,
+    instance_to_text,
+    program_to_text,
+)
+from repro.model.store import FactStore
 from repro.runtime.budget_policy import BudgetDecision, BudgetPolicy
-from repro.runtime.cache import ResultCache, result_cache_key
+from repro.runtime.cache import CacheEntry, ResultCache, lineage_cache_key, result_cache_key
 from repro.runtime.jobs import ChaseJob
 
 
@@ -55,6 +74,9 @@ class JobResult:
     instance_text: Optional[str] = None
     error: Optional[str] = None
     tags: Tuple[str, ...] = ()
+    #: Cache key of the snapshot this run resumed from (incremental
+    #: re-chase), None for cold runs.
+    resumed_from: Optional[str] = None
 
     @property
     def outcome(self) -> Optional[str]:
@@ -75,6 +97,7 @@ class JobResult:
             "instance": self.instance_text,
             "error": self.error,
             "tags": list(self.tags),
+            "resumed_from": self.resumed_from,
         }
 
     def summary_json(self) -> str:
@@ -85,22 +108,40 @@ class JobResult:
 def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     """Run one job payload; module-level so it pickles into workers.
 
-    The payload and the returned record are plain data: texts, numbers
-    and dicts.  Program/database are re-parsed in the worker, which
-    keeps null and term interning local to each process.  On the store
-    engine (the default) a summary-only job never materialises atom
-    objects at all: the chase runs on packed id tuples and only the
-    plain-data summary crosses the process boundary; the instance is
-    decoded to text solely when ``materialize`` asks for it.
+    The payload and the returned record are plain data: texts, numbers,
+    bytes and dicts — nothing with interpreter-local state (interned
+    null uids) crosses a process boundary.  Three database shapes:
+
+    * ``database_snapshot`` — packed store bytes; the worker restores
+      the store and chases it directly, skipping parse + intern (the
+      default for store-engine jobs);
+    * ``database_text`` alone — the legacy text form, re-parsed here
+      (non-store engines, and the ``ship_snapshots=False`` knob);
+    * ``resume_snapshot`` + ``database_text`` — incremental re-chase:
+      the snapshot is a previously terminated run, the text carries
+      only the *delta* facts, and ``database_size`` is the full grown
+      database's size for summary bookkeeping.
+
+    On the store engine a summary-only job never materialises atom
+    objects at all; the instance is decoded to text solely when
+    ``materialize`` asks for it, and ``want_snapshot`` returns the
+    terminated run's snapshot bytes (taken before any materialisation)
+    for the cache's lineage index.
     """
     try:
         program = parse_program(
             str(payload["program_text"]), name=str(payload.get("program_name", "Sigma"))
         )
-        database = parse_database(str(payload["database_text"]))
+        snapshot_bytes = payload.get("database_snapshot")
+        if snapshot_bytes is not None:
+            database = FactStore.restore(snapshot_bytes)  # type: ignore[arg-type]
+        else:
+            database = parse_database(str(payload["database_text"]))
         budget = ChaseBudget(**payload["budget"])  # type: ignore[arg-type]
         runner = VARIANT_RUNNERS[str(payload["variant"])]
         engine = payload.get("engine")
+        resume_snapshot = payload.get("resume_snapshot")
+        database_size = payload.get("database_size")
         start = time.perf_counter()
         result = runner(
             database,
@@ -108,20 +149,26 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             budget=budget,
             record_derivation=False,
             engine=str(engine) if engine else None,
+            resume_from=resume_snapshot,
+            database_size=int(database_size) if database_size is not None else None,
         )
+        status = (
+            "timeout" if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED else "ok"
+        )
+        snapshot_out: Optional[bytes] = None
+        if payload.get("want_snapshot") and status == "ok" and result.terminated:
+            # Before reading .instance: materialisation releases the store.
+            snapshot_out = result.store_snapshot()
         record: Dict[str, object] = {
             "job_id": payload["job_id"],
-            "status": (
-                "timeout"
-                if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED
-                else "ok"
-            ),
+            "status": status,
             "summary": result.summary(),
             "worker_seconds": round(time.perf_counter() - start, 6),
             "instance_text": (
                 instance_to_text(result.instance) if payload.get("materialize") else None
             ),
             "error": None,
+            "snapshot": snapshot_out,
         }
         return record
     except Exception as exc:  # noqa: BLE001 - worker faults become job errors
@@ -132,6 +179,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             "worker_seconds": None,
             "instance_text": None,
             "error": f"{type(exc).__name__}: {exc}",
+            "snapshot": None,
         }
 
 
@@ -149,6 +197,17 @@ class BatchExecutor:
     #: result cache key: the engines are equivalence-tested, so a
     #: summary replayed across engines is still correct.
     engine: Optional[str] = None
+    #: Ship databases to workers as packed fact-store snapshots instead
+    #: of text (store-engine jobs only) so workers skip parse + intern.
+    #: Snapshots are encoded once per job and shared across retries and
+    #: dedup re-runs (``ChaseJob.database_snapshot``).
+    ship_snapshots: bool = True
+    #: Opt-in incremental re-chase: on a cache miss, resume from a
+    #: cached snapshot of "the same job over a smaller database" with
+    #: only the delta facts, and store terminated runs' snapshots for
+    #: future resumes.  Off by default because resumed summaries report
+    #: delta-only round/trigger statistics (see the module docstring).
+    incremental: bool = False
 
     # -- job preparation --------------------------------------------------
 
@@ -170,17 +229,71 @@ class BatchExecutor:
         )
         return decision, effective, key
 
-    def _payload(self, job: ChaseJob, budget: ChaseBudget) -> Dict[str, object]:
-        return {
+    def _snapshot_capable(self) -> bool:
+        """Snapshots require the store engine (the default)."""
+        return self.engine in (None, "store")
+
+    def _payload(
+        self, job: ChaseJob, budget: ChaseBudget, include_database: bool = True
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
             "job_id": job.job_id,
             "program_text": program_to_text(job.program),
             "program_name": job.program.name,
-            "database_text": database_to_text(job.database),
             "variant": job.variant,
             "budget": budget.as_dict(),
             "materialize": self.materialize,
             "engine": self.engine,
         }
+        if include_database:
+            if self.ship_snapshots and self._snapshot_capable():
+                payload["database_snapshot"] = job.database_snapshot
+            else:
+                payload["database_text"] = database_to_text(job.database)
+        if self.incremental and self.cache is not None and self._snapshot_capable():
+            payload["want_snapshot"] = True
+        return payload
+
+    def _resume_base(self, job: ChaseJob) -> Optional[Tuple["CacheEntry", List[str]]]:
+        """A cached snapshot this job can resume from, plus the delta.
+
+        Returns ``(entry, delta_lines)`` when the cache holds a
+        terminated run of the job's lineage whose base database is a
+        subset of the job's — the "previous job + delta" shape — and
+        ``None`` otherwise.
+        """
+        if not self.incremental or self.cache is None or not self._snapshot_capable():
+            return None
+        entry = self.cache.snapshot_for(lineage_cache_key(job))
+        if entry is None or entry.snapshot is None or entry.database_lines is None:
+            return None
+        new_lines = job.database_lines
+        base = set(entry.database_lines)
+        if not base.issubset(new_lines):
+            return None
+        return entry, [line for line in new_lines if line not in base]
+
+    def _resume_payload(
+        self, job: ChaseJob, budget: ChaseBudget, entry: "CacheEntry", delta: List[str]
+    ) -> Dict[str, object]:
+        # The cold payload minus the database, plus the resume fields —
+        # so any future payload knob automatically covers resumed runs.
+        payload = self._payload(job, budget, include_database=False)
+        payload["database_text"] = "\n".join(delta)
+        payload["resume_snapshot"] = entry.snapshot
+        payload["database_size"] = len(job.database)
+        payload["want_snapshot"] = self.cache is not None
+        return payload
+
+    def _build_payload(
+        self, job: ChaseJob, budget: ChaseBudget
+    ) -> Tuple[Dict[str, object], Optional[str]]:
+        """The payload to execute, plus the resumed-from key (if any)."""
+        base = self._resume_base(job)
+        if base is not None:
+            entry, delta = base
+            return self._resume_payload(job, budget, entry, delta), entry.key
+        return self._payload(job, budget), None
 
     def _wrap(
         self,
@@ -189,6 +302,7 @@ class BatchExecutor:
         key: str,
         record: Dict[str, object],
         wall_seconds: float,
+        resumed_from: Optional[str] = None,
     ) -> JobResult:
         result = JobResult(
             job_id=job.job_id,
@@ -203,9 +317,40 @@ class BatchExecutor:
             instance_text=record.get("instance_text"),  # type: ignore[arg-type]
             error=record.get("error"),  # type: ignore[arg-type]
             tags=job.tags,
+            resumed_from=resumed_from,
         )
         if self.cache is not None and result.status == "ok" and result.summary is not None:
-            self.cache.put(key, result.summary, result.instance_text)
+            snapshot = record.get("snapshot")
+            if resumed_from is not None:
+                # A resumed run's statistics — and, under a tight round
+                # budget, even its outcome — can differ from what a
+                # cold execution of the same job would report, so it
+                # must never become a replayable entry under the cold
+                # result key.  Its snapshot still chains the lineage
+                # (stored under a "delta:" key no result lookup ever
+                # asks for).
+                if snapshot is not None:
+                    self.cache.put(
+                        "delta:" + key,
+                        result.summary,
+                        result.instance_text,
+                        snapshot=snapshot,  # type: ignore[arg-type]
+                        database_lines=job.database_lines,
+                        lineage=lineage_cache_key(job),
+                    )
+            elif snapshot is not None:
+                # A terminated cold run: replayable result and the
+                # freshest incremental base of its lineage in one entry.
+                self.cache.put(
+                    key,
+                    result.summary,
+                    result.instance_text,
+                    snapshot=snapshot,  # type: ignore[arg-type]
+                    database_lines=job.database_lines,
+                    lineage=lineage_cache_key(job),
+                )
+            else:
+                self.cache.put(key, result.summary, result.instance_text)
         return result
 
     def _hit(
@@ -256,12 +401,18 @@ class BatchExecutor:
                 if entry is not None:
                     yield self._hit(job, decision, key, entry, time.perf_counter() - start)
                     continue
-            record = execute_payload(self._payload(job, budget))
-            yield self._wrap(job, decision, key, record, time.perf_counter() - start)
+            payload, resumed_from = self._build_payload(job, budget)
+            record = execute_payload(payload)
+            yield self._wrap(
+                job, decision, key, record, time.perf_counter() - start,
+                resumed_from=resumed_from,
+            )
 
     def _run_pool(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
         jobs = list(jobs)
-        pending: Dict[object, Tuple[ChaseJob, BudgetDecision, str, float]] = {}
+        pending: Dict[
+            object, Tuple[ChaseJob, BudgetDecision, str, float, Optional[str]]
+        ] = {}
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -283,13 +434,14 @@ class BatchExecutor:
                         duplicates.append((job, decision, key))
                         continue
                     submitted_keys.add(key)
-                future = pool.submit(execute_payload, self._payload(job, budget))
-                pending[future] = (job, decision, key, start)
+                payload, resumed_from = self._build_payload(job, budget)
+                future = pool.submit(execute_payload, payload)
+                pending[future] = (job, decision, key, start, resumed_from)
             outstanding = set(pending)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
-                    job, decision, key, start = pending.pop(future)
+                    job, decision, key, start, resumed_from = pending.pop(future)
                     try:
                         record = future.result()
                     except Exception as exc:  # noqa: BLE001 - a dead worker
@@ -303,7 +455,10 @@ class BatchExecutor:
                             "instance_text": None,
                             "error": f"{type(exc).__name__}: {exc}",
                         }
-                    yield self._wrap(job, decision, key, record, time.perf_counter() - start)
+                    yield self._wrap(
+                        job, decision, key, record, time.perf_counter() - start,
+                        resumed_from=resumed_from,
+                    )
         for job, decision, key in duplicates:
             start = time.perf_counter()
             entry = self._cache_get(key) if self.cache is not None else None
@@ -311,5 +466,9 @@ class BatchExecutor:
                 yield self._hit(job, decision, key, entry, time.perf_counter() - start)
             else:  # the in-flight twin failed or timed out: run it here
                 decision, budget, key = self._resolve(job)
-                record = execute_payload(self._payload(job, budget))
-                yield self._wrap(job, decision, key, record, time.perf_counter() - start)
+                payload, resumed_from = self._build_payload(job, budget)
+                record = execute_payload(payload)
+                yield self._wrap(
+                    job, decision, key, record, time.perf_counter() - start,
+                    resumed_from=resumed_from,
+                )

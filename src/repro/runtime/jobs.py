@@ -25,11 +25,14 @@ from repro.chase.engine import ChaseBudget
 from repro.model.instance import Database, Instance
 from repro.model.parser import parse_database, parse_program
 from repro.model.serialization import (
+    atom_to_text,
     canonical_instance_text,
     canonical_program_text,
+    database_fact_lines,
     database_to_text,
     program_to_text,
 )
+from repro.model.store import FactStore
 from repro.model.tgd import TGDSet
 
 #: Chase variants a job may request (CLI spelling), derived from the
@@ -54,6 +57,22 @@ def database_fingerprint(database: Instance) -> str:
     """Content fingerprint of a database or instance (order- and
     null-renaming-invariant)."""
     return _sha256(canonical_instance_text(database))
+
+
+def encode_database_snapshot(database: Instance) -> bytes:
+    """Pack a database into fact-store snapshot bytes.
+
+    This is what the batch executor ships to worker processes instead
+    of database text: the worker restores the store and starts chasing
+    without parsing or re-interning anything.  Facts are interned in
+    sorted text order — the same order :func:`parse_database` yields —
+    so a snapshot-seeded run assigns the same dense ids (and hence
+    considers triggers in the same order) as a text-shipped one.
+    """
+    store = FactStore()
+    for atom in sorted(database, key=atom_to_text):
+        store.add_atom(atom)
+    return store.snapshot()
 
 
 @dataclass
@@ -91,6 +110,12 @@ class ChaseJob:
     _fingerprint: Optional[Tuple[str, str]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    _database_snapshot: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _database_lines: Optional[Tuple[str, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -114,6 +139,38 @@ class ChaseJob:
                 database_fingerprint(self.database),
             )
         return self._fingerprint
+
+    @property
+    def database_snapshot(self) -> bytes:
+        """The database as snapshot bytes, encoded once per job.
+
+        Retries and dedup re-runs of the same job reuse the cached
+        encoding, and :meth:`share_database_snapshot` lets a scheduler
+        hand it to an identical job so a whole dedup burst encodes the
+        store exactly once.
+        """
+        if self._database_snapshot is None:
+            self._database_snapshot = encode_database_snapshot(self.database)
+        return self._database_snapshot
+
+    @property
+    def database_lines(self) -> Tuple[str, ...]:
+        """The database's sorted fact lines, rendered once per job.
+
+        The incremental executor needs them twice per cache-missed job
+        (the superset check against a cached base, and the cache store
+        of the run's own snapshot); rendering is O(n log n) text work,
+        so it is cached like :attr:`database_snapshot`.
+        """
+        if self._database_lines is None:
+            self._database_lines = database_fact_lines(self.database)
+        return self._database_lines
+
+    def share_database_snapshot(self, other: "ChaseJob") -> None:
+        """Give ``other`` (an identical-content job) this job's cached
+        snapshot encoding, if one exists and ``other`` has none."""
+        if self._database_snapshot is not None and other._database_snapshot is None:
+            other._database_snapshot = self._database_snapshot
 
 
 # --------------------------------------------------------------------------

@@ -320,6 +320,11 @@ class ChaseScheduler:
                     regroup = ExecutionGroup(
                         key=group.key, job=requeued[0][1], members=requeued
                     )
+                    # Members carry identical content, so the re-run can
+                    # reuse the primary's encoded database snapshot: an
+                    # N-way identical burst encodes the store once, no
+                    # matter how many timeout/error re-runs it takes.
+                    group.job.share_database_snapshot(regroup.job)
                     self._inflight[group.key] = regroup
                     self._queued += 1
                     self._stats["requeued"] += len(requeued)

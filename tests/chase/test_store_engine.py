@@ -59,6 +59,14 @@ FAMILIES = [
 VARIANTS = [semi_oblivious_chase, oblivious_chase, restricted_chase]
 VARIANT_IDS = ["semi", "oblivious", "restricted"]
 
+#: Families whose restricted-chase result does not depend on the order
+#: triggers are applied within a round (restricted_heavy is built that
+#: way — see its docstring).  Cross-engine restricted comparisons are
+#: exact only on these; elsewhere the legacy engine's hash-order
+#: enumeration makes the comparison seed-dependent (a latent flake
+#: this suite used to carry).
+RESTRICTED_ORDER_INVARIANT = {"restricted-heavy"}
+
 
 def random_full_program(seed: int, rule_count: int = 4) -> TGDSet:
     """A random guarded program with every existential replaced by a
@@ -115,16 +123,32 @@ def test_store_matches_legacy_on_families(name, workload, runner):
         # A budget-stopped run is whatever prefix of the round fit,
         # which is order-dependent; only the stop reason is comparable.
         return
-    assert store.size == legacy.size
-    assert store.statistics.triggers_applied == legacy.statistics.triggers_applied
-    assert store.statistics.triggers_considered == legacy.statistics.triggers_considered
     if runner is restricted_chase:
-        # Order-invariant families: same fired keys, same atoms up to
-        # the per-application fire numbering in the null labels.
+        # The restricted chase is order-dependent in general, and the
+        # legacy engine's trigger order shifts with string-hash
+        # randomisation and process-global null-uid state — so exact
+        # cross-engine comparison is only sound on families whose
+        # restricted result is order-invariant by construction.
+        if name not in RESTRICTED_ORDER_INVARIANT:
+            return
+        assert store.size == legacy.size
+        assert store.statistics.triggers_applied == legacy.statistics.triggers_applied
+        assert (
+            store.statistics.triggers_considered
+            == legacy.statistics.triggers_considered
+        )
+        # Same fired keys, same atoms up to the per-application fire
+        # numbering in the null labels.
         assert fire_invariant_instance_key(store.instance) == (
             fire_invariant_instance_key(legacy.instance)
         )
     else:
+        assert store.size == legacy.size
+        assert store.statistics.triggers_applied == legacy.statistics.triggers_applied
+        assert (
+            store.statistics.triggers_considered
+            == legacy.statistics.triggers_considered
+        )
         assert store.instance == legacy.instance
         assert store.max_depth == legacy.max_depth
         assert derivation_atoms(store) == derivation_atoms(legacy)
@@ -134,6 +158,8 @@ def test_store_matches_legacy_on_families(name, workload, runner):
 @pytest.mark.parametrize("runner", VARIANTS, ids=VARIANT_IDS)
 def test_store_matches_plans_engine(name, workload, runner):
     database, tgds = workload
+    if runner is restricted_chase and name not in RESTRICTED_ORDER_INVARIANT:
+        pytest.skip("restricted comparison is only exact on order-invariant families")
     store = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
     plans = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="plans")
     assert store.size == plans.size
@@ -345,3 +371,234 @@ def test_store_derivation_order_is_hash_seed_independent():
         ).stdout
 
     assert json.loads(run("1")) == json.loads(run("2"))
+
+
+# ---------------------------------------------------------------------------
+# Storage layouts: the columnar (arrays) layout vs the sets fallback
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,workload", FAMILIES, ids=[n for n, _ in FAMILIES])
+@pytest.mark.parametrize("runner", VARIANTS, ids=VARIANT_IDS)
+def test_arrays_layout_matches_sets_layout(name, workload, runner, monkeypatch):
+    """REPRO_STORE_LAYOUT=sets must reproduce the columnar results.
+
+    Summary mode (record_derivation=False) routes the arrays layout
+    through the columnar driver loop and the sets layout through the
+    general loop, so this also pins the two drivers to each other.
+    """
+    if runner is restricted_chase and name not in RESTRICTED_ORDER_INVARIANT:
+        pytest.skip("restricted comparison is only exact on order-invariant families")
+    database, tgds = workload
+    monkeypatch.setenv("REPRO_STORE_LAYOUT", "arrays")
+    arrays = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
+    monkeypatch.setenv("REPRO_STORE_LAYOUT", "sets")
+    sets = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
+    assert arrays.terminated == sets.terminated
+    assert arrays.outcome == sets.outcome
+    if not arrays.terminated:
+        return
+    assert arrays.size == sets.size
+    assert arrays.max_depth == sets.max_depth
+    assert arrays.statistics.triggers_applied == sets.statistics.triggers_applied
+    assert arrays.statistics.triggers_considered == sets.statistics.triggers_considered
+    if runner is restricted_chase:
+        assert fire_invariant_instance_key(arrays.instance) == (
+            fire_invariant_instance_key(sets.instance)
+        )
+    else:
+        assert arrays.instance == sets.instance
+
+
+@pytest.mark.parametrize("runner", VARIANTS, ids=VARIANT_IDS)
+def test_columnar_driver_matches_recording_driver(runner):
+    """The lean columnar loop and the general (derivation-recording)
+    loop must agree on everything a summary reports."""
+    database, tgds = restricted_heavy(12, 4)
+    lean = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
+    general = runner(database, tgds, budget=BUDGET, record_derivation=True, engine="store")
+    assert lean.summary() == general.summary()
+    assert fire_invariant_instance_key(lean.instance) == (
+        fire_invariant_instance_key(general.instance)
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize(
+    "make_program",
+    [random_simple_linear_program, random_linear_program, random_guarded_program],
+    ids=["sl", "linear", "guarded"],
+)
+def test_layouts_agree_on_random_programs(seed, make_program, monkeypatch):
+    tgds = make_program(seed, rule_count=4)
+    database = random_database(tgds, seed=seed + 250, fact_count=10, constant_count=3)
+    for runner in (semi_oblivious_chase, oblivious_chase):
+        monkeypatch.setenv("REPRO_STORE_LAYOUT", "arrays")
+        arrays = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
+        monkeypatch.setenv("REPRO_STORE_LAYOUT", "sets")
+        sets = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store")
+        assert arrays.terminated == sets.terminated
+        if arrays.terminated:
+            assert arrays.instance == sets.instance
+            assert arrays.summary() == sets.summary()
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-chase: chase(D ∪ Δ) vs resume_from(chase(D)) + Δ
+# ---------------------------------------------------------------------------
+
+
+def _prefix_split(database, fraction: float = 0.75):
+    from repro.model.instance import Database
+    from repro.model.serialization import atom_to_text
+
+    facts = sorted(database, key=atom_to_text)
+    keep = max(1, int(len(facts) * fraction))
+    return Database(facts[:keep])
+
+
+def _resume_pair(runner, database, tgds, **kwargs):
+    """(cold result, resumed result) for a prefix + delta split."""
+    prefix = _prefix_split(database)
+    base = runner(prefix, tgds, budget=BUDGET, record_derivation=False, engine="store",
+                  **kwargs)
+    if not base.terminated:
+        return None, None
+    snapshot = base.store_snapshot()
+    assert snapshot is not None
+    resumed = runner(
+        database, tgds, budget=BUDGET, record_derivation=False, engine="store",
+        resume_from=snapshot, **kwargs,
+    )
+    cold = runner(database, tgds, budget=BUDGET, record_derivation=False, engine="store",
+                  **kwargs)
+    return cold, resumed
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize(
+    "make_program",
+    [random_simple_linear_program, random_linear_program, random_guarded_program],
+    ids=["sl", "linear", "guarded"],
+)
+@pytest.mark.parametrize(
+    "runner", [semi_oblivious_chase, oblivious_chase], ids=["semi", "oblivious"]
+)
+def test_resume_matches_cold_chase_on_random_programs(seed, make_program, runner):
+    """Unique-result variants: prefix + snapshot + delta == cold run,
+    atom for atom (equal nulls included) and fingerprint for
+    fingerprint."""
+    tgds = make_program(seed, rule_count=4)
+    database = random_database(tgds, seed=seed + 640, fact_count=12, constant_count=3)
+    cold, resumed = _resume_pair(runner, database, tgds)
+    if cold is None or not cold.terminated:
+        return  # budget-stopped runs are order-dependent prefixes
+    assert resumed.terminated
+    assert resumed.size == cold.size
+    assert resumed.max_depth == cold.max_depth
+    assert resumed.database_size == cold.database_size
+    assert resumed.instance == cold.instance
+    assert fire_invariant_instance_key(resumed.instance) == (
+        fire_invariant_instance_key(cold.instance)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_restricted_resume_matches_cold_on_full_programs(seed):
+    """Existential-free programs: the restricted result is the unique
+    closure, so resume and cold runs agree exactly."""
+    tgds = random_full_program(seed)
+    database = random_database(tgds, seed=seed + 820, fact_count=12, constant_count=3)
+    cold, resumed = _resume_pair(restricted_chase, database, tgds)
+    if cold is None or not cold.terminated:
+        return
+    assert resumed.instance == cold.instance
+
+
+@pytest.mark.parametrize("chain_length,payloads", [(12, 4), (20, 10), (8, 8)])
+@pytest.mark.parametrize("runner", VARIANTS, ids=VARIANT_IDS)
+def test_resume_matches_cold_on_restricted_heavy(chain_length, payloads, runner):
+    """All three variants on the order-invariant family: chasing the
+    full database equals chasing a payload prefix, snapshotting, and
+    resuming with the delta (fire numbering aside)."""
+    from repro.model.instance import Database
+
+    if runner is oblivious_chase and chain_length > 12:
+        pytest.skip("oblivious blowup on long chains")
+    database, tgds = restricted_heavy(chain_length, payloads)
+    budget = ChaseBudget(max_atoms=300_000, max_rounds=1_000)
+    delta_tags = {f"t{payloads}", f"t{payloads - 1}"}
+    prefix = Database(
+        [
+            a
+            for a in database
+            if not (a.predicate.name == "P" and a.args[1].name in delta_tags)
+        ]
+    )
+    base = runner(prefix, tgds, budget=budget, record_derivation=False, engine="store")
+    assert base.terminated
+    resumed = runner(
+        database, tgds, budget=budget, record_derivation=False, engine="store",
+        resume_from=base.store_snapshot(),
+    )
+    cold = runner(database, tgds, budget=budget, record_derivation=False, engine="store")
+    assert resumed.terminated and cold.terminated
+    assert resumed.size == cold.size
+    assert resumed.database_size == cold.database_size
+    assert fire_invariant_instance_key(resumed.instance) == (
+        fire_invariant_instance_key(cold.instance)
+    )
+
+
+def test_resume_requires_store_engine():
+    database, tgds = restricted_heavy(8, 2)
+    base = semi_oblivious_chase(database, tgds, record_derivation=False, engine="store")
+    snapshot = base.store_snapshot()
+    with pytest.raises(ValueError, match="resume_from requires the store engine"):
+        semi_oblivious_chase(database, tgds, engine="plans", resume_from=snapshot)
+    with pytest.raises(ValueError, match="resume_from requires the store engine"):
+        semi_oblivious_chase(database, tgds, engine="legacy", resume_from=snapshot)
+
+
+def test_resume_with_empty_delta_is_a_fast_noop():
+    database, tgds = restricted_heavy(10, 3)
+    base = semi_oblivious_chase(database, tgds, record_derivation=False, engine="store")
+    resumed = semi_oblivious_chase(
+        database, tgds, record_derivation=False, engine="store",
+        resume_from=base.store_snapshot(),
+    )
+    assert resumed.terminated
+    assert resumed.size == base.size
+    assert resumed.statistics.rounds == 1  # one empty delta round
+    assert resumed.instance == base.instance
+
+
+def test_resume_accepts_a_live_fact_store():
+    from repro.model.store import FactStore
+
+    database, tgds = restricted_heavy(10, 4)
+    prefix = _prefix_split(database)
+    base = semi_oblivious_chase(prefix, tgds, record_derivation=False, engine="store")
+    store = FactStore.restore(base.store_snapshot())
+    resumed = semi_oblivious_chase(
+        database, tgds, record_derivation=False, engine="store", resume_from=store,
+    )
+    cold = semi_oblivious_chase(database, tgds, record_derivation=False, engine="store")
+    assert resumed.instance == cold.instance
+
+
+def test_database_may_be_a_fact_store():
+    from repro.model.store import FactStore
+    from repro.runtime.jobs import encode_database_snapshot
+
+    database, tgds = restricted_heavy(10, 4)
+    seeded = semi_oblivious_chase(
+        FactStore.restore(encode_database_snapshot(database)),
+        tgds,
+        record_derivation=False,
+        engine="store",
+    )
+    plain = semi_oblivious_chase(database, tgds, record_derivation=False, engine="store")
+    assert seeded.database_size == len(database)
+    assert seeded.instance == plain.instance
+    assert seeded.summary() == plain.summary()

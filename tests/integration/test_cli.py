@@ -208,3 +208,147 @@ class TestBenchRuntime:
         report = json.loads(out.read_text())
         assert report["summary"]["cache_hits_byte_identical"] is True
         assert report["summary"]["auto_budgeted_sl_l_within_budget"] is True
+
+
+class TestSnapshotCommand:
+    def test_dump_inspect_restore_round_trip(self, files, tmp_path, capsys):
+        facts = files("db.facts", FACTS)
+        snap = tmp_path / "db.snap"
+        assert main(["snapshot", "dump", facts, "--output", str(snap)]) == 0
+        assert snap.read_bytes().startswith(b"RSNP1")
+        assert main(["snapshot", "inspect", str(snap)]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["facts"] == 2
+        assert header["predicates"] == {"Employee/1": 2}
+        assert main(["snapshot", "restore", str(snap)]) == 0
+        restored = capsys.readouterr().out.strip().splitlines()
+        assert sorted(restored) == ["Employee(alice)", "Employee(bob)"]
+
+    def test_dump_with_rules_snapshots_the_chase_result(self, files, tmp_path, capsys):
+        rules = files("r.rules", RULES_TERMINATING)
+        facts = files("db.facts", FACTS)
+        snap = tmp_path / "chased.snap"
+        assert (
+            main(
+                ["snapshot", "dump", facts, "--rules", rules, "--output", str(snap)]
+            )
+            == 0
+        )
+        assert main(["snapshot", "inspect", str(snap)]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header["facts"] == 6  # 2 Employee + 2 WorksIn + 2 Dept
+        assert header["nulls"] == 2
+
+    def test_restore_to_file(self, files, tmp_path, capsys):
+        facts = files("db.facts", FACTS)
+        snap = tmp_path / "db.snap"
+        out = tmp_path / "restored.facts"
+        main(["snapshot", "dump", facts, "--output", str(snap)])
+        assert main(["snapshot", "restore", str(snap), "--output", str(out)]) == 0
+        assert "Employee(alice)" in out.read_text()
+
+
+class TestChaseResume:
+    def test_save_snapshot_then_resume(self, files, tmp_path, capsys):
+        rules = files("r.rules", RULES_TERMINATING)
+        base_facts = files("base.facts", "Employee(alice).\n")
+        full_facts = files("full.facts", FACTS)
+        snap = tmp_path / "base.snap"
+        assert (
+            main(["chase", rules, base_facts, "--save-snapshot", str(snap),
+                  "--format", "json"])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["chase", rules, full_facts, "--resume-from", str(snap),
+                  "--format", "json"])
+            == 0
+        )
+        resumed = json.loads(capsys.readouterr().out)
+        capsys.readouterr()
+        assert main(["chase", rules, full_facts, "--format", "json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert resumed["summary"]["size"] == cold["summary"]["size"]
+        assert resumed["summary"]["database_size"] == cold["summary"]["database_size"]
+        assert sorted(resumed["instance"].splitlines()) == sorted(
+            cold["instance"].splitlines()
+        )
+
+    def test_save_snapshot_requires_store_engine(self, files, tmp_path, capsys):
+        rules = files("r.rules", RULES_TERMINATING)
+        facts = files("db.facts", FACTS)
+        snap = tmp_path / "x.snap"
+        assert (
+            main(["chase", rules, facts, "--engine", "plans",
+                  "--save-snapshot", str(snap)])
+            == 2
+        )
+        assert not snap.exists()
+
+
+class TestBatchIncremental:
+    def test_incremental_resumes_grown_manifest(self, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        base_manifest = tmp_path / "base.jsonl"
+        base_manifest.write_text(
+            json.dumps(
+                {"id": "base", "program": RULES_TERMINATING.strip(),
+                 "database": "Employee(alice)."}
+            )
+            + "\n"
+        )
+        grown_manifest = tmp_path / "grown.jsonl"
+        grown_manifest.write_text(
+            json.dumps(
+                {"id": "grown", "program": RULES_TERMINATING.strip(),
+                 "database": FACTS.strip()}
+            )
+            + "\n"
+        )
+        out1 = tmp_path / "r1.jsonl"
+        out2 = tmp_path / "r2.jsonl"
+        assert (
+            main(["batch", str(base_manifest), "--cache", str(cache),
+                  "--incremental", "--output", str(out1)])
+            == 0
+        )
+        assert (
+            main(["batch", str(grown_manifest), "--cache", str(cache),
+                  "--incremental", "--output", str(out2)])
+            == 0
+        )
+        base_row = json.loads(out1.read_text().splitlines()[0])
+        grown_row = json.loads(out2.read_text().splitlines()[0])
+        assert base_row["resumed_from"] is None
+        assert grown_row["resumed_from"] == base_row["cache"]["key"]
+        assert grown_row["summary"]["outcome"] == "terminated"
+        assert grown_row["summary"]["database_size"] == 2
+
+    def test_resume_refuses_incomplete_snapshots(self, files, tmp_path, capsys):
+        rules = files("loop.rules", RULES_LOOPING)
+        facts = files("db.facts", FACTS_R)
+        snap = tmp_path / "prefix.snap"
+        # A budget-stopped run refuses to save a resume snapshot at all.
+        assert (
+            main(["chase", rules, facts, "--max-rounds", "1",
+                  "--save-snapshot", str(snap)])
+            == 2
+        )
+        assert not snap.exists()
+        # A chased dump of a non-terminating program is marked incomplete
+        # and --resume-from refuses it.
+        assert (
+            main(["snapshot", "dump", facts, "--rules", rules, "--output", str(snap)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["snapshot", "inspect", str(snap)]) == 0
+        assert json.loads(capsys.readouterr().out)["complete"] is False
+        assert (
+            main(["chase", rules, facts, "--resume-from", str(snap)]) == 2
+        )
+        # A plain database dump is no chase result either.
+        db_snap = tmp_path / "db.snap"
+        main(["snapshot", "dump", facts, "--output", str(db_snap)])
+        assert main(["chase", rules, facts, "--resume-from", str(db_snap)]) == 2

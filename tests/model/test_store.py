@@ -1,16 +1,49 @@
-"""Unit tests for the interned fact store (the engine's data plane)."""
+"""Unit tests for the interned fact store (the engine's data plane).
+
+Both storage layouts — the columnar ``arrays`` default and the ``sets``
+fallback — run through the same suite: the layouts must be observably
+identical through the public API (only performance differs).
+"""
+
+import os
+from array import array
 
 import pytest
 
 from repro.model.atoms import Atom, Predicate, atom
 from repro.model.instance import Instance
-from repro.model.store import FactStore
+from repro.model.store import (
+    LAYOUTS,
+    FactStore,
+    default_layout,
+    inspect_snapshot,
+)
 from repro.model.terms import Constant, Null, Variable, make_null
 
 
-@pytest.fixture
-def store() -> FactStore:
-    return FactStore()
+@pytest.fixture(params=LAYOUTS)
+def store(request) -> FactStore:
+    return FactStore(layout=request.param)
+
+
+class TestLayoutSelection:
+    def test_default_layout_is_arrays(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_LAYOUT", raising=False)
+        assert default_layout() == "arrays"
+        assert FactStore().layout == "arrays"
+
+    def test_env_knob_selects_layout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_LAYOUT", "sets")
+        assert FactStore().layout == "sets"
+        monkeypatch.setenv("REPRO_STORE_LAYOUT", "arrays")
+        assert FactStore().layout == "arrays"
+
+    def test_unknown_layout_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            FactStore(layout="btree")
+        monkeypatch.setenv("REPRO_STORE_LAYOUT", "btree")
+        with pytest.raises(ValueError):
+            FactStore()
 
 
 class TestInterning:
@@ -118,6 +151,38 @@ class TestStorage:
         assert ids in store.posting(pid, 1, tb)
         assert not store.posting(pid, 0, tb)
 
+    def test_posting_views_are_read_only(self, store):
+        a, b = Constant("a"), Constant("b")
+        pid, ids = store.intern_atom(atom("R", a, b))
+        store.add(pid, ids)
+        ta = store.intern_term(a)
+        view = store.posting(pid, 0, ta)
+        # Both layouts hand out views that refuse mutation: a tuple of
+        # facts (arrays) or a frozenset copy under __debug__ (sets).
+        assert not hasattr(view, "add") or isinstance(view, frozenset)
+        with pytest.raises((AttributeError, TypeError)):
+            view.add(("x",))  # type: ignore[union-attr]
+        # Mutating the returned view must never corrupt the index.
+        assert ids in store.posting(pid, 0, ta)
+
+    def test_posting_rows_memoryview(self, store):
+        a, b = Constant("a"), Constant("b")
+        pid, ids = store.intern_atom(atom("R", a, b))
+        store.add(pid, ids)
+        ta = store.intern_term(a)
+        if store.layout != "arrays":
+            with pytest.raises(TypeError):
+                store.posting_rows(pid, 0, ta)
+            return
+        rows = store.posting_rows(pid, 0, ta)
+        assert isinstance(rows, memoryview)
+        assert rows.readonly
+        assert list(rows) == [0]
+        with pytest.raises(TypeError):
+            rows[0] = 7
+        # A missing key yields an empty read-only view, not an error.
+        assert list(store.posting_rows(pid, 1, ta)) == []
+
     def test_candidates_intersection_and_short_circuit(self, store):
         a, b, c = Constant("a"), Constant("b"), Constant("c")
         r = Predicate("R", 2)
@@ -125,12 +190,65 @@ class TestStorage:
         packed = [store.add_atom(f) for f in facts]
         pid = store.pid(r)
         ta, tb, tc = (store.intern_term(t) for t in (a, b, c))
-        assert store.candidates(pid, []) == {ids for _, ids in packed}
-        assert store.candidates(pid, [(0, ta)]) == {packed[0][1], packed[1][1]}
-        assert store.candidates(pid, [(0, ta), (1, tc)]) == {packed[1][1]}
-        # Empty posting list short-circuits to the shared empty set.
+        assert set(store.candidates(pid, [])) == {ids for _, ids in packed}
+        assert set(store.candidates(pid, [(0, ta)])) == {packed[0][1], packed[1][1]}
+        assert set(store.candidates(pid, [(0, ta), (1, tc)])) == {packed[1][1]}
+        # Empty posting list short-circuits to a falsy empty container.
         missing = store.intern_term(Constant("zzz"))
-        assert store.candidates(pid, [(0, missing), (1, tb)]) == frozenset()
+        assert not store.candidates(pid, [(0, missing), (1, tb)])
+
+    def test_has_candidate_matches_candidates(self, store):
+        a, b, c = Constant("a"), Constant("b"), Constant("c")
+        facts = [atom("R", a, b), atom("R", a, c), atom("R", b, c)]
+        for f in facts:
+            store.add_atom(f)
+        pid = store.pid(Predicate("R", 2))
+        ta, tb, tc = (store.intern_term(t) for t in (a, b, c))
+        probes = [
+            [],
+            [(0, ta)],
+            [(1, tb)],
+            [(0, ta), (1, tc)],
+            [(0, tb), (1, tb)],
+            [(0, tc)],
+        ]
+        for bound in probes:
+            assert store.has_candidate(pid, bound) == bool(
+                set(store.candidates(pid, bound))
+            )
+        # Repeated probes exercise the watermarked probe-set path after
+        # new appends (the dirty-watermark catch-up).
+        assert store.has_candidate(pid, [(0, ta), (1, tc)])
+        store.add_atom(atom("R", c, c))
+        assert store.has_candidate(pid, [(0, tc), (1, tc)])
+
+    def test_galloping_intersection_matches_set_semantics(self):
+        # Many facts sharing positions: the multi-bound probe must
+        # agree between the galloping arrays path and the sets path.
+        stores = {layout: FactStore(layout=layout) for layout in LAYOUTS}
+        terms = [Constant(f"c{i}") for i in range(10)]
+        facts = [
+            atom("T", terms[i % 7], terms[i % 5], terms[i % 3]) for i in range(200)
+        ]
+        for s in stores.values():
+            for f in facts:
+                s.add_atom(f)
+        for bound_spec in [
+            [(0, "c1"), (1, "c1")],
+            [(0, "c2"), (2, "c2")],
+            [(0, "c1"), (1, "c2"), (2, "c0")],
+            [(1, "c4"), (2, "c1")],
+        ]:
+            results = {}
+            for layout, s in stores.items():
+                pid = s.pid(Predicate("T", 3))
+                bound = [(i, s.intern_term(Constant(n))) for i, n in bound_spec]
+                decoded = {
+                    s.decode_fact(pid, ids) for ids in s.candidates(pid, bound)
+                }
+                results[layout] = decoded
+                assert s.has_candidate(pid, bound) == bool(decoded)
+            assert results["arrays"] == results["sets"]
 
     def test_to_instance_round_trips(self, store):
         facts = [
@@ -156,3 +274,112 @@ class TestStorage:
         store.add(spid, (null_tid,))
         assert store.max_depth() == 1
         assert store.fact_depth((null_tid,)) == 1
+
+
+class TestSnapshot:
+    def _populated(self, layout: str) -> FactStore:
+        store = FactStore(layout=layout)
+        a, b = Constant("a"), Constant("b")
+        store.add_atom(atom("R", a, b))
+        store.add_atom(atom("R", b, a))
+        ta = store.intern_term(a)
+        null_tid = store.intern_null("r1", "z", ("x",), (ta,))
+        nested = store.intern_null("r1", "z", ("x",), (null_tid,))
+        spid = store.intern_predicate(Predicate("S", 1))
+        store.add(spid, (null_tid,))
+        store.add(spid, (nested,))
+        store.add_atom(Atom(Predicate("Z", 0), ()))
+        return store
+
+    @pytest.mark.parametrize("source_layout", LAYOUTS)
+    @pytest.mark.parametrize("target_layout", LAYOUTS)
+    def test_round_trip_across_layouts(self, source_layout, target_layout):
+        store = self._populated(source_layout)
+        blob = store.snapshot()
+        assert isinstance(blob, bytes)
+        restored = FactStore.restore(blob, layout=target_layout)
+        assert restored.layout == target_layout
+        assert len(restored) == len(store)
+        assert restored.max_depth() == store.max_depth()
+        assert restored.to_instance() == store.to_instance()
+
+    def test_restore_preserves_posting_lists(self, store):
+        store = self._populated(store.layout)
+        restored = FactStore.restore(store.snapshot(), layout=store.layout)
+        for pid in range(3):
+            predicate = store.predicate_of(pid)
+            assert restored.predicate_of(pid) == predicate
+            assert restored.count(pid) == store.count(pid)
+            for position in range(predicate.arity):
+                for tid in range(len(store._term_of_id)):
+                    assert set(store.posting(pid, position, tid)) == set(
+                        restored.posting(pid, position, tid)
+                    )
+
+    def test_restore_preserves_null_recipes(self, store):
+        store = self._populated(store.layout)
+        restored = FactStore.restore(store.snapshot())
+        for tid in range(len(store._term_of_id)):
+            assert restored.term_of_id(tid) == store.term_of_id(tid)
+            assert restored.fact_depth((tid,)) == store.fact_depth((tid,))
+
+    def test_restored_store_keeps_chasing(self, store):
+        # Interning and adding after a restore picks up exactly where
+        # the source store left off (fresh ids extend the dense range).
+        store = self._populated(store.layout)
+        restored = FactStore.restore(store.snapshot())
+        pid, ids = restored.intern_atom(atom("R", Constant("c"), Constant("a")))
+        assert restored.add(pid, ids)
+        assert restored.contains(pid, ids)
+        ta = restored.intern_term(Constant("a"))
+        # The restored recipe table answers intern_null without
+        # re-inventing: same key, same id.
+        first = restored.intern_null("r1", "z", ("x",), (ta,))
+        assert restored.intern_null("r1", "z", ("x",), (ta,)) == first
+
+    def test_inspect_reads_header_only(self, store):
+        store = self._populated(store.layout)
+        header = inspect_snapshot(store.snapshot())
+        assert header["size"] == len(store)
+        assert header["max_depth"] == store.max_depth()
+        assert [tuple(p) for p in header["predicates"]] == [
+            ("R", 2),
+            ("S", 1),
+            ("Z", 0),
+        ]
+        assert header["facts"] == [2, 2, 1]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            FactStore.restore(b"not a snapshot")
+        with pytest.raises(ValueError):
+            inspect_snapshot(b"RSNPX\n garbage")
+
+    def test_foreign_null_snapshot_round_trip(self, store):
+        foreign = make_null("rx", "z", {"x": Constant("a")})
+        outer = make_null("ry", "w", {"y": foreign})
+        store.add_atom(Atom(Predicate("S", 1), (outer,)))
+        restored = FactStore.restore(store.snapshot(), layout=store.layout)
+        assert restored.to_instance() == store.to_instance()
+
+
+class TestSnapshotIntegrity:
+    def test_truncated_snapshot_is_rejected(self):
+        store = FactStore()
+        for i in range(10):
+            store.add_atom(atom("R", Constant(f"a{i}"), Constant(f"b{i}")))
+        blob = store.snapshot()
+        with pytest.raises(ValueError, match="truncated or padded"):
+            FactStore.restore(blob[:-16])  # itemsize-aligned truncation
+        with pytest.raises(ValueError, match="truncated or padded"):
+            FactStore.restore(blob + b"\x00" * 8)
+
+    def test_completeness_stamp_round_trips(self):
+        store = FactStore()
+        store.add_atom(atom("R", Constant("a"), Constant("b")))
+        assert inspect_snapshot(store.snapshot())["complete"] is None
+        assert inspect_snapshot(store.snapshot(complete=True))["complete"] is True
+        assert inspect_snapshot(store.snapshot(complete=False))["complete"] is False
+        # restore accepts any stamp — policy lives at the CLI/executor
+        # boundary, not in the store.
+        assert len(FactStore.restore(store.snapshot(complete=False))) == 1

@@ -271,3 +271,80 @@ class TestExecutorCacheIntegration:
         second = BatchExecutor(workers=1, cache=ResultCache(path)).run_all([job])[0]
         assert not first.cache_hit and second.cache_hit
         assert second.summary_json() == first.summary_json()
+
+
+class TestSnapshotEntries:
+    def _put_snapshot(self, cache, key="k1", lineage="lin1"):
+        return cache.put(
+            key,
+            {"outcome": "terminated", "size": 3},
+            snapshot=b"RSNP1\n fake bytes \x00\x01",
+            database_lines=["R(a, b).", "R(b, c)."],
+            lineage=lineage,
+        )
+
+    def test_snapshot_round_trips_through_jsonl(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        entry = self._put_snapshot(cache)
+        reloaded = ResultCache(path)
+        got = reloaded.get("k1")
+        assert got is not None
+        assert got.snapshot == entry.snapshot
+        assert got.database_lines == entry.database_lines
+        assert got.lineage == "lin1"
+        assert reloaded.snapshot_for("lin1").key == "k1"
+
+    def test_snapshot_survives_compaction(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        self._put_snapshot(cache)
+        cache.put("plain", {"outcome": "terminated", "size": 1})
+        cache.compact()
+        reloaded = ResultCache(path)
+        assert reloaded.get("k1").snapshot is not None
+        assert reloaded.snapshot_for("lin1") is not None
+
+    def test_lineage_tracks_freshest_entry(self):
+        cache = ResultCache()
+        self._put_snapshot(cache, key="old")
+        self._put_snapshot(cache, key="new")
+        assert cache.snapshot_for("lin1").key == "new"
+
+    def test_lineage_cleared_on_eviction(self):
+        cache = ResultCache(max_entries=2)
+        self._put_snapshot(cache, key="base")
+        cache.put("x1", {"s": 1})
+        cache.put("x2", {"s": 2})  # evicts "base"
+        assert cache.snapshot_for("lin1") is None
+
+    def test_entries_without_snapshot_do_not_claim_lineage(self):
+        cache = ResultCache()
+        cache.put("plain", {"s": 1})
+        assert cache.snapshot_for("lin1") is None
+
+    def test_lineage_key_composition(self):
+        from repro.chase.engine import ChaseBudget
+        from repro.model.parser import parse_database, parse_program
+        from repro.runtime.cache import lineage_cache_key
+        from repro.runtime.jobs import ChaseJob
+
+        program = parse_program("R(x, y) -> exists z . S(y, z)")
+        small = ChaseJob(program=program, database=parse_database("R(a, b)."))
+        grown = ChaseJob(
+            program=program, database=parse_database("R(a, b).\nR(b, c).")
+        )
+        # Same program + variant + budget policy: same lineage even
+        # though the databases (and auto-resolved budgets) differ.
+        assert lineage_cache_key(small) == lineage_cache_key(grown)
+        other_variant = ChaseJob(
+            program=program, database=small.database, variant="oblivious"
+        )
+        assert lineage_cache_key(other_variant) != lineage_cache_key(small)
+        explicit = ChaseJob(
+            program=program,
+            database=small.database,
+            budget_mode="explicit",
+            budget=ChaseBudget(max_atoms=7),
+        )
+        assert lineage_cache_key(explicit) != lineage_cache_key(small)

@@ -144,3 +144,192 @@ class TestMixedWorkload:
                 and "terminating" in result.tags
             ):
                 assert result.summary["outcome"] == "terminated", result.job_id
+
+
+class TestSnapshotPayloads:
+    def test_ship_snapshots_matches_text_payloads_byte_for_byte(self):
+        jobs = small_batch()
+        with_snapshots = BatchExecutor(workers=1, ship_snapshots=True).run_all(jobs)
+        with_text = BatchExecutor(workers=1, ship_snapshots=False).run_all(jobs)
+        assert [r.summary_json() for r in with_snapshots] == [
+            r.summary_json() for r in with_text
+        ]
+
+    def test_non_store_engine_falls_back_to_text(self):
+        executor = BatchExecutor(workers=1, engine="plans")
+        payload = executor._payload(*_resolved(executor, small_batch()[0]))
+        assert "database_text" in payload and "database_snapshot" not in payload
+
+    def test_store_engine_payload_carries_snapshot(self):
+        executor = BatchExecutor(workers=1)
+        job = small_batch()[0]
+        payload = executor._payload(*_resolved(executor, job))
+        assert "database_snapshot" not in payload or payload["database_snapshot"]
+        assert payload.get("database_snapshot") == job.database_snapshot
+        # The encoding is cached: a retry reuses the same bytes object.
+        assert executor._payload(*_resolved(executor, job))[
+            "database_snapshot"
+        ] is payload["database_snapshot"]
+
+    def test_snapshot_payload_executes_identically(self):
+        job = small_batch()[0]
+        executor = BatchExecutor(workers=1)
+        decision, budget, key = executor._resolve(job)
+        from repro.runtime.executor import execute_payload
+
+        snap_record = execute_payload(executor._payload(job, budget))
+        text_executor = BatchExecutor(workers=1, ship_snapshots=False)
+        text_record = execute_payload(text_executor._payload(job, budget))
+        assert snap_record["summary"] == text_record["summary"]
+
+
+def _resolved(executor, job):
+    decision, budget, key = executor._resolve(job)
+    return job, budget
+
+
+def _split_database(database, keep: int):
+    from repro.model.instance import Database
+    from repro.model.serialization import atom_to_text
+
+    facts = sorted(database, key=atom_to_text)
+    return Database(facts[:keep]), Database(facts)
+
+
+class TestIncrementalRechase:
+    def _grown_pair(self):
+        from repro.generators.workloads import restricted_heavy
+
+        full_db, tgds = restricted_heavy(30, 8)
+        base_db, _ = restricted_heavy(30, 6)
+        return tgds, base_db, full_db
+
+    def test_resumes_from_cached_snapshot(self):
+        tgds, base_db, full_db = self._grown_pair()
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        base = executor.run_all([ChaseJob(program=tgds, database=base_db)])[0]
+        assert base.status == "ok" and base.resumed_from is None
+        entry = cache.get(base.cache_key)
+        assert entry is not None and entry.snapshot is not None
+        assert entry.lineage is not None and entry.database_lines
+
+        grown = executor.run_all([ChaseJob(program=tgds, database=full_db)])[0]
+        assert grown.status == "ok"
+        assert grown.resumed_from == base.cache_key
+
+        cold = BatchExecutor(workers=1).run_all(
+            [ChaseJob(program=tgds, database=full_db)]
+        )[0]
+        for field in ("size", "database_size", "terminated", "outcome", "max_depth"):
+            assert grown.summary[field] == cold.summary[field]
+
+    def test_incremental_result_chains_without_polluting_replay(self):
+        tgds, base_db, full_db = self._grown_pair()
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        executor.run_all([ChaseJob(program=tgds, database=base_db)])
+        grown = executor.run_all([ChaseJob(program=tgds, database=full_db)])[0]
+        # The resumed run's snapshot becomes the lineage's freshest
+        # base — under a "delta:" key, so the cold result key stays
+        # unclaimed: a resumed run's statistics (and, under tight round
+        # budgets, outcome) are not what a cold execution would report,
+        # and must never be replayed as one.
+        from repro.runtime.cache import lineage_cache_key
+
+        job = ChaseJob(program=tgds, database=full_db)
+        fresh = cache.snapshot_for(lineage_cache_key(job))
+        assert fresh is not None and fresh.key == "delta:" + grown.cache_key
+        assert cache.get(grown.cache_key) is None  # no replayable entry
+        # Resubmitting the grown job misses the result cache and
+        # resumes again — this time from its own delta entry.
+        again = executor.run_all([ChaseJob(program=tgds, database=full_db)])[0]
+        assert not again.cache_hit
+        assert again.resumed_from == "delta:" + grown.cache_key
+        assert again.summary["size"] == grown.summary["size"]
+
+    def test_resume_survives_nulls_in_the_base_database(self):
+        # A base instance that already contains labelled nulls (e.g. a
+        # prior chase result used as input): the snapshot recipe-encodes
+        # them, and re-interning the same null on the resumed run must
+        # find the recipe id instead of inventing a duplicate — or the
+        # delta-derived T(n) below would coexist with the base run's
+        # T(n) as two distinct packed facts.
+        from repro.model.atoms import Atom, Predicate
+        from repro.model.instance import Instance
+        from repro.model.terms import Constant, make_null
+        from repro.chase.semi_oblivious import semi_oblivious_chase
+
+        r = Predicate("R", 2)
+        a, b = Constant("a"), Constant("b")
+        null = make_null("seed_rule", "z", {"x": a})
+        base_db = Instance([Atom(r, (a, null))])
+        full_db = Instance([Atom(r, (a, null)), Atom(r, (b, null))])
+        tgds = parse_program("R(x, y) -> T(y)")
+        base = semi_oblivious_chase(base_db, tgds, record_derivation=False, engine="store")
+        assert base.terminated
+        resumed = semi_oblivious_chase(
+            full_db, tgds, record_derivation=False, engine="store",
+            resume_from=base.store_snapshot(),
+        )
+        cold = semi_oblivious_chase(full_db, tgds, record_derivation=False, engine="store")
+        assert cold.terminated and resumed.terminated
+        assert resumed.size == cold.size == 3  # R, R, T(n) — no duplicate T
+        assert resumed.instance == cold.instance
+
+    def test_no_resume_when_database_is_not_a_superset(self):
+        tgds, base_db, _ = self._grown_pair()
+        from repro.model.instance import Database
+
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        executor.run_all([ChaseJob(program=tgds, database=base_db)])
+        disjoint = Database(list(base_db)[: len(base_db) // 2])
+        shrunk = executor.run_all([ChaseJob(program=tgds, database=disjoint)])[0]
+        assert shrunk.resumed_from is None  # subset, not superset: cold run
+
+    def test_no_resume_across_programs(self):
+        tgds, base_db, full_db = self._grown_pair()
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        executor.run_all([ChaseJob(program=tgds, database=base_db)])
+        other_program = parse_program("R(x, y) -> exists z . S(y, z)")
+        other = executor.run_all(
+            [ChaseJob(program=other_program, database=full_db)]
+        )[0]
+        assert other.resumed_from is None
+
+    def test_incremental_off_never_stores_snapshots(self):
+        tgds, base_db, _ = self._grown_pair()
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=False)
+        result = executor.run_all([ChaseJob(program=tgds, database=base_db)])[0]
+        entry = cache.get(result.cache_key)
+        assert entry is not None and entry.snapshot is None
+
+    def test_nonterminating_runs_are_not_resume_bases(self):
+        cache = ResultCache()
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        job = ChaseJob(
+            program=parse_program("R(x, y) -> exists z . R(y, z)"),
+            database=parse_database("R(a, b)."),
+            budget_mode="explicit",
+            budget=ChaseBudget(max_atoms=40),
+        )
+        result = executor.run_all([job])[0]
+        assert result.status == "ok" and result.summary["terminated"] is False
+        entry = cache.get(result.cache_key)
+        assert entry is not None and entry.snapshot is None
+
+    def test_incremental_survives_jsonl_spill(self, tmp_path):
+        tgds, base_db, full_db = self._grown_pair()
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        executor = BatchExecutor(workers=1, cache=cache, incremental=True)
+        base = executor.run_all([ChaseJob(program=tgds, database=base_db)])[0]
+        # A fresh process (fresh cache object) reloads the snapshot from
+        # the spill and resumes from it.
+        reloaded = ResultCache(path)
+        executor2 = BatchExecutor(workers=1, cache=reloaded, incremental=True)
+        grown = executor2.run_all([ChaseJob(program=tgds, database=full_db)])[0]
+        assert grown.resumed_from == base.cache_key

@@ -363,3 +363,74 @@ class TestDrainAndStats:
         assert scheduler.drain(timeout=30.0)
         assert registry.job(record2.job_id).result["status"] == "ok"
         scheduler.shutdown(timeout=10.0)
+
+
+class TestSnapshotSharing:
+    def _counting_encoder(self, monkeypatch):
+        import repro.runtime.jobs as jobs_module
+
+        calls = []
+        real = jobs_module.encode_database_snapshot
+
+        def counting(database):
+            calls.append(1)
+            return real(database)
+
+        monkeypatch.setattr(jobs_module, "encode_database_snapshot", counting)
+        return calls
+
+    def test_identical_burst_encodes_store_once(self, monkeypatch):
+        calls = self._counting_encoder(monkeypatch)
+        release = threading.Event()
+        registry, scheduler = make_scheduler(
+            before_execute=lambda job: release.wait(10.0)
+        )
+        # Pile 8 identical submissions onto one in-flight group while
+        # the single worker is held inside the first (blocker) job.
+        scheduler.submit(make_job("blocker"))
+        records = [
+            scheduler.submit(make_job("burst", job_id=f"b{i}"))[0] for i in range(8)
+        ]
+        assert all(r is not None for r in records)
+        release.set()
+        assert scheduler.drain(timeout=30.0)
+        assert all(registry.job(r.job_id).terminal for r in records)
+        # One encode for the blocker, one for the whole burst.
+        assert sum(calls) == 2
+        scheduler.shutdown(timeout=10.0)
+
+    def test_timeout_requeues_reuse_the_primary_encoding(self, monkeypatch):
+        calls = self._counting_encoder(monkeypatch)
+        release = threading.Event()
+        registry, scheduler = make_scheduler(
+            before_execute=lambda job: release.wait(10.0)
+        )
+        looping = parse_program("R_t(x, y) -> exists z . R_t(y, z)")
+        database = parse_database("R_t(a, b).")
+
+        from repro.chase.engine import ChaseBudget
+
+        def timeout_job(job_id: str) -> ChaseJob:
+            return ChaseJob(
+                program=looping,
+                database=database,
+                job_id=job_id,
+                # A budget far past what 5 ms of wall clock reaches, so
+                # the primary (and every re-run) times out.
+                budget_mode="explicit",
+                budget=ChaseBudget(max_atoms=50_000_000, max_rounds=10**9),
+                timeout_seconds=0.005,
+            )
+
+        scheduler.submit(make_job("blocker"))
+        records = [scheduler.submit(timeout_job(f"t{i}"))[0] for i in range(8)]
+        assert all(r is not None for r in records)
+        release.set()
+        assert scheduler.drain(timeout=60.0)
+        results = [registry.job(r.job_id).result for r in records]
+        assert all(r is not None and r["status"] == "timeout" for r in results)
+        # Every dedup member re-ran under its own terms (7 requeues),
+        # but the database was encoded once for the blocker and once,
+        # total, for all eight burst executions.
+        assert sum(calls) == 2
+        scheduler.shutdown(timeout=10.0)
