@@ -99,6 +99,37 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     program = _load_program(args.rules)
     database = _load_database(args.database)
     runner = _VARIANTS[args.variant]
+    analysis = None
+    if args.analyze:
+        from repro.core.termination_analysis import DIVERGING, analyze_termination
+
+        analysis = analyze_termination(database, program, args.variant)
+        print(
+            f"analysis: {analysis.verdict}"
+            + (f" via {analysis.method}" if analysis.method else "")
+            + (
+                f", depth bound {analysis.depth_bound}"
+                if analysis.depth_bound is not None and analysis.depth_bound.bit_length() <= 64
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        if analysis.verdict == DIVERGING:
+            print(
+                f"not chasing: the {args.variant} chase provably diverges on this "
+                "input (pass no --analyze to run it under an explicit budget)",
+                file=sys.stderr,
+            )
+            if args.format == "json":
+                document = {
+                    "status": "diverging",
+                    "analysis": analysis.as_dict(),
+                    "summary": None,
+                    "wall_seconds": 0.0,
+                    "instance": None,
+                }
+                print(json.dumps(document, sort_keys=True))
+            return 0
     budget = ChaseBudget(
         max_atoms=args.max_atoms,
         max_rounds=args.max_rounds,
@@ -169,6 +200,8 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             "wall_seconds": round(result.statistics.wall_seconds, 6),
             "instance": None if args.output else text,
         }
+        if analysis is not None:
+            document["analysis"] = analysis.as_dict()
         print(json.dumps(document, sort_keys=True))
     elif not args.output:
         print(text)
@@ -246,6 +279,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "--incremental needs --cache to hold resume snapshots; running cold",
             file=sys.stderr,
         )
+    executor_kwargs = {}
+    if args.analyze:
+        from repro.core.termination_analysis import TerminationAnalyzer
+        from repro.runtime.budget_policy import BudgetPolicy
+
+        executor_kwargs["policy"] = BudgetPolicy(analyzer=TerminationAnalyzer())
     executor = BatchExecutor(
         workers=args.workers,
         cache=cache,
@@ -253,6 +292,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         per_job_timeout=args.timeout,
         engine=args.engine,
         incremental=args.incremental,
+        **executor_kwargs,
     )
     out_handle = Path(args.output).open("w") if args.output else sys.stdout
     counts = {"ok": 0, "timeout": 0, "error": len(bad), "cached": 0}
@@ -298,6 +338,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         materialize=args.materialize,
         per_job_timeout=args.timeout if args.timeout and args.timeout > 0 else None,
         ttl_seconds=args.ttl,
+        admission_analysis=args.admission_analysis,
     )
     service.start()
     print(
@@ -502,6 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-snapshot",
         help="write the result's store snapshot here (store engine only)",
     )
+    chase_parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run static termination analysis first: report the verdict "
+        "(terminating/diverging/undetermined) for the chosen variant, skip "
+        "the chase entirely when it provably diverges, and include the "
+        "analysis in --format json output",
+    )
     chase_parser.set_defaults(handler=_cmd_chase)
 
     snapshot_parser = subparsers.add_parser(
@@ -564,6 +613,13 @@ def build_parser() -> argparse.ArgumentParser:
         "program over a sub-database (needs --cache; stores snapshots "
         "alongside summaries)",
     )
+    batch_parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="derive auto budgets with static termination analysis: provably "
+        "diverging jobs get a clamped budget instead of the million-atom "
+        "default, and each result row's budget provenance carries the verdict",
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
 
     serve_parser = subparsers.add_parser(
@@ -597,6 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--materialize",
         action="store_true",
         help="include the materialised instance text in each result",
+    )
+    serve_parser.add_argument(
+        "--admission-analysis",
+        action="store_true",
+        help="reject provably diverging programs at POST /jobs with a 422 "
+        "and derive budgets with static termination analysis (POST /batches "
+        "still accepts them under a clamped budget)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

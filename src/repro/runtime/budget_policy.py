@@ -28,6 +28,13 @@ from typing import Dict, Optional
 from repro.chase.engine import ChaseBudget
 from repro.core.bounds import depth_bound, magnitude, size_bound_within
 from repro.core.classify import TGDClass, classify
+from repro.core.termination_analysis import (
+    DIVERGING,
+    TERMINATING,
+    TerminationAnalyzer,
+    TerminationReport,
+)
+from repro.model.instance import Database
 from repro.model.tgd import TGDSet
 
 #: Size-bound values above this never become ``max_atoms``.
@@ -37,6 +44,20 @@ DEFAULT_ATOM_CAP = 5_000_000
 #: budget of ``2^100`` would be dead weight in every pickled payload).
 DEFAULT_DEPTH_CAP = 1_000_000
 
+#: The budget handed to provably diverging jobs by an analysis-aware
+#: policy: enough atoms to produce a meaningful budget-stop row, a
+#: fraction of the default million-atom burn.
+DEFAULT_DIVERGING_CLAMP = ChaseBudget(max_atoms=50_000, max_rounds=5_000)
+
+
+def _min_cap(current: Optional[int], cap: Optional[int]) -> Optional[int]:
+    """The tighter of two optional limits (``None`` means unlimited)."""
+    if current is None:
+        return cap
+    if cap is None:
+        return current
+    return min(current, cap)
+
 
 @dataclass(frozen=True)
 class BudgetDecision:
@@ -44,15 +65,20 @@ class BudgetDecision:
 
     budget: ChaseBudget
     tgd_class: TGDClass
-    source: str  # "explicit" | "paper-bound" | "default"
-    max_atoms_source: str  # "explicit" | "size-bound" | "default"
-    max_depth_source: str  # "explicit" | "depth-bound" | "unset"
+    source: str  # "explicit" | "paper-bound" | "default" | "analysis" | "analysis-clamp"
+    max_atoms_source: str  # "explicit" | "size-bound" | "default" | "analysis-clamp"
+    max_depth_source: str  # "explicit" | "depth-bound" | "analysis-depth-bound" | "unset"
     depth_bound_magnitude: Optional[str] = None
     size_bound_magnitude: Optional[str] = None
+    #: Static termination verdict, set only by an analysis-aware policy
+    #: (:class:`BudgetPolicy` with an ``analyzer``); ``None`` on the
+    #: default path so provenance stays byte-identical to the seed.
+    verdict: Optional[str] = None
+    verdict_method: Optional[str] = None
 
     def provenance(self) -> Dict[str, object]:
         """JSON-friendly provenance record carried into job results."""
-        return {
+        record: Dict[str, object] = {
             "class": self.tgd_class.value,
             "source": self.source,
             "max_atoms": {"value": self.budget.max_atoms, "from": self.max_atoms_source},
@@ -60,6 +86,9 @@ class BudgetDecision:
             "depth_bound": self.depth_bound_magnitude,
             "size_bound": self.size_bound_magnitude,
         }
+        if self.verdict is not None:
+            record["verdict"] = {"value": self.verdict, "method": self.verdict_method}
+        return record
 
 
 @dataclass(frozen=True)
@@ -68,20 +97,40 @@ class BudgetPolicy:
 
     ``derive`` implements the ``auto`` mode; :meth:`resolve` dispatches
     on a job's ``budget_mode`` (``auto`` / ``explicit`` / ``default``).
+
+    Passing an ``analyzer`` opts the policy into static termination
+    analysis (:mod:`repro.core.termination_analysis`): provably
+    diverging jobs get the ``diverging_clamp`` budget instead of
+    burning the default million atoms, provably terminating arbitrary
+    sets gain the analysis-derived ``max_depth``, and every decision
+    carries the verdict so the executor can lift its per-job wall
+    ceiling for guaranteed-terminating runs.  ``undetermined`` jobs —
+    and every job under the default ``analyzer=None`` — take exactly
+    the seed code path, byte for byte.
     """
 
     default: ChaseBudget = field(default_factory=ChaseBudget)
     atom_cap: int = DEFAULT_ATOM_CAP
     depth_cap: int = DEFAULT_DEPTH_CAP
+    analyzer: Optional[TerminationAnalyzer] = None
+    diverging_clamp: ChaseBudget = DEFAULT_DIVERGING_CLAMP
 
     def derive(
         self,
         program: TGDSet,
         database_size: int,
         tgd_class: Optional[TGDClass] = None,
+        database: Optional[Database] = None,
+        variant: str = "semi-oblivious",
     ) -> BudgetDecision:
         """Auto-budget: classify Σ and bound the run by ``d_C``/``f_C``."""
         tgd_class = tgd_class or classify(program)
+        if self.analyzer is not None:
+            report = self._safe_analyze(database, program, variant)
+            if report is not None:
+                return self._derive_with_verdict(
+                    program, database_size, tgd_class, report
+                )
         if not tgd_class.has_paper_bounds:
             return BudgetDecision(
                 budget=self.default,
@@ -111,12 +160,97 @@ class BudgetPolicy:
             size_bound_magnitude=magnitude(size) if size is not None else "over-cap",
         )
 
+    # -- analysis-aware derivation ----------------------------------------
+
+    def _safe_analyze(
+        self,
+        database: Optional[Database],
+        program: TGDSet,
+        variant: str,
+    ) -> Optional[TerminationReport]:
+        """Run the analyzer, swallowing failures: a broken analysis must
+        degrade to the default budget, never take a job down."""
+        try:
+            return self.analyzer.analyze(database, program, variant)  # type: ignore[union-attr]
+        except Exception:  # noqa: BLE001
+            return None
+
+    def _derive_with_verdict(
+        self,
+        program: TGDSet,
+        database_size: int,
+        tgd_class: TGDClass,
+        report: TerminationReport,
+    ) -> BudgetDecision:
+        """Fold a termination verdict into the auto-budget decision."""
+        if report.verdict == DIVERGING:
+            clamp = self.diverging_clamp
+            budget = self.default.replace(
+                max_atoms=_min_cap(self.default.max_atoms, clamp.max_atoms),
+                max_rounds=_min_cap(self.default.max_rounds, clamp.max_rounds),
+            )
+            return BudgetDecision(
+                budget=budget,
+                tgd_class=tgd_class,
+                source="analysis-clamp",
+                max_atoms_source="analysis-clamp",
+                max_depth_source=(
+                    "explicit" if self.default.max_depth is not None else "unset"
+                ),
+                verdict=report.verdict,
+                verdict_method=report.method,
+            )
+        base = self._derive_paper(program, database_size, tgd_class)
+        if (
+            report.verdict == TERMINATING
+            and not tgd_class.has_paper_bounds
+            and report.depth_bound is not None
+            and report.depth_bound <= self.depth_cap
+        ):
+            budget = base.budget.replace(max_depth=report.depth_bound)
+            return BudgetDecision(
+                budget=budget,
+                tgd_class=tgd_class,
+                source="analysis",
+                max_atoms_source=base.max_atoms_source,
+                max_depth_source="analysis-depth-bound",
+                depth_bound_magnitude=magnitude(report.depth_bound),
+                size_bound_magnitude=base.size_bound_magnitude,
+                verdict=report.verdict,
+                verdict_method=report.method,
+            )
+        return BudgetDecision(
+            budget=base.budget,
+            tgd_class=base.tgd_class,
+            source=base.source,
+            max_atoms_source=base.max_atoms_source,
+            max_depth_source=base.max_depth_source,
+            depth_bound_magnitude=base.depth_bound_magnitude,
+            size_bound_magnitude=base.size_bound_magnitude,
+            verdict=report.verdict,
+            verdict_method=report.method,
+        )
+
+    def _derive_paper(
+        self,
+        program: TGDSet,
+        database_size: int,
+        tgd_class: TGDClass,
+    ) -> BudgetDecision:
+        """The seed derivation (paper bounds / default), analyzer-blind."""
+        plain = BudgetPolicy(
+            default=self.default, atom_cap=self.atom_cap, depth_cap=self.depth_cap
+        )
+        return plain.derive(program, database_size, tgd_class)
+
     def resolve(
         self,
         program: TGDSet,
         database_size: int,
         budget_mode: str = "auto",
         explicit: Optional[ChaseBudget] = None,
+        database: Optional[Database] = None,
+        variant: str = "semi-oblivious",
     ) -> BudgetDecision:
         """Resolve a job's budget according to its ``budget_mode``."""
         if budget_mode == "explicit":
@@ -138,5 +272,5 @@ class BudgetPolicy:
                 max_depth_source="explicit" if self.default.max_depth is not None else "unset",
             )
         if budget_mode == "auto":
-            return self.derive(program, database_size)
+            return self.derive(program, database_size, database=database, variant=variant)
         raise ValueError(f"unknown budget mode {budget_mode!r}")

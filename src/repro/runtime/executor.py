@@ -214,12 +214,24 @@ class BatchExecutor:
     def _resolve(self, job: ChaseJob) -> Tuple[BudgetDecision, ChaseBudget, str]:
         """Budget decision, effective budget (timeout folded in), cache key."""
         decision = self.policy.resolve(
-            job.program, len(job.database), job.budget_mode, job.budget
+            job.program,
+            len(job.database),
+            job.budget_mode,
+            job.budget,
+            database=job.database,
+            variant=job.variant,
         )
         key = result_cache_key(job, decision.budget)
+        # A provably terminating job cannot run forever, so the daemon's
+        # blanket per-job wall ceiling is dead weight: skip folding it
+        # and let the analysis-derived depth/atom budget do the work.
+        # Job-level explicit timeouts are still honoured.
+        daemon_ceiling = (
+            None if decision.verdict == "terminating" else self.per_job_timeout
+        )
         timeouts = [
             t
-            for t in (decision.budget.max_seconds, job.timeout_seconds, self.per_job_timeout)
+            for t in (decision.budget.max_seconds, job.timeout_seconds, daemon_ceiling)
             if t is not None
         ]
         effective = (

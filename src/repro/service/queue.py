@@ -137,7 +137,12 @@ class ChaseScheduler:
     def dedup_key(self, job: ChaseJob) -> str:
         """The in-flight/dedup key: identical to the result cache key."""
         decision = self.executor.policy.resolve(
-            job.program, len(job.database), job.budget_mode, job.budget
+            job.program,
+            len(job.database),
+            job.budget_mode,
+            job.budget,
+            database=job.database,
+            variant=job.variant,
         )
         return result_cache_key(job, decision.budget)
 

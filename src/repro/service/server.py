@@ -38,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.termination_analysis import DIVERGING, TerminationAnalyzer
 from repro.runtime.budget_policy import BudgetPolicy
 from repro.runtime.cache import SCHEMA_VERSION, ResultCache
 from repro.runtime.executor import BatchExecutor
@@ -159,6 +160,7 @@ class ChaseService:
         policy: Optional[BudgetPolicy] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_connections: int = 128,
+        admission_analysis: bool = False,
     ) -> None:
         self.host = host
         self.max_body_bytes = max_body_bytes
@@ -169,9 +171,20 @@ class ChaseService:
             if cache is not None
             else ResultCache(max_entries=self.DEFAULT_CACHE_MAX_ENTRIES)
         )
+        # Opt-in static termination analysis: POST /jobs rejects provably
+        # diverging submissions with a structured 422, and (unless the
+        # caller supplied a policy) budgets become analysis-aware, which
+        # clamps diverging batch jobs and lifts the wall ceiling for
+        # provably terminating ones.  Off by default: the seed admission
+        # behaviour accepts everything.
+        self.admission_analysis = admission_analysis
+        self.analyzer = TerminationAnalyzer() if admission_analysis else None
+        self.analysis_rejections = 0
+        if policy is None:
+            policy = BudgetPolicy(analyzer=self.analyzer) if admission_analysis else BudgetPolicy()
         executor = BatchExecutor(
             workers=1,
-            policy=policy if policy is not None else BudgetPolicy(),
+            policy=policy,
             cache=self.cache,
             materialize=materialize,
             per_job_timeout=per_job_timeout,
@@ -263,13 +276,43 @@ class ChaseService:
             "max_queue": self.scheduler.max_queue,
         }
 
+    def admission_rejection(self, job: ChaseJob) -> Optional[Dict[str, object]]:
+        """The structured 422 body for a provably diverging job, or
+        ``None`` to admit.
+
+        Only ``POST /jobs`` consults this; ``POST /batches`` always
+        admits (batch manifests routinely mix known-diverging rows in
+        on purpose, and the analysis-aware budget clamp already keeps
+        them cheap).  Analysis failures admit — a broken analyzer must
+        never turn into a denial of service.
+        """
+        if not self.admission_analysis or self.analyzer is None:
+            return None
+        try:
+            report = self.analyzer.analyze(job.database, job.program, job.variant)
+        except Exception:  # noqa: BLE001
+            return None
+        if report.verdict != DIVERGING:
+            return None
+        self.analysis_rejections += 1
+        return {
+            "error": "diverging-program",
+            "detail": (
+                "static termination analysis proves the "
+                f"{job.variant} chase of this job diverges; "
+                "submit via POST /batches to run it under a clamped budget"
+            ),
+            "job_id": job.job_id,
+            "analysis": report.as_dict(),
+        }
+
     def stats_document(self) -> Dict[str, object]:
         self.registry.maybe_sweep()  # a /stats scraper must not pay O(records) per poll
         scheduler = self.scheduler.stats()
         cache_stats = scheduler.get("cache") or {}
         lookups = int(cache_stats.get("hits", 0)) + int(cache_stats.get("misses", 0))
         hit_rate = round(int(cache_stats.get("hits", 0)) / lookups, 4) if lookups else None
-        return {
+        document: Dict[str, object] = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "schema_version": SCHEMA_VERSION,
             "scheduler": scheduler,
@@ -277,6 +320,12 @@ class ChaseService:
             "registry": self.registry.counts(),
             "ttl_seconds": self.registry.ttl_seconds,
         }
+        if self.admission_analysis:
+            document["admission_analysis"] = {
+                "enabled": True,
+                "rejections": self.analysis_rejections,
+            }
+        return document
 
 
 class _ChaseRequestHandler(BaseHTTPRequestHandler):
@@ -473,6 +522,10 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise ValueError(f"invalid JSON body: {exc}") from exc
         job = _parse_job_entry(entry)
+        rejection = self.service.admission_rejection(job)
+        if rejection is not None:
+            self._send_json(422, rejection)
+            return
         record, disposition = self.service.scheduler.submit(job)
         if disposition == REJECTED:
             self._send_json(

@@ -1,0 +1,199 @@
+"""Differential verdict-vs-chase harness for the termination analysis.
+
+The one property that matters is *soundness*: a ``terminating`` verdict
+for a variant means the variant's chase reaches a fixpoint — and does
+so without a term ever exceeding the analysis' depth bound, so running
+with ``max_depth = bound`` must end in ``TERMINATED``, never in a
+budget stop.  Dually, a ``diverging`` verdict means the chase blows
+straight through a generous budget.  ``undetermined`` asserts nothing.
+
+The harness sweeps well over 200 randomized programs (three generator
+families x seeds x two databases each) plus the repo's known-diverging
+families, and additionally pins that verdicts are invariant under rule
+reordering and consistent predicate renaming — the analysis looks at
+structure, not at spellings or file order.
+"""
+
+import random
+
+import pytest
+
+from repro.chase import VARIANT_RUNNERS
+from repro.chase.engine import ChaseBudget, ChaseOutcome
+from repro.core.termination_analysis import (
+    ANALYSIS_VARIANTS,
+    DIVERGING,
+    TERMINATING,
+    analyze_termination,
+)
+from repro.generators.families import fairness_example, intro_nonterminating_example
+from repro.generators.random_programs import (
+    random_database,
+    random_guarded_program,
+    random_linear_program,
+    random_simple_linear_program,
+)
+from repro.generators.scenarios import data_exchange_scenario
+from repro.generators.turing import looping_machine, machine_database, sigma_star
+from repro.model.atoms import Atom, Predicate
+from repro.model.tgd import TGD, TGDSet
+
+GENERATORS = {
+    "sl": random_simple_linear_program,
+    "linear": random_linear_program,
+    "guarded": random_guarded_program,
+}
+
+#: 3 generators x 35 seeds = 105 programs per sweep; each sweep checks
+#: two databases, so one parametrized run covers 210 (program, database)
+#: pairs — and the three variant sweeps share them.
+SEEDS = range(35)
+
+#: A ``terminating`` chase must end without tripping any budget; the
+#: atom/round limits here are pure runaway protection and sit far above
+#: anything these tiny programs can produce when they do terminate.
+TERMINATING_GUARD = {"max_atoms": 200_000, "max_rounds": 100_000}
+
+#: A ``diverging`` chase must still be growing when this generous
+#: budget runs out; for 5-rule programs a real fixpoint fits easily.
+DIVERGING_BUDGET = ChaseBudget(max_atoms=4_000, max_rounds=2_000)
+
+
+def _sweep_cases():
+    for family, generator in GENERATORS.items():
+        for seed in SEEDS:
+            yield family, generator, seed
+
+
+def _check_verdict(database, tgds, variant):
+    """Differential check for one (program, database, variant) case."""
+    report = analyze_termination(database, tgds, variant)
+    runner = VARIANT_RUNNERS[variant]
+    if report.verdict == TERMINATING:
+        assert report.depth_bound is not None, (
+            f"terminating verdict without a depth bound via {report.method}"
+        )
+        budget = ChaseBudget(max_depth=report.depth_bound, **TERMINATING_GUARD)
+        result = runner(database, tgds, budget=budget, record_derivation=False)
+        assert result.outcome is ChaseOutcome.TERMINATED, (
+            f"unsound terminating verdict via {report.method} "
+            f"(bound {report.depth_bound}, stopped on {result.outcome.value}) for\n"
+            f"{tgds}\non {sorted(str(a) for a in database)}"
+        )
+    elif report.verdict == DIVERGING:
+        result = runner(database, tgds, budget=DIVERGING_BUDGET, record_derivation=False)
+        assert not result.terminated, (
+            f"unsound diverging verdict via {report.method} "
+            f"(chase terminated with {result.size} atoms) for\n"
+            f"{tgds}\non {sorted(str(a) for a in database)}"
+        )
+    return report.verdict
+
+
+@pytest.mark.parametrize("variant", ANALYSIS_VARIANTS)
+@pytest.mark.parametrize(
+    "family,generator,seed",
+    [pytest.param(f, g, s, id=f"{f}-{s}") for f, g, s in _sweep_cases()],
+)
+def test_verdicts_are_sound_on_random_programs(family, generator, seed, variant):
+    tgds = generator(seed)
+    for database_seed in (seed, seed + 1000):
+        database = random_database(tgds, database_seed, fact_count=6)
+        _check_verdict(database, tgds, variant)
+
+
+def test_sweep_actually_resolves_programs():
+    """The differential sweep must not pass vacuously: across the same
+    program pool, the analysis has to commit to a healthy number of
+    ``terminating`` and at least some ``diverging`` verdicts."""
+    resolved = {TERMINATING: 0, DIVERGING: 0}
+    for _, generator, seed in _sweep_cases():
+        tgds = generator(seed)
+        database = random_database(tgds, seed, fact_count=6)
+        report = analyze_termination(database, tgds, "semi-oblivious")
+        if report.verdict in resolved:
+            resolved[report.verdict] += 1
+    assert resolved[TERMINATING] >= 40
+    assert resolved[DIVERGING] >= 10
+
+
+# --------------------------------------------------------------------------
+# Known-diverging families must never be called terminating.
+# --------------------------------------------------------------------------
+
+
+def _diverging_families():
+    yield "intro", intro_nonterminating_example()
+    yield "fairness", fairness_example()
+    scenario = data_exchange_scenario(employees=6, departments=2, weakly_acyclic=False)
+    yield "data_exchange_cyclic", (scenario.database, scenario.tgds)
+    yield "turing_looping", (machine_database(looping_machine()), sigma_star())
+
+
+@pytest.mark.parametrize(
+    "name,case", [pytest.param(n, c, id=n) for n, c in _diverging_families()]
+)
+def test_known_diverging_families_are_never_terminating(name, case):
+    database, tgds = case
+    for variant in ANALYSIS_VARIANTS:
+        report = analyze_termination(database, tgds, variant)
+        assert report.verdict != TERMINATING, (
+            f"{name}/{variant}: known-diverging family judged terminating "
+            f"via {report.method}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Verdict invariance under renaming and reordering.
+# --------------------------------------------------------------------------
+
+
+def _rename_predicate(predicate, suffix):
+    return Predicate(f"{predicate.name}_{suffix}", predicate.arity)
+
+
+def _rename_program(tgds, suffix="rn"):
+    renamed = []
+    for tgd in tgds:
+        body = tuple(
+            Atom(_rename_predicate(atom.predicate, suffix), atom.args) for atom in tgd.body
+        )
+        head = tuple(
+            Atom(_rename_predicate(atom.predicate, suffix), atom.args) for atom in tgd.head
+        )
+        renamed.append(TGD(body=body, head=head, rule_id=f"{suffix}_{tgd.rule_id}"))
+    return TGDSet(renamed, name=f"{tgds.name}|{suffix}")
+
+
+def _rename_database(database, suffix="rn"):
+    from repro.model.instance import Database
+
+    renamed = Database()
+    for atom in database:
+        renamed.add(Atom(_rename_predicate(atom.predicate, suffix), atom.args))
+    return renamed
+
+
+@pytest.mark.parametrize("variant", ("semi-oblivious", "oblivious"))
+def test_verdicts_are_invariant_under_reordering_and_renaming(variant):
+    rng = random.Random(99)
+    for family, generator in GENERATORS.items():
+        for seed in range(8):
+            tgds = generator(seed)
+            database = random_database(tgds, seed, fact_count=6)
+            baseline = analyze_termination(database, tgds, variant)
+
+            shuffled_rules = list(tgds)
+            rng.shuffle(shuffled_rules)
+            reordered = TGDSet(shuffled_rules, name=f"{tgds.name}|shuffled")
+            assert (
+                analyze_termination(database, reordered, variant).verdict
+                == baseline.verdict
+            ), f"{family}-{seed}/{variant}: verdict changed under rule reordering"
+
+            renamed = analyze_termination(
+                _rename_database(database), _rename_program(tgds), variant
+            )
+            assert renamed.verdict == baseline.verdict, (
+                f"{family}-{seed}/{variant}: verdict changed under predicate renaming"
+            )

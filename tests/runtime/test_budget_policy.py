@@ -6,13 +6,16 @@ from repro.chase.engine import ChaseBudget, ChaseOutcome
 from repro.chase.semi_oblivious import semi_oblivious_chase
 from repro.core.bounds import depth_bound, size_bound, size_bound_within
 from repro.core.classify import TGDClass, classify
+from repro.core.termination_analysis import TerminationAnalyzer
 from repro.model.parser import parse_database, parse_program
 from repro.generators.families import (
     guarded_lower_bound,
     intro_nonterminating_example,
+    prop45_family,
     sl_lower_bound,
 )
-from repro.runtime import BudgetPolicy
+from repro.runtime import BatchExecutor, BudgetPolicy
+from repro.runtime.jobs import ChaseJob
 
 
 # One unary rule: d_SL = 2, f_SL = 3 · 4^6 = 12288, so |D| · f_SL fits
@@ -129,3 +132,149 @@ class TestAutoBudgetedRuns:
         )
         assert result.outcome is ChaseOutcome.TERMINATED
         assert result.max_depth <= depth_bound(tgds)
+
+
+# An arbitrary (class TGD) set the analysis can still prove terminating:
+# no paper bounds exist, so the depth budget can only come from the
+# analysis-derived rank bound.
+ARBITRARY_TERMINATING = "R(x, y), S(y, z) -> exists w . T(x, w)"
+
+
+class TestAnalysisAwarePolicy:
+    def analysis_policy(self, **kwargs):
+        return BudgetPolicy(analyzer=TerminationAnalyzer(), **kwargs)
+
+    def test_default_policy_has_no_analyzer_and_no_verdict(self):
+        program = parse_program(TINY_SL)
+        decision = BudgetPolicy().derive(program, 2)
+        assert decision.verdict is None
+        assert "verdict" not in decision.provenance()
+
+    def test_diverging_job_gets_the_clamp_budget(self):
+        database, tgds = intro_nonterminating_example()
+        decision = self.analysis_policy().derive(
+            tgds, len(database), database=database
+        )
+        assert decision.verdict == "diverging"
+        assert decision.source == "analysis-clamp"
+        assert decision.max_atoms_source == "analysis-clamp"
+        assert decision.budget.max_atoms == 50_000
+        assert decision.budget.max_rounds == 5_000
+        assert decision.provenance()["verdict"]["value"] == "diverging"
+
+    def test_clamp_never_loosens_an_already_tight_default(self):
+        database, tgds = intro_nonterminating_example()
+        tight = ChaseBudget(max_atoms=100, max_rounds=10)
+        decision = self.analysis_policy(default=tight).derive(
+            tgds, len(database), database=database
+        )
+        assert decision.budget.max_atoms == 100
+        assert decision.budget.max_rounds == 10
+
+    def test_terminating_arbitrary_set_gains_the_analysis_depth_bound(self):
+        program = parse_program(ARBITRARY_TERMINATING)
+        assert classify(program) is TGDClass.ARBITRARY
+        database = parse_database("R(a, b).\nS(b, c).")
+        decision = self.analysis_policy().derive(
+            program, len(database), database=database
+        )
+        assert decision.verdict == "terminating"
+        assert decision.source == "analysis"
+        assert decision.max_depth_source == "analysis-depth-bound"
+        assert decision.budget.max_depth == 1
+        result = semi_oblivious_chase(
+            database, program, budget=decision.budget, record_derivation=False
+        )
+        assert result.outcome is ChaseOutcome.TERMINATED
+
+    def test_terminating_paper_class_keeps_the_paper_budget(self):
+        # For SL/L/G the paper's d_C/f_C budgets already apply; the
+        # verdict rides along but the budget must not change.
+        program = parse_program(TINY_SL)
+        database = parse_database("P(a).\nP(b).")
+        plain = BudgetPolicy().derive(program, len(database))
+        aware = self.analysis_policy().derive(
+            program, len(database), database=database
+        )
+        assert aware.verdict == "terminating"
+        assert aware.budget == plain.budget
+        assert aware.source == plain.source
+        assert aware.max_atoms_source == plain.max_atoms_source
+
+    def test_undetermined_job_is_byte_identical_to_the_plain_policy(self):
+        import json
+
+        database, tgds = prop45_family(3)
+        plain = BudgetPolicy().derive(tgds, len(database))
+        aware = self.analysis_policy().derive(tgds, len(database), database=database)
+        assert aware.verdict == "undetermined"
+        assert aware.budget == plain.budget
+        provenance = aware.provenance()
+        verdict = provenance.pop("verdict")
+        assert verdict == {"value": "undetermined", "method": None}
+        assert json.dumps(provenance, sort_keys=True) == json.dumps(
+            plain.provenance(), sort_keys=True
+        )
+
+    def test_analyzer_failure_degrades_to_the_plain_derivation(self):
+        class ExplodingAnalyzer:
+            def analyze(self, database, tgds, variant):
+                raise RuntimeError("boom")
+
+        program = parse_program(TINY_SL)
+        database = parse_database("P(a).")
+        policy = BudgetPolicy(analyzer=ExplodingAnalyzer())
+        decision = policy.derive(program, len(database), database=database)
+        assert decision.verdict is None
+        assert decision.budget == BudgetPolicy().derive(program, 1).budget
+
+
+class TestExecutorWallLift:
+    def make_executor(self, analyzer=True, per_job_timeout=30.0):
+        policy = (
+            BudgetPolicy(analyzer=TerminationAnalyzer()) if analyzer else BudgetPolicy()
+        )
+        return BatchExecutor(workers=1, policy=policy, per_job_timeout=per_job_timeout)
+
+    def test_terminating_verdict_lifts_the_daemon_ceiling(self):
+        database, tgds = sl_lower_bound(2, 2, 2)
+        job = ChaseJob(program=tgds, database=database, job_id="lift")
+        decision, effective, key = self.make_executor()._resolve(job)
+        assert decision.verdict == "terminating"
+        assert effective.max_seconds is None
+        # Without the analyzer the same job is wall-bounded...
+        plain_decision, plain_effective, plain_key = self.make_executor(
+            analyzer=False
+        )._resolve(job)
+        assert plain_effective.max_seconds == 30.0
+        # ...and the cache key is unaffected by the lift (same budget).
+        assert key == plain_key
+
+    def test_non_terminating_verdicts_keep_the_ceiling(self):
+        database, tgds = prop45_family(3)
+        job = ChaseJob(program=tgds, database=database, job_id="keep")
+        decision, effective, _ = self.make_executor()._resolve(job)
+        assert decision.verdict == "undetermined"
+        assert effective.max_seconds == 30.0
+
+    def test_explicit_budgets_never_consult_the_analysis(self):
+        database, tgds = sl_lower_bound(2, 2, 2)
+        job = ChaseJob(
+            program=tgds,
+            database=database,
+            job_id="explicit",
+            budget_mode="explicit",
+            budget=ChaseBudget(max_atoms=10**12),
+        )
+        decision, effective, _ = self.make_executor()._resolve(job)
+        assert decision.verdict is None
+        assert effective.max_seconds == 30.0
+
+    def test_job_level_timeout_survives_the_lift(self):
+        database, tgds = sl_lower_bound(2, 2, 2)
+        job = ChaseJob(
+            program=tgds, database=database, job_id="job-timeout", timeout_seconds=5.0
+        )
+        decision, effective, _ = self.make_executor()._resolve(job)
+        assert decision.verdict == "terminating"
+        assert effective.max_seconds == 5.0

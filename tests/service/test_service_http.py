@@ -452,3 +452,52 @@ class TestDaemonCacheBehaviour:
         assert all(line["schema_version"] != 0 for line in lines)
         reloaded = ResultCache(path)
         assert reloaded.version_skipped == 0 and len(reloaded) == 1
+
+
+class TestAdmissionAnalysis:
+    def diverging_job(self, job_id: str = "div") -> ChaseJob:
+        return ChaseJob(
+            program=parse_program("R(x, y) -> exists z . R(y, z)"),
+            database=parse_database("R(a, b)."),
+            job_id=job_id,
+        )
+
+    def test_default_service_accepts_diverging_jobs(self, client, service):
+        # Admission analysis is opt-in: the stock daemon keeps the seed
+        # behaviour and runs diverging programs under the default budget.
+        submitted = client.submit_job(self.diverging_job())
+        assert submitted["state"] in ("queued", "running", "done")
+        assert "admission_analysis" not in client.stats()
+
+    def test_analysis_service_rejects_diverging_jobs_with_422(self):
+        with ChaseService(workers=1, max_queue=8, admission_analysis=True) as service:
+            client = ChaseServiceClient(service.url, timeout=30.0)
+            client.wait_until_healthy()
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit_job(self.diverging_job())
+            assert excinfo.value.status == 422
+            document = excinfo.value.document
+            assert document["error"] == "diverging-program"
+            assert document["analysis"]["verdict"] == "diverging"
+            assert document["analysis"]["trace"]
+            # Terminating jobs pass admission and run to completion.
+            record = client.run_job(make_job("fine"), timeout=60.0)
+            assert record["result"]["outcome"] == "terminated"
+            assert record["result"]["budget"]["verdict"]["value"] == "terminating"
+            stats = client.stats()
+            assert stats["admission_analysis"] == {"enabled": True, "rejections": 1}
+
+    def test_batches_accept_diverging_jobs_under_the_clamp(self):
+        # POST /batches is the explicit "run it anyway" path: the job is
+        # admitted but the analysis-aware policy clamps its budget far
+        # below the default million atoms.
+        with ChaseService(workers=1, max_queue=8, admission_analysis=True) as service:
+            client = ChaseServiceClient(service.url, timeout=30.0)
+            client.wait_until_healthy()
+            rows, _trailer = client.run_batch([self.diverging_job("div-batch")], wait=60.0)
+            (row,) = [r for r in rows if r["id"] == "div-batch"]
+            budget = row["budget"]
+            assert budget["verdict"]["value"] == "diverging"
+            assert budget["source"] == "analysis-clamp"
+            assert budget["max_atoms"]["value"] == 50_000
+            assert row["outcome"] != "terminated"
