@@ -438,14 +438,21 @@ def engine_benchmark_rows(
     store_layouts = ("sets", "arrays") if layout == "both" else (layout,)
     rows: List[SweepRow] = []
 
-    def timed(runner, database, tgds, engine, store_layout=None, materialize=False):
+    def timed(
+        runner, database, tgds, engine,
+        store_layout=None, materialize=False, probe=False,
+    ):
+        from repro.obs.probe import ChaseProbe
+
         best = float("inf")
         result = None
         for _ in range(max(1, repeats)):
+            round_probe = ChaseProbe() if probe else None
             with _store_layout(store_layout), _gc_paused():
                 start = time.perf_counter()
                 result = runner(
-                    database, tgds, budget=budget, record_derivation=False, engine=engine
+                    database, tgds, budget=budget, record_derivation=False,
+                    engine=engine, probe=round_probe,
                 )
                 result.summary()
                 if materialize:
@@ -477,6 +484,14 @@ def engine_benchmark_rows(
                 runner, database, tgds, "store",
                 store_layout=primary_layout, materialize=True,
             )
+            # Telemetry overhead: the same store run with a per-round
+            # probe attached.  Gated in quick mode (probe-on ≤ 1.10× of
+            # probe-off) so instrumentation can never silently become a
+            # per-trigger cost.
+            telemetry_store, _ = timed(
+                runner, database, tgds, "store",
+                store_layout=primary_layout, probe=True,
+            )
             store_result = results[f"store-{primary_layout}"]
             measured: Dict[str, object] = {
                 "atoms": store_result.size,
@@ -490,6 +505,8 @@ def engine_benchmark_rows(
                     materialize_plans / max(materialize_store, 1e-9), 2
                 ),
                 "applied": store_result.statistics.triggers_applied,
+                "store_telemetry_seconds": round(telemetry_store, 4),
+                "telemetry_overhead": round(telemetry_store / store_seconds, 3),
                 "equivalent": _results_equivalent(variant, results),
                 "peak_rss_mb": _peak_rss_mb(),
                 # Kept for dashboards that read the E14 column.
@@ -756,6 +773,11 @@ def write_engine_report(
     layout_restricted = layout_speedups(is_big_restricted)
     layout_all = layout_speedups(lambda r: True)
     vs_legacy = [float(r.measured["speedup_vs_legacy"]) for r in speed_rows]
+    telemetry_overheads = [
+        float(r.measured["telemetry_overhead"])
+        for r in speed_rows
+        if "telemetry_overhead" in r.measured
+    ]
     snapshot_rows = [r for r in rows if r.label == "snapshot-roundtrip"]
     incremental_rows = [r for r in rows if r.label == "incremental-rechase"]
     incremental_speedup = (
@@ -800,6 +822,9 @@ def write_engine_report(
         ),
         "snapshot_decode_mb_s": (
             float(snapshot_rows[0].measured["decode_mb_s"]) if snapshot_rows else None
+        ),
+        "max_telemetry_overhead": (
+            max(telemetry_overheads) if telemetry_overheads else None
         ),
     }
     report = {

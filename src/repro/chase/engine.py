@@ -21,7 +21,9 @@ from repro.model.homomorphism import (
 )
 from repro.model.instance import Database, Instance
 from repro.model.store import Fact, FactStore
+from repro.model.terms import Null
 from repro.model.tgd import TGD, TGDSet
+from repro.obs.probe import ChaseProbe
 from repro.chase.plan import CompiledRule, TriggerPipeline
 from repro.chase.store_plan import StoreCompiledRule, StoreTriggerPipeline
 from repro.chase.trigger import Trigger
@@ -132,6 +134,15 @@ class ChaseResult:
     #: Pending decode source (store engine) plus its O(1) atom count.
     _store: Optional["FactStore"] = None
     _atom_count: int = 0
+    #: Round-level probe payload (``ChaseProbe.as_dict()``) when the
+    #: run carried a probe; ``None`` otherwise — and then absent from
+    #: :meth:`summary`, which keeps unprobed summaries byte-identical.
+    telemetry: Optional[Dict[str, object]] = None
+    #: True for incremental (``resume_from``) runs, whose statistics
+    #: cover only the delta work; ``base_rounds`` is the base run's
+    #: round count when its snapshot carried one (else 0).
+    resumed: bool = False
+    base_rounds: int = 0
 
     @property
     def instance(self) -> Instance:
@@ -155,7 +166,10 @@ class ChaseResult:
         """
         if self._store is None:
             return None
-        return self._store.snapshot(complete=self.terminated)
+        return self._store.snapshot(
+            complete=self.terminated,
+            rounds=self.base_rounds + self.statistics.rounds,
+        )
 
     @property
     def size(self) -> int:
@@ -172,8 +186,14 @@ class ChaseResult:
         wall-clock timings: two runs of the same job — serial, pooled,
         or replayed from cache — produce byte-identical summaries once
         serialised with ``json.dumps(..., sort_keys=True)``.
+
+        The ``telemetry`` and ``resumed``/``base_rounds`` keys appear
+        only when set (probe attached / incremental run), so summaries
+        of plain runs keep their exact pre-existing shape.  Telemetry
+        contains wall times and is stripped by the result cache before
+        storing (see :meth:`repro.runtime.executor.BatchExecutor`).
         """
-        return {
+        summary: Dict[str, object] = {
             "outcome": self.outcome.value,
             "terminated": self.terminated,
             "size": self.size,
@@ -186,6 +206,15 @@ class ChaseResult:
             "triggers_applied": self.statistics.triggers_applied,
             "atoms_created": self.statistics.atoms_created,
         }
+        if self.resumed:
+            # A resumed run's rounds/triggers cover only the delta work
+            # — flag it so dashboards never read a 5%-delta re-chase as
+            # a full run, and carry the base run's round offset.
+            summary["resumed"] = True
+            summary["base_rounds"] = self.base_rounds
+        if self.telemetry is not None:
+            summary["telemetry"] = self.telemetry
+        return summary
 
     def expansion_ratio(self) -> float:
         """``|chase(D, Σ)| / |D|`` (1.0 for an empty database)."""
@@ -226,10 +255,15 @@ class BaseChaseEngine:
 
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
                  record_derivation: bool = True, compiled: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 probe: Optional[ChaseProbe] = None) -> None:
         self.tgds = tgds
         self.budget = budget or ChaseBudget()
         self.record_derivation = record_derivation
+        #: Optional round-level telemetry probe.  ``None`` (the
+        #: default) keeps every driver loop on its probe-free path: one
+        #: ``is None`` check per *round*, nothing per trigger.
+        self.probe = probe
         if engine is None:
             engine = "store" if compiled else "legacy"
         if engine not in ENGINES:
@@ -365,10 +399,20 @@ class BaseChaseEngine:
 
         delta: List[Atom] = list(instance)
         first_round = True
+        probe = self.probe
+        seen_nulls: Set = set()
+        round_delta = 0
+        considered_before = applied_before = created_before = 0
         while True:
             if statistics.rounds >= self.budget.max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
                 break
+            if probe is not None:
+                probe.begin_round()
+                round_delta = len(delta)
+                considered_before = statistics.triggers_considered
+                applied_before = statistics.triggers_applied
+                created_before = statistics.atoms_created
             # Materialise the round's triggers up front: the instance is
             # mutated while they are applied, so lazy enumeration would
             # race against the indexes it reads.
@@ -464,6 +508,20 @@ class BaseChaseEngine:
                     over_budget = True
                     break
             statistics.rounds += 1
+            if probe is not None:
+                nulls = 0
+                for atom in new_atoms_this_round:
+                    for term in atom.args:
+                        if isinstance(term, Null) and term not in seen_nulls:
+                            seen_nulls.add(term)
+                            nulls += 1
+                probe.end_round(
+                    round_delta,
+                    statistics.triggers_considered - considered_before,
+                    statistics.triggers_applied - applied_before,
+                    statistics.atoms_created - created_before,
+                    nulls_invented=nulls,
+                )
             if over_budget:
                 break
             if not new_atoms_this_round:
@@ -485,6 +543,7 @@ class BaseChaseEngine:
             database_size=len(database),
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,
+            telemetry=probe.as_dict() if probe is not None else None,
         )
 
     def _run_store(
@@ -511,6 +570,7 @@ class BaseChaseEngine:
         start = time.perf_counter()
         delta: List[Fact]
         first_round = True
+        resumed = resume_from is not None
         if resume_from is not None:
             store = (
                 resume_from
@@ -545,6 +605,7 @@ class BaseChaseEngine:
         store_evaluate = self.store_evaluate
         add_fact = store.add
         fact_depth = store.fact_depth
+        base_rounds = (store.restored_rounds or 0) if resumed else 0
         if store.layout == "arrays" and not self.record_derivation and not (
             budget.truncate_at_depth and budget.max_depth is not None
         ):
@@ -552,13 +613,26 @@ class BaseChaseEngine:
             # same budget verdicts — but deltas are row ranges and the
             # dominant rule shape is evaluated inline.
             return self._run_store_columnar(
-                store, pipeline, delta, first_round, database_size, start
+                store, pipeline, delta, first_round, database_size, start,
+                resumed=resumed, base_rounds=base_rounds,
             )
 
+        probe = self.probe
+        round_delta = 0
+        considered_before = applied_before = created_before = 0
+        nulls_before = builds_before = 0
         while True:
             if statistics.rounds >= budget.max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
                 break
+            if probe is not None:
+                probe.begin_round()
+                round_delta = len(delta) if not first_round else len(store)
+                considered_before = statistics.triggers_considered
+                applied_before = statistics.triggers_applied
+                created_before = statistics.atoms_created
+                nulls_before = store.null_count()
+                builds_before = store.index_builds
             # Materialise the round's triggers up front; the pending
             # list aliases no live posting list, so applying triggers
             # below is free to mutate the store.
@@ -626,6 +700,15 @@ class BaseChaseEngine:
                     over_budget = True
                     break
             statistics.rounds += 1
+            if probe is not None:
+                probe.end_round(
+                    round_delta,
+                    statistics.triggers_considered - considered_before,
+                    statistics.triggers_applied - applied_before,
+                    statistics.atoms_created - created_before,
+                    nulls_invented=store.null_count() - nulls_before,
+                    index_builds=store.index_builds - builds_before,
+                )
             if over_budget:
                 break
             if not new_facts:
@@ -644,6 +727,9 @@ class BaseChaseEngine:
             database_size=database_size,
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,
+            telemetry=probe.as_dict() if probe is not None else None,
+            resumed=resumed,
+            base_rounds=base_rounds,
         )
 
     def _run_store_columnar(
@@ -654,6 +740,8 @@ class BaseChaseEngine:
         first_round: bool,
         database_size: int,
         start: float,
+        resumed: bool = False,
+        base_rounds: int = 0,
     ) -> ChaseResult:
         """The arrays-layout driver loop (summary mode).
 
@@ -700,6 +788,10 @@ class BaseChaseEngine:
         considered = 0
         fired = 0
         created = 0
+        probe = self.probe
+        round_delta = len(store) if first_round else len(delta)
+        considered_before = fired_before = created_before = 0
+        nulls_before = builds_before = 0
         pending: Optional[List] = (
             pipeline.initial_pending(store, uses_frontier)
             if first_round
@@ -709,6 +801,13 @@ class BaseChaseEngine:
             if rounds >= max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
                 break
+            if probe is not None:
+                probe.begin_round()
+                considered_before = considered
+                fired_before = fired
+                created_before = created
+                nulls_before = store.null_count()
+                builds_before = store.index_builds
             if pending is None:
                 pending = pipeline.delta_pending_rows(store, marks, uses_frontier)
             marks = store.row_marks()
@@ -799,6 +898,18 @@ class BaseChaseEngine:
                     over_budget = True
                     break
             rounds += 1
+            if probe is not None:
+                probe.end_round(
+                    round_delta,
+                    considered - considered_before,
+                    fired - fired_before,
+                    created - created_before,
+                    nulls_invented=store.null_count() - nulls_before,
+                    index_builds=store.index_builds - builds_before,
+                )
+                # The next round's frontier is exactly the rows this
+                # round appended past its size watermark.
+                round_delta = len(store) - size_before
             if over_budget:
                 break
             if len(store) == size_before:
@@ -821,6 +932,9 @@ class BaseChaseEngine:
             database_size=database_size,
             derivation=(),
             depth_truncated=False,
+            telemetry=probe.as_dict() if probe is not None else None,
+            resumed=resumed,
+            base_rounds=base_rounds,
         )
 
     # -- trigger enumeration -----------------------------------------------------

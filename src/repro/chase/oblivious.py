@@ -57,6 +57,7 @@ def oblivious_chase(
     engine: Optional[str] = None,
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
+    probe: Optional[object] = None,
 ) -> ChaseResult:
     """Run the oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -67,6 +68,6 @@ def oblivious_chase(
     """
     chase_engine = ObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine,
+        engine=engine, probe=probe,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

@@ -53,9 +53,9 @@ class RestrictedChase(BaseChaseEngine):
 
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
                  record_derivation: bool = True, compiled: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None, probe=None) -> None:
         super().__init__(tgds, budget=budget, record_derivation=record_derivation,
-                         compiled=compiled, engine=engine)
+                         compiled=compiled, engine=engine, probe=probe)
         self._fire_counter = itertools.count()
         self._satisfied_memo: set = set()
 
@@ -122,6 +122,7 @@ def restricted_chase(
     engine: Optional[str] = None,
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
+    probe: Optional[object] = None,
 ) -> ChaseResult:
     """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``.
 
@@ -136,6 +137,6 @@ def restricted_chase(
     """
     chase_engine = RestrictedChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine,
+        engine=engine, probe=probe,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

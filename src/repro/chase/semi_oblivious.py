@@ -54,6 +54,7 @@ def semi_oblivious_chase(
     engine: Optional[str] = None,
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
+    probe: Optional[object] = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -74,6 +75,6 @@ def semi_oblivious_chase(
     """
     chase_engine = SemiObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine,
+        engine=engine, probe=probe,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

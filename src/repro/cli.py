@@ -10,14 +10,18 @@ Four subcommands mirror the library's main entry points::
                                                             [--format text|json] [--output FILE]
                                                             [--engine store|plans|legacy]
                                                             [--resume-from SNAP] [--save-snapshot FILE]
+                                                            [--trace FILE]
     python -m repro snapshot  dump database.facts --output FILE [--rules R [--variant V]]
     python -m repro snapshot  inspect FILE
     python -m repro snapshot  restore FILE [--output facts.txt]
     python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
                                              [--timeout S] [--materialize] [--incremental]
+                                             [--trace FILE]
     python -m repro serve     [--host H] [--port P] [--workers N] [--cache FILE]
                               [--cache-max-entries N] [--queue-depth N] [--ttl S]
-                              [--timeout S] [--materialize]
+                              [--timeout S] [--materialize] [--metrics]
+                              [--access-log FILE] [--trace FILE]
+    python -m repro trace     inspect FILE
 
 ``serve`` starts the long-running chase service daemon: an HTTP job
 server (``POST /jobs``, ``POST /batches``, ``GET /jobs/<id>``,
@@ -157,6 +161,11 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    probe = None
+    if args.trace:
+        from repro.obs.probe import ChaseProbe
+
+        probe = ChaseProbe()
     result = runner(
         database,
         program,
@@ -164,7 +173,36 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         record_derivation=False,
         engine=engine,
         resume_from=resume_from,
+        probe=probe,
     )
+    if args.trace:
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder(process_name="repro-chase")
+        telemetry = result.telemetry or {}
+        # Round wall times are relative; lay the sampled rounds out
+        # sequentially so the trace shows where the run spent its time.
+        cursor = 0.0
+        for sample in telemetry.get("samples", []):
+            wall = float(sample.get("wall_seconds", 0.0))
+            recorder.add_span(
+                "chase.round", cursor, cursor + wall, tid="chase", args=dict(sample)
+            )
+            cursor += wall
+        recorder.add_span(
+            "chase.run",
+            0.0,
+            result.statistics.wall_seconds,
+            tid="chase",
+            args={
+                "rounds": result.statistics.rounds,
+                "size": result.size,
+                "terminated": result.terminated,
+                "sample_stride": telemetry.get("sample_stride"),
+            },
+        )
+        events = recorder.export_jsonl(args.trace)
+        print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     if args.save_snapshot:
         blob = result.store_snapshot()
         if blob is None:
@@ -285,6 +323,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         from repro.runtime.budget_policy import BudgetPolicy
 
         executor_kwargs["policy"] = BudgetPolicy(analyzer=TerminationAnalyzer())
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import TraceRecorder
+
+        tracer = TraceRecorder(process_name="repro-batch")
     executor = BatchExecutor(
         workers=args.workers,
         cache=cache,
@@ -292,8 +335,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         per_job_timeout=args.timeout,
         engine=args.engine,
         incremental=args.incremental,
+        tracer=tracer,
         **executor_kwargs,
     )
+    if cache is not None:
+        cache.tracer = tracer
     out_handle = Path(args.output).open("w") if args.output else sys.stdout
     counts = {"ok": 0, "timeout": 0, "error": len(bad), "cached": 0}
     try:
@@ -315,6 +361,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if args.output:
             out_handle.close()
+    if tracer is not None:
+        events = tracer.export_jsonl(args.trace)
+        print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     print(
         f"{len(items)} jobs: {counts['ok']} ok ({counts['cached']} from cache), "
         f"{counts['timeout']} timed out, {counts['error']} failed"
@@ -339,6 +388,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         per_job_timeout=args.timeout if args.timeout and args.timeout > 0 else None,
         ttl_seconds=args.ttl,
         admission_analysis=args.admission_analysis,
+        metrics=args.metrics,
+        access_log=args.access_log,
+        trace_path=args.trace,
     )
     service.start()
     print(
@@ -355,6 +407,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("interrupt: draining accepted jobs...", file=sys.stderr)
         service.stop()
     print(f"stopped; final stats: {service.scheduler.stats()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import load_trace, summarize_trace
+
+    try:
+        events = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(summarize_trace(events), indent=2, sort_keys=True))
     return 0
 
 
@@ -444,6 +508,14 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
             print(
                 f"perf smoke FAILED: arrays-vs-sets layout speedup "
                 f"{layout_floor}x < 1.0x",
+                file=sys.stderr,
+            )
+            return 1
+        overhead = summary.get("max_telemetry_overhead")
+        if overhead is not None and overhead > 1.10:
+            print(
+                f"perf smoke FAILED: per-round telemetry costs "
+                f"{overhead}x the uninstrumented store run (gate: 1.10x)",
                 file=sys.stderr,
             )
             return 1
@@ -544,6 +616,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the result's store snapshot here (store engine only)",
     )
     chase_parser.add_argument(
+        "--trace",
+        help="record per-round telemetry and write a Chrome-trace JSONL "
+        "file here (view with 'trace inspect' or Perfetto); the JSON "
+        "summary gains a 'telemetry' key",
+    )
+    chase_parser.add_argument(
         "--analyze",
         action="store_true",
         help="run static termination analysis first: report the verdict "
@@ -620,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
         "diverging jobs get a clamped budget instead of the million-atom "
         "default, and each result row's budget provenance carries the verdict",
     )
+    batch_parser.add_argument(
+        "--trace",
+        help="record job-lifecycle spans (admission, cache lookup, snapshot "
+        "encode, execute, cache write) and write Chrome-trace JSONL here",
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
 
     serve_parser = subparsers.add_parser(
@@ -661,7 +744,35 @@ def build_parser() -> argparse.ArgumentParser:
         "and derive budgets with static termination analysis (POST /batches "
         "still accepts them under a clamped budget)",
     )
+    serve_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry and serve GET /metrics in "
+        "Prometheus text exposition format (request latency histograms, "
+        "queue depth, cache and job counters)",
+    )
+    serve_parser.add_argument(
+        "--access-log",
+        help="append one JSONL line per HTTP request (ts, remote, method, "
+        "path, status, seconds) to this file",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        help="record job-lifecycle and request spans; the Chrome-trace "
+        "JSONL is written here when the daemon stops",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect Chrome-trace JSONL files written by --trace options",
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="action", required=True)
+    trace_inspect = trace_subparsers.add_parser(
+        "inspect", help="validate a trace file and print a per-span summary"
+    )
+    trace_inspect.add_argument("trace_file", help="Chrome-trace JSONL file")
+    trace_inspect.set_defaults(handler=_cmd_trace)
 
     bench_parser = subparsers.add_parser(
         "bench-engine",

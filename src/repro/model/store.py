@@ -112,6 +112,8 @@ class FactStore:
         "_size",
         "_max_depth",
         "_has_foreign_nulls",
+        "index_builds",
+        "restored_rounds",
         # sets layout
         "_facts",
         "_posting",
@@ -147,6 +149,15 @@ class FactStore:
         # nulls must then unify structurally with the foreign ones, or
         # one null could end up with two ids and break fact dedup.
         self._has_foreign_nulls = False
+        # Telemetry: lazy index constructions (posting columns +
+        # projection signatures) since creation.  Maintained on the
+        # cold build paths only — the add/probe hot paths never touch
+        # it — so reading it is free visibility, not new overhead.
+        self.index_builds = 0
+        # Rounds stamped into the snapshot this store was restored
+        # from, if any (``None`` for stores built from scratch).  Lets
+        # a resumed chase report its base-run round offset.
+        self.restored_rounds: Optional[int] = None
         if layout == "sets":
             self._facts: List[Set[Tuple[int, ...]]] = []
             self._posting: Dict[Tuple[int, int, int], Set[Tuple[int, ...]]] = {}
@@ -465,6 +476,14 @@ class FactStore:
         self._max_depth = best
         return best
 
+    def null_count(self) -> int:
+        """Number of labelled nulls known to this store (O(1)).
+
+        Counts both store-invented and foreign (input) nulls; the chase
+        probe diffs it across rounds to report nulls invented per round.
+        """
+        return len(self._null_ids)
+
     def fact_depth(self, ids: Tuple[int, ...]) -> int:
         """Depth of a fact: max over its terms' depths (0 if nullary)."""
         depths = self._depth_of_id
@@ -506,6 +525,7 @@ class FactStore:
         """
         column = self._cols[pid][position]
         if column is None:
+            self.index_builds += 1
             column = {}
             for ids in self._rows[pid]:
                 tid = ids[position]
@@ -578,6 +598,7 @@ class FactStore:
         rows = self._rows[pid]
         entry = self._proj[pid].get(signature)
         if entry is None:
+            self.index_builds += 1
             getter = itemgetter(*signature)
             projections = set(map(getter, rows))
             self._proj[pid][signature] = [projections, len(rows), getter]
@@ -686,7 +707,9 @@ class FactStore:
 
     # -- snapshots ---------------------------------------------------------
 
-    def snapshot(self, complete: Optional[bool] = None) -> bytes:
+    def snapshot(
+        self, complete: Optional[bool] = None, rounds: Optional[int] = None
+    ) -> bytes:
         """Encode the whole store as one plain-bytes blob.
 
         ``complete`` stamps the header with what the caller knows about
@@ -695,6 +718,12 @@ class FactStore:
         prefix (resuming would silently drop the still-pending
         triggers), ``None``/absent when the store is not a chase result
         at all (e.g. an encoded database shipped to a worker).
+
+        ``rounds`` optionally stamps how many chase rounds produced the
+        store (cumulative across resumes); a run resumed from the
+        snapshot reports it as its base-run offset.  The key is only
+        written when given, so snapshots of plain databases keep their
+        exact pre-existing byte layout.
 
         The wire format is a JSON header (interner tables: predicates,
         constants, null recipes) followed by packed binary columns —
@@ -747,6 +776,8 @@ class FactStore:
             "foreign": self._has_foreign_nulls,
             "complete": complete,
         }
+        if rounds is not None:
+            header["rounds"] = rounds
         header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
         chunks = [
             SNAPSHOT_MAGIC,
@@ -824,6 +855,8 @@ class FactStore:
         store._size = int(header["size"])
         store._max_depth = int(header["max_depth"])
         store._has_foreign_nulls = bool(header["foreign"])
+        rounds = header.get("rounds")
+        store.restored_rounds = int(rounds) if rounds is not None else None
         return store
 
     def _load_facts(self, pid: int, arity: int, flat: array, fact_count: int) -> None:

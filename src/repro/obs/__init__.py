@@ -1,0 +1,38 @@
+"""Observability: metrics registry, chase probe, trace spans.
+
+Stdlib-only. Everything is opt-in; the disabled configurations
+(:data:`NULL_REGISTRY`, ``probe=None``, ``tracer=None``) are designed
+to keep hot paths byte-identical and within noise of un-instrumented
+builds — see ``docs/ARCHITECTURE.md`` for the reasoning.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_REGISTRY,
+    histogram_consistency_errors,
+    parse_prometheus_text,
+)
+from .probe import ChaseProbe, RoundSample
+from .trace import TraceRecorder, load_trace, summarize_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+    "histogram_consistency_errors",
+    "ChaseProbe",
+    "RoundSample",
+    "TraceRecorder",
+    "load_trace",
+    "summarize_trace",
+]

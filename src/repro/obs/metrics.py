@@ -1,0 +1,506 @@
+"""Thread-safe metrics registry with Prometheus text exposition.
+
+Three metric kinds, the minimum a service dashboard needs:
+
+* :class:`Counter` — monotone event totals (jobs executed, cache hits),
+* :class:`Gauge` — point-in-time levels (queue depth, retained records),
+* :class:`Histogram` — fixed-bucket distributions (request latency).
+
+A :class:`MetricsRegistry` hands out metric *children* keyed by
+``(family name, label items)`` and renders the whole registry in the
+Prometheus text exposition format (``render``); the module also ships
+the inverse, :func:`parse_prometheus_text`, used by the test-suite's
+round-trip checks and the CI scrape smoke.
+
+Disabled mode costs nothing.  :data:`NULL_REGISTRY` is a process-wide
+no-op singleton: every accessor returns a shared null metric whose
+``inc``/``set``/``observe`` are empty methods, so instrumented call
+sites stay unconditional (no ``if telemetry:`` branches) while the
+disabled hot path does no locking, no allocation and no arithmetic.
+Code that *reads* metrics (the ``/metrics`` endpoint) checks
+``registry.enabled`` instead.
+
+Everything here is stdlib-only and safe under free threading: each
+metric owns one lock taken for a handful of arithmetic operations, and
+the registry lock is only taken on child creation and render.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+]
+
+#: Default histogram buckets, tuned for HTTP/job latencies in seconds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Canonical label identity: sorted ``(name, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting: integers without the ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    items = list(key) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in items)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def set_to(self, value: float) -> None:
+        """Mirror an externally maintained monotone counter.
+
+        The ``/metrics`` endpoint uses this at scrape time to project
+        counters that already exist elsewhere (scheduler stats, cache
+        stats) into the registry without double-instrumenting their hot
+        paths.  Regressing the value raises: that would break every
+        ``rate()`` a scraper computes.
+        """
+        with self._lock:
+            if value < self._value:
+                raise ValueError(
+                    f"counter mirror regressed: {value} < {self._value}"
+                )
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, key: LabelKey) -> List[str]:
+        return [f"{name}{_render_labels(key)} {_format_value(self.value)}"]
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, key: LabelKey) -> List[str]:
+        return [f"{name}{_render_labels(key)} {_format_value(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus exposition.
+
+    Buckets are upper bounds (``observe(v)`` lands in the first bucket
+    with ``v <= bound``); the implicit ``+Inf`` bucket catches the
+    rest.  Bounds are fixed at construction — no resizing, no
+    allocation on the observe path.
+    """
+
+    kind = "histogram"
+    __slots__ = ("bounds", "_counts", "_sum", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {bounds}")
+        if bounds[-1] == math.inf:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> Tuple[List[int], float]:
+        """Consistent (per-bucket counts, sum) pair."""
+        with self._lock:
+            return list(self._counts), self._sum
+
+    def samples(self, name: str, key: LabelKey) -> List[str]:
+        counts, total = self.snapshot()
+        lines: List[str] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            labels = _render_labels(key, [("le", _format_value(bound))])
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        cumulative += counts[-1]
+        lines.append(f"{name}_bucket{_render_labels(key, [('le', '+Inf')])} {cumulative}")
+        lines.append(f"{name}_sum{_render_labels(key)} {_format_value(total)}")
+        lines.append(f"{name}_count{_render_labels(key)} {cumulative}")
+        return lines
+
+
+class _Family:
+    """One metric name: kind, help text, and children per label set."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str, buckets) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create metric families and render them for scraping."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _family(
+        self, name: str, kind: str, help_text: str, buckets=None
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {family.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            return family
+
+    def _child(self, family: _Family, labels: Optional[Mapping[str, str]]):
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                if family.kind == "counter":
+                    child = Counter()
+                elif family.kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(family.buckets or DEFAULT_LATENCY_BUCKETS)
+                family.children[key] = child
+            return child
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._child(self._family(name, "counter", help_text), labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._child(self._family(name, "gauge", help_text), labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._child(self._family(name, "histogram", help_text, buckets), labels)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        Families sort by name and children by label key, so two renders
+        of the same state are byte-identical (scrape diffing works).
+        """
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+            children = {
+                family.name: sorted(family.children.items()) for family in families
+            }
+        lines: List[str] = []
+        for family in families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in children[family.name]:
+                lines.extend(child.samples(family.name, key))
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+class _NullMetric:
+    """Shared do-nothing metric: every mutator is a no-op."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_to(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: a singleton of no-ops.
+
+    Instrumented code calls ``registry.counter(...).inc()``
+    unconditionally; with this registry installed the whole chain is
+    two attribute lookups and an empty method — no locks, no dict
+    writes, no per-call allocation — and ``render()`` is empty.
+    """
+
+    enabled = False
+
+    def counter(self, name, help_text="", labels=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name, help_text="", labels=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name, help_text="", labels=None, buckets=None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def render(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullMetricsRegistry()
+
+
+# -- exposition parsing (tests + CI smoke) ---------------------------------
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>\S+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse text exposition into ``{family: {type, help, samples}}``.
+
+    ``samples`` maps ``(sample name, label key)`` to a float value,
+    where the sample name keeps the ``_bucket``/``_sum``/``_count``
+    suffixes and the label key is the sorted ``(name, value)`` tuple.
+    This is the verifier for :meth:`MetricsRegistry.render` (and the
+    CI scrape smoke), not a general-purpose Prometheus client.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                return base
+        return sample_name
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": {}}
+            )["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        sample_name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels: List[Tuple[str, str]] = []
+        consumed = 0
+        for pair in _LABEL_PAIR_RE.finditer(labels_text):
+            labels.append((pair.group(1), _unescape_label_value(pair.group(2))))
+            consumed = pair.end()
+        leftover = labels_text[consumed:].strip().strip(",")
+        if leftover:
+            raise ValueError(f"unparseable label text {labels_text!r} in {raw!r}")
+        raw_value = match.group("value")
+        value = {"+Inf": math.inf, "-Inf": -math.inf}.get(raw_value)
+        if value is None:
+            value = float(raw_value)
+        family = families.setdefault(
+            family_of(sample_name), {"type": None, "help": None, "samples": {}}
+        )
+        family["samples"][(sample_name, tuple(sorted(labels)))] = value  # type: ignore[index]
+    return families
+
+
+def histogram_consistency_errors(
+    families: Mapping[str, Mapping[str, object]]
+) -> List[str]:
+    """Structural checks on parsed histograms (used by tests and CI).
+
+    For every histogram family: bucket counts must be monotonically
+    non-decreasing in ``le`` order, the ``+Inf`` bucket must equal
+    ``_count``, and ``_sum`` must be present.  Returns human-readable
+    problem strings (empty = consistent).
+    """
+    problems: List[str] = []
+    for name, family in families.items():
+        if family.get("type") != "histogram":
+            continue
+        samples: Mapping[Tuple[str, tuple], float] = family["samples"]  # type: ignore[assignment]
+        series: Dict[tuple, List[Tuple[float, float]]] = {}
+        counts: Dict[tuple, float] = {}
+        sums: Dict[tuple, float] = {}
+        for (sample_name, labels), value in samples.items():
+            if sample_name == f"{name}_bucket":
+                bound_text = dict(labels)["le"]
+                bound = math.inf if bound_text == "+Inf" else float(bound_text)
+                rest = tuple(item for item in labels if item[0] != "le")
+                series.setdefault(rest, []).append((bound, value))
+            elif sample_name == f"{name}_count":
+                counts[labels] = value
+            elif sample_name == f"{name}_sum":
+                sums[labels] = value
+        for labels, buckets in series.items():
+            buckets.sort()
+            values = [v for _, v in buckets]
+            if any(b > a for a, b in zip(values[1:], values)):
+                problems.append(f"{name}{dict(labels)}: bucket counts not cumulative")
+            if not buckets or buckets[-1][0] != math.inf:
+                problems.append(f"{name}{dict(labels)}: missing +Inf bucket")
+            elif counts.get(labels) != buckets[-1][1]:
+                problems.append(
+                    f"{name}{dict(labels)}: _count {counts.get(labels)} != "
+                    f"+Inf bucket {buckets[-1][1]}"
+                )
+            if labels not in sums:
+                problems.append(f"{name}{dict(labels)}: missing _sum")
+    return problems

@@ -197,6 +197,9 @@ class ResultCache:
         # entry of that lineage (the incremental re-chase base).
         self._lineage: Dict[str, str] = {}
         self._lock = threading.RLock()
+        # Optional TraceRecorder (set by the owning service/executor):
+        # put()/compact() emit "cache.write"/"cache.compact" spans.
+        self.tracer = None
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -327,6 +330,8 @@ class ResultCache:
         the entry an incremental re-chase base: :meth:`snapshot_for`
         serves the freshest such entry per lineage key.
         """
+        tracer = self.tracer
+        mark = tracer.now() if tracer is not None else 0.0
         entry = CacheEntry(
             key=key,
             summary=summary,
@@ -349,6 +354,11 @@ class ResultCache:
         if self.path is not None:
             with self.path.open("a") as handle, _flocked(handle):
                 handle.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+        if tracer is not None:
+            tracer.add_span(
+                "cache.write", mark, tracer.now(),
+                args={"key": key, "spilled": self.path is not None},
+            )
         return entry
 
     def compact(self) -> int:
@@ -370,6 +380,8 @@ class ResultCache:
         complete copy to restore from (the sidecar is removed on
         success).
         """
+        tracer = self.tracer
+        mark = tracer.now() if tracer is not None else 0.0
         with self._lock:
             if self.path is None:
                 return len(self._entries)
@@ -415,6 +427,11 @@ class ResultCache:
                 # by a lock holder therefore always means a crash, and
                 # _load restores from it.
                 sidecar.unlink(missing_ok=True)
+            if tracer is not None:
+                tracer.add_span(
+                    "cache.compact", mark, tracer.now(),
+                    args={"entries": len(merged)},
+                )
             return len(merged)
 
     def snapshot_for(self, lineage: str) -> Optional[CacheEntry]:

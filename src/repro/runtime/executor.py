@@ -53,6 +53,8 @@ from repro.model.serialization import (
     program_to_text,
 )
 from repro.model.store import FactStore
+from repro.obs.probe import ChaseProbe
+from repro.obs.trace import TraceRecorder
 from repro.runtime.budget_policy import BudgetDecision, BudgetPolicy
 from repro.runtime.cache import CacheEntry, ResultCache, lineage_cache_key, result_cache_key
 from repro.runtime.jobs import ChaseJob
@@ -142,6 +144,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         engine = payload.get("engine")
         resume_snapshot = payload.get("resume_snapshot")
         database_size = payload.get("database_size")
+        probe = ChaseProbe() if payload.get("telemetry") else None
         start = time.perf_counter()
         result = runner(
             database,
@@ -151,6 +154,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             engine=str(engine) if engine else None,
             resume_from=resume_snapshot,
             database_size=int(database_size) if database_size is not None else None,
+            probe=probe,
         )
         status = (
             "timeout" if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED else "ok"
@@ -208,6 +212,24 @@ class BatchExecutor:
     #: future resumes.  Off by default because resumed summaries report
     #: delta-only round/trigger statistics (see the module docstring).
     incremental: bool = False
+    #: Attach a round-level :class:`~repro.obs.probe.ChaseProbe` to
+    #: every executed chase; its payload lands under
+    #: ``summary["telemetry"]`` in the job result.  Telemetry is
+    #: stripped before caching (wall times are non-deterministic), so
+    #: replays stay byte-identical to unprobed runs.
+    telemetry: bool = False
+    #: Optional :class:`~repro.obs.trace.TraceRecorder`: when set, each
+    #: executed job emits ``job.admission`` / ``cache.lookup`` /
+    #: ``snapshot.encode`` / ``job.execute`` spans.  ``None`` (the
+    #: default) keeps the run loops span-free.
+    tracer: Optional[TraceRecorder] = None
+
+    def __post_init__(self) -> None:
+        # Wire the tracer into the cache so ``cache.write`` /
+        # ``cache.compact`` spans land in the same trace without every
+        # caller having to remember the second hookup.
+        if self.cache is not None and self.tracer is not None:
+            self.cache.tracer = self.tracer
 
     # -- job preparation --------------------------------------------------
 
@@ -264,6 +286,8 @@ class BatchExecutor:
                 payload["database_text"] = database_to_text(job.database)
         if self.incremental and self.cache is not None and self._snapshot_capable():
             payload["want_snapshot"] = True
+        if self.telemetry:
+            payload["telemetry"] = True
         return payload
 
     def _resume_base(self, job: ChaseJob) -> Optional[Tuple["CacheEntry", List[str]]]:
@@ -332,6 +356,15 @@ class BatchExecutor:
             resumed_from=resumed_from,
         )
         if self.cache is not None and result.status == "ok" and result.summary is not None:
+            # Telemetry carries wall-clock round timings, which are not
+            # deterministic; cached summaries must replay byte-identical
+            # to an unprobed cold run, so the key is stripped before the
+            # store (the caller's JobResult keeps it).
+            cache_summary = result.summary
+            if "telemetry" in cache_summary:
+                cache_summary = {
+                    k: v for k, v in cache_summary.items() if k != "telemetry"
+                }
             snapshot = record.get("snapshot")
             if resumed_from is not None:
                 # A resumed run's statistics — and, under a tight round
@@ -344,7 +377,7 @@ class BatchExecutor:
                 if snapshot is not None:
                     self.cache.put(
                         "delta:" + key,
-                        result.summary,
+                        cache_summary,
                         result.instance_text,
                         snapshot=snapshot,  # type: ignore[arg-type]
                         database_lines=job.database_lines,
@@ -355,14 +388,14 @@ class BatchExecutor:
                 # freshest incremental base of its lineage in one entry.
                 self.cache.put(
                     key,
-                    result.summary,
+                    cache_summary,
                     result.instance_text,
                     snapshot=snapshot,  # type: ignore[arg-type]
                     database_lines=job.database_lines,
                     lineage=lineage_cache_key(job),
                 )
             else:
-                self.cache.put(key, result.summary, result.instance_text)
+                self.cache.put(key, cache_summary, result.instance_text)
         return result
 
     def _hit(
@@ -405,16 +438,41 @@ class BatchExecutor:
         return self.cache.get(key, require_instance=self.materialize)
 
     def _run_serial(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
+        tracer = self.tracer
         for job in jobs:
             start = time.perf_counter()
+            mark = tracer.now() if tracer is not None else 0.0
             decision, budget, key = self._resolve(job)
+            if tracer is not None:
+                tracer.add_span(
+                    "job.admission", mark, tracer.now(), args={"job": job.job_id}
+                )
             if self.cache is not None:
+                mark = tracer.now() if tracer is not None else 0.0
                 entry = self._cache_get(key)
+                if tracer is not None:
+                    tracer.add_span(
+                        "cache.lookup", mark, tracer.now(),
+                        args={"job": job.job_id, "hit": entry is not None},
+                    )
                 if entry is not None:
                     yield self._hit(job, decision, key, entry, time.perf_counter() - start)
                     continue
+            mark = tracer.now() if tracer is not None else 0.0
             payload, resumed_from = self._build_payload(job, budget)
+            if tracer is not None:
+                # Payload building is dominated by the database snapshot
+                # encode (or the text serialisation fallback).
+                tracer.add_span(
+                    "snapshot.encode", mark, tracer.now(), args={"job": job.job_id}
+                )
+                mark = tracer.now()
             record = execute_payload(payload)
+            if tracer is not None:
+                tracer.add_span(
+                    "job.execute", mark, tracer.now(),
+                    args={"job": job.job_id, "status": str(record["status"])},
+                )
             yield self._wrap(
                 job, decision, key, record, time.perf_counter() - start,
                 resumed_from=resumed_from,
@@ -422,9 +480,11 @@ class BatchExecutor:
 
     def _run_pool(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
         jobs = list(jobs)
+        tracer = self.tracer
         pending: Dict[
             object, Tuple[ChaseJob, BudgetDecision, str, float, Optional[str]]
         ] = {}
+        submit_marks: Dict[object, float] = {}
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -449,6 +509,8 @@ class BatchExecutor:
                 payload, resumed_from = self._build_payload(job, budget)
                 future = pool.submit(execute_payload, payload)
                 pending[future] = (job, decision, key, start, resumed_from)
+                if tracer is not None:
+                    submit_marks[future] = tracer.now()
             outstanding = set(pending)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
@@ -467,6 +529,14 @@ class BatchExecutor:
                             "instance_text": None,
                             "error": f"{type(exc).__name__}: {exc}",
                         }
+                    if tracer is not None:
+                        # Pool spans run submit-to-completion: they
+                        # include queueing inside the pool, which is
+                        # the latency the caller actually observes.
+                        tracer.add_span(
+                            "job.execute", submit_marks.pop(future), tracer.now(),
+                            args={"job": job.job_id, "status": str(record["status"])},
+                        )
                     yield self._wrap(
                         job, decision, key, record, time.perf_counter() - start,
                         resumed_from=resumed_from,

@@ -78,6 +78,7 @@ class ExecutionGroup:
     job: ChaseJob
     members: List[Tuple[JobRecord, ChaseJob]] = field(default_factory=list)
     started: bool = False  # a worker has picked this group up
+    enqueued_at: float = 0.0  # tracer timestamp at admission (0.0 = untraced)
 
 
 class ChaseScheduler:
@@ -196,6 +197,9 @@ class ChaseScheduler:
             self._stats["deduped"] += 1
             return record, DEDUPED
         group = ExecutionGroup(key=key, job=job, members=[(record, job)])
+        tracer = self.executor.tracer
+        if tracer is not None:
+            group.enqueued_at = tracer.now()
         self._inflight[key] = group
         self._queued += 1
         self._stats["accepted"] += 1
@@ -287,6 +291,12 @@ class ChaseScheduler:
                 group.started = True  # late dedup joins mark themselves running
                 members_at_start = list(group.members)
                 self._idle.notify_all()  # a queue slot freed: wake submit_waiting
+            tracer = self.executor.tracer
+            if tracer is not None and group.enqueued_at:
+                tracer.add_span(
+                    "job.queue_wait", group.enqueued_at, tracer.now(),
+                    args={"job": group.job.job_id, "members": len(members_at_start)},
+                )
             for record, _ in members_at_start:
                 self.registry.mark_running(record.job_id)
             try:
@@ -325,6 +335,9 @@ class ChaseScheduler:
                     regroup = ExecutionGroup(
                         key=group.key, job=requeued[0][1], members=requeued
                     )
+                    requeue_tracer = self.executor.tracer
+                    if requeue_tracer is not None:
+                        regroup.enqueued_at = requeue_tracer.now()
                     # Members carry identical content, so the re-run can
                     # reuse the primary's encoded database snapshot: an
                     # N-way identical burst encodes the store once, no

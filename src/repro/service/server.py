@@ -39,6 +39,12 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.termination_analysis import DIVERGING, TerminationAnalyzer
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import TraceRecorder
 from repro.runtime.budget_policy import BudgetPolicy
 from repro.runtime.cache import SCHEMA_VERSION, ResultCache
 from repro.runtime.executor import BatchExecutor
@@ -161,11 +167,24 @@ class ChaseService:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_connections: int = 128,
         admission_analysis: bool = False,
+        metrics: bool = False,
+        access_log: Optional[str] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
         self.host = host
         self.max_body_bytes = max_body_bytes
         self.max_connections = max_connections
         self._requested_port = port
+        # Telemetry is strictly opt-in: with metrics=False the registry
+        # is the shared no-op singleton and every instrumented call site
+        # reduces to two attribute lookups; with trace_path=None no
+        # tracer exists and span code paths are skipped entirely.
+        self.metrics = MetricsRegistry() if metrics else NULL_REGISTRY
+        self.trace_path = trace_path
+        self.tracer = TraceRecorder() if trace_path is not None else None
+        self.access_log_path = access_log
+        self._access_log_handle = None
+        self._access_log_lock = threading.Lock()
         self.cache = (
             cache
             if cache is not None
@@ -188,12 +207,20 @@ class ChaseService:
             cache=self.cache,
             materialize=materialize,
             per_job_timeout=per_job_timeout,
+            tracer=self.tracer,
         )
+        self.cache.tracer = self.tracer
         self.registry = JobRegistry(ttl_seconds=ttl_seconds)
+        self.registry.tracer = self.tracer
         self.scheduler = ChaseScheduler(
             self.registry, executor=executor, workers=workers, max_queue=max_queue
         )
         self.started_at = time.time()
+        # Wall-clock start is kept for display, but uptime arithmetic
+        # anchors on the monotonic clock: time.time() jumps under NTP
+        # steps and manual clock changes, and a negative or wildly
+        # wrong uptime breaks dashboards that alert on restarts.
+        self._started_monotonic = time.monotonic()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._serve_thread: Optional[threading.Thread] = None
         self._stop_lock = threading.Lock()
@@ -215,6 +242,8 @@ class ChaseService:
     def start(self) -> "ChaseService":
         if self._httpd is not None:
             raise RuntimeError("service already started")
+        if self.access_log_path is not None:
+            self._access_log_handle = open(self.access_log_path, "a")
         handler = type("BoundHandler", (_ChaseRequestHandler,), {"service": self})
         self._httpd = _BoundedThreadingHTTPServer(
             (self.host, self._requested_port), handler, self.max_connections
@@ -247,6 +276,15 @@ class ChaseService:
             self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout)
+        if self.tracer is not None and self.trace_path is not None:
+            try:
+                self.tracer.export_jsonl(self.trace_path)
+            except OSError:
+                logger.exception("failed to export trace to %s", self.trace_path)
+        with self._access_log_lock:
+            if self._access_log_handle is not None:
+                self._access_log_handle.close()
+                self._access_log_handle = None
         logger.info("chase service stopped (drained=%s)", drained)
         self._stopped_event.set()
         return drained
@@ -270,7 +308,7 @@ class ChaseService:
     def health_document(self) -> Dict[str, object]:
         return {
             "status": "draining" if self.scheduler.draining else "ok",
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "workers": self.scheduler.workers,
             "queue_depth": self.scheduler.queue_depth(),
             "max_queue": self.scheduler.max_queue,
@@ -313,7 +351,7 @@ class ChaseService:
         lookups = int(cache_stats.get("hits", 0)) + int(cache_stats.get("misses", 0))
         hit_rate = round(int(cache_stats.get("hits", 0)) / lookups, 4) if lookups else None
         document: Dict[str, object] = {
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
             "schema_version": SCHEMA_VERSION,
             "scheduler": scheduler,
             "cache_hit_rate": hit_rate,
@@ -326,6 +364,67 @@ class ChaseService:
                 "rejections": self.analysis_rejections,
             }
         return document
+
+    def write_access_log(self, record: Dict[str, object]) -> None:
+        """Append one JSONL access-log line (no-op when not configured)."""
+        with self._access_log_lock:
+            handle = self._access_log_handle
+            if handle is None:
+                return
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: live metrics plus mirrored stats.
+
+        Request latency histograms and request counters are maintained
+        live by the handler; scheduler, cache, registry, and admission
+        counters already exist as plain integers on their owners, so
+        they are *mirrored* into the registry at scrape time
+        (``Counter.set_to``) instead of double-instrumenting those hot
+        paths.
+        """
+        metrics = self.metrics
+        scheduler = self.scheduler.stats()
+        for key in (
+            "submitted", "accepted", "deduped", "rejected",
+            "requeued", "executed", "cache_hits", "budget_stops",
+        ):
+            metrics.counter(
+                f"repro_jobs_{key}_total",
+                f"Scheduler lifetime total of {key.replace('_', ' ')} jobs.",
+            ).set_to(int(scheduler[key]))
+        metrics.gauge(
+            "repro_queue_depth", "Execution groups waiting in the scheduler queue.",
+        ).set(int(scheduler["queue_depth"]))
+        metrics.gauge(
+            "repro_running_jobs", "Execution groups currently executing.",
+        ).set(int(scheduler["running"]))
+        metrics.gauge(
+            "repro_inflight_groups", "Distinct dedup groups queued or running.",
+        ).set(int(scheduler["inflight_groups"]))
+        cache_stats = scheduler.get("cache") or {}
+        for key in ("hits", "misses", "stores", "evictions"):
+            metrics.counter(
+                f"repro_cache_{key}_total", f"Result cache lifetime {key}.",
+            ).set_to(int(cache_stats.get(key, 0)))
+        metrics.gauge(
+            "repro_cache_entries", "Result cache resident entries.",
+        ).set(int(cache_stats.get("entries", 0)))
+        metrics.counter(
+            "repro_admission_rejections_total",
+            "Jobs rejected at admission by static termination analysis.",
+        ).set_to(self.analysis_rejections)
+        counts = self.registry.counts()
+        for state in ("queued", "running", "done"):
+            metrics.gauge(
+                "repro_registry_jobs", "Registry job records by state.",
+                labels={"state": state},
+            ).set(int(counts.get(state, 0)))
+        metrics.gauge(
+            "repro_uptime_seconds", "Seconds since daemon start (monotonic clock).",
+        ).set(round(time.monotonic() - self._started_monotonic, 3))
+        return metrics.render()
 
 
 class _ChaseRequestHandler(BaseHTTPRequestHandler):
@@ -343,6 +442,63 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._last_status = code  # for metrics/access-log labels
+        super().send_response(code, message)
+
+    @staticmethod
+    def _normalize_route(path: str) -> str:
+        """Collapse per-resource paths so metric label sets stay bounded."""
+        if path.startswith("/jobs/"):
+            return "/jobs/{id}"
+        if path.startswith("/batches/"):
+            return "/batches/{id}"
+        if path in ("/healthz", "/stats", "/metrics", "/jobs", "/batches", "/shutdown"):
+            return path
+        return "other"
+
+    def _instrumented(self, method: str, inner) -> None:
+        """Run one request handler under latency/status instrumentation."""
+        service = self.service
+        self._last_status: Optional[int] = None
+        start = time.perf_counter()
+        tracer = service.tracer
+        mark = tracer.now() if tracer is not None else 0.0
+        try:
+            inner()
+        finally:
+            elapsed = time.perf_counter() - start
+            route = self._normalize_route(self._query()[0])
+            status = self._last_status if self._last_status is not None else 0
+            metrics = service.metrics
+            if metrics.enabled:
+                metrics.histogram(
+                    "repro_http_request_seconds",
+                    "HTTP request handling latency in seconds.",
+                    labels={"method": method, "route": route},
+                    buckets=DEFAULT_LATENCY_BUCKETS,
+                ).observe(elapsed)
+                metrics.counter(
+                    "repro_http_requests_total",
+                    "HTTP requests served, by method, route, and status.",
+                    labels={"method": method, "route": route, "status": str(status)},
+                ).inc()
+            if tracer is not None:
+                tracer.add_span(
+                    "request", mark, tracer.now(),
+                    args={"method": method, "route": route, "status": status},
+                )
+            service.write_access_log(
+                {
+                    "ts": round(time.time(), 6),
+                    "remote": self.address_string(),
+                    "method": method,
+                    "path": self.path,
+                    "status": status,
+                    "seconds": round(elapsed, 6),
+                }
+            )
 
     def _send_json(self, status: int, document: Dict[str, object]) -> None:
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
@@ -395,12 +551,17 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
     # -- GET --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented("GET", self._handle_get)
+
+    def _handle_get(self) -> None:
         try:
             path, query = self._query()
             if path == "/healthz":
                 self._send_json(200, self.service.health_document())
             elif path == "/stats":
                 self._send_json(200, self.service.stats_document())
+            elif path == "/metrics":
+                self._get_metrics()
             elif path.startswith("/jobs/"):
                 self._get_job(path[len("/jobs/"):], query)
             elif path.startswith("/batches/"):
@@ -415,6 +576,19 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
             logger.exception("GET %s failed", self.path)
             self.close_connection = True  # request state is unknown: don't reuse
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _get_metrics(self) -> None:
+        if not self.service.metrics.enabled:
+            self._send_json(
+                404, {"error": "metrics disabled; start the daemon with --metrics"}
+            )
+            return
+        body = self.service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _get_job(self, job_id: str, query: Dict[str, List[str]]) -> None:
         wait = self._wait_seconds(query)
@@ -486,6 +660,9 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
     # -- POST -------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented("POST", self._handle_post)
+
+    def _handle_post(self) -> None:
         try:
             # Drain the body *before* any routing or validation: an
             # error response that leaves body bytes unread on a

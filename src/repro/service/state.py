@@ -55,6 +55,9 @@ class JobRecord:
     finished_at: Optional[float] = None
     result: Optional[Dict[str, object]] = None  # JobResult.as_dict() shape
     deduped_of: Optional[str] = None  # primary job id this one shared
+    # Tracer-clock stamp at creation (not serialised by as_dict):
+    # mark_done turns it into a submit→done "job.lifecycle" span.
+    trace_submitted_at: Optional[float] = None
 
     @property
     def terminal(self) -> bool:
@@ -104,6 +107,10 @@ class JobRegistry:
         self._job_counter = itertools.count(1)
         self._batch_counter = itertools.count(1)
         self.swept = 0
+        #: Optional TraceRecorder: when set, every record emits one
+        #: "job.lifecycle" span covering submit → done — the end-to-end
+        #: reference the per-stage spans are audited against.
+        self.tracer = None
 
     # -- creation ---------------------------------------------------------
 
@@ -114,6 +121,8 @@ class JobRegistry:
                 client_id=client_id,
                 submitted_at=time.time(),
             )
+            if self.tracer is not None:
+                record.trace_submitted_at = self.tracer.now()
             self._jobs[record.job_id] = record
             return record
 
@@ -167,6 +176,16 @@ class JobRegistry:
             record.finished_at = time.time()
             record.result = result
             record.deduped_of = deduped_of
+            if self.tracer is not None and record.trace_submitted_at is not None:
+                status = result.get("status") if isinstance(result, dict) else None
+                self.tracer.add_span(
+                    "job.lifecycle", record.trace_submitted_at, self.tracer.now(),
+                    args={
+                        "job": record.job_id,
+                        "status": str(status),
+                        "deduped": deduped_of is not None,
+                    },
+                )
             self._changed.notify_all()
 
     # -- lookup -----------------------------------------------------------

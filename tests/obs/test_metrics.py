@@ -1,0 +1,194 @@
+"""Metrics registry and Prometheus exposition tests.
+
+The exposition tests parse the rendered text back
+(:func:`parse_prometheus_text`) and assert the invariants a real
+scraper depends on: label escaping round-trips, histogram buckets are
+cumulative and monotone, ``_count`` equals the ``+Inf`` bucket, and
+``_sum`` is present.  The concurrency test hammers one registry from a
+thread pool and checks no increments are lost.
+"""
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    histogram_consistency_errors,
+    parse_prometheus_text,
+)
+
+
+def flat_samples(families):
+    """``{(sample_name, label_tuple): value}`` across all families."""
+    out = {}
+    for family in families.values():
+        out.update(family["samples"])
+    return out
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "Jobs.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative_inc(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("jobs_total").inc(-1)
+
+    def test_counter_mirror_rejects_regression(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("executed_total")
+        counter.set_to(10)
+        counter.set_to(10)  # equal is fine
+        with pytest.raises(ValueError):
+            counter.set_to(9)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(7)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 5
+
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", labels={"route": "/jobs"})
+        b = registry.counter("hits_total", labels={"route": "/jobs"})
+        c = registry.counter("hits_total", labels={"route": "/stats"})
+        assert a is b and a is not c
+
+    def test_name_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ValueError):
+            registry.gauge("thing_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("1leading_digit", "has space", "has-dash", ""):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels={"bad-key": "v"})
+
+    def test_null_registry_is_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        NULL_REGISTRY.counter("x_total").inc()
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z_seconds").observe(0.1)
+        assert NULL_REGISTRY.render() == ""
+
+
+class TestExposition:
+    def test_parser_roundtrip_with_escaping(self):
+        registry = MetricsRegistry()
+        nasty = 'quote:" backslash:\\ newline:\n end'
+        registry.counter("events_total", "Events.", labels={"src": nasty}).inc(3)
+        registry.gauge("depth", "Depth.", labels={"q": "main"}).set(2.5)
+        samples = flat_samples(parse_prometheus_text(registry.render()))
+        assert samples[("events_total", (("src", nasty),))] == 3
+        assert samples[("depth", (("q", "main"),))] == 2.5
+
+    def test_families_carry_type_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Event count.").inc()
+        families = parse_prometheus_text(registry.render())
+        assert families["events_total"]["type"] == "counter"
+        assert families["events_total"]["help"] == "Event count."
+
+    def test_render_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_total", labels={"k": "2"}).inc()
+            registry.counter("b_total", labels={"k": "1"}).inc()
+            registry.gauge("a").set(1)
+            return registry.render()
+
+        assert build() == build()
+
+    def test_histogram_exposition_invariants(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", buckets=DEFAULT_LATENCY_BUCKETS
+        )
+        for value in (0.0001, 0.003, 0.02, 0.02, 0.7, 9.0, 100.0):
+            histogram.observe(value)
+        families = parse_prometheus_text(registry.render())
+        assert histogram_consistency_errors(families) == []
+        samples = families["latency_seconds"]["samples"]
+        buckets = sorted(
+            (
+                math.inf if dict(labels)["le"] == "+Inf" else float(dict(labels)["le"]),
+                value,
+            )
+            for (name, labels), value in samples.items()
+            if name == "latency_seconds_bucket"
+        )
+        values = [v for _, v in buckets]
+        # Cumulative and monotone, ending at +Inf == observation count.
+        assert values == sorted(values)
+        assert buckets[-1][0] == math.inf and buckets[-1][1] == 7
+        assert samples[("latency_seconds_count", ())] == 7
+        assert samples[("latency_seconds_sum", ())] == pytest.approx(
+            109.7431, rel=1e-6
+        )
+
+    def test_histogram_bucket_edges_are_inclusive(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1" must include it
+        samples = flat_samples(parse_prometheus_text(registry.render()))
+        assert samples[("h_seconds_bucket", (("le", "1"),))] == 1
+
+    def test_consistency_checker_flags_bad_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 4\n"
+        )
+        errors = histogram_consistency_errors(parse_prometheus_text(text))
+        # Non-monotone buckets, +Inf != _count, and no _sum at all.
+        assert len(errors) == 3
+
+
+class TestConcurrency:
+    def test_thread_pool_hammer_loses_nothing(self):
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 2_000
+
+        def hammer(i: int) -> None:
+            counter = registry.counter("hammer_total", labels={"shared": "yes"})
+            own = registry.counter("hammer_total", labels={"shared": f"t{i % 2}"})
+            gauge = registry.gauge("hammer_gauge")
+            histogram = registry.histogram("hammer_seconds")
+            for j in range(per_thread):
+                counter.inc()
+                own.inc()
+                gauge.inc()
+                histogram.observe(j * 1e-6)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            list(pool.map(hammer, range(threads)))
+
+        families = parse_prometheus_text(registry.render())
+        assert histogram_consistency_errors(families) == []
+        samples = flat_samples(families)
+        assert samples[("hammer_total", (("shared", "yes"),))] == threads * per_thread
+        assert (
+            samples[("hammer_total", (("shared", "t0"),))]
+            + samples[("hammer_total", (("shared", "t1"),))]
+            == threads * per_thread
+        )
+        assert samples[("hammer_gauge", ())] == threads * per_thread
+        assert samples[("hammer_seconds_count", ())] == threads * per_thread

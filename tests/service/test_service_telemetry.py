@@ -1,0 +1,163 @@
+"""Service observability tests: /metrics, access log, uptime, trace spans.
+
+These run the real daemon on an ephemeral port.  The span-accounting
+test is the service-level contract from the telemetry design: the sum
+of per-job component spans (queue wait, admission, cache lookup,
+snapshot encode, execute, cache write) must reconstruct the end-to-end
+``job.lifecycle`` durations to within a few percent.
+"""
+
+import json
+
+import pytest
+
+from repro.model.parser import parse_database, parse_program
+from repro.obs.metrics import histogram_consistency_errors, parse_prometheus_text
+from repro.obs.trace import load_trace
+from repro.service import ChaseService, ChaseServiceClient, ServiceError
+
+
+def job_spec(tag: str) -> dict:
+    return {
+        "id": f"job-{tag}",
+        "program": f"R_{tag}(x, y) -> exists z . S_{tag}(y, z)",
+        "database": f"R_{tag}(a, b).",
+        "variant": "semi-oblivious",
+    }
+
+
+def make_client(service: ChaseService) -> ChaseServiceClient:
+    client = ChaseServiceClient(service.url, timeout=30.0)
+    client.wait_until_healthy()
+    return client
+
+
+def scrape(client: ChaseServiceClient) -> str:
+    with client._request("GET", "/metrics") as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        return response.read().decode("utf-8")
+
+
+class TestMetricsEndpoint:
+    def test_metrics_404_when_disabled(self):
+        with ChaseService(workers=1) as service:
+            client = make_client(service)
+            with pytest.raises(ServiceError) as excinfo:
+                client._json("GET", "/metrics")
+            assert excinfo.value.status == 404
+            assert "metrics disabled" in str(excinfo.value.document["error"])
+
+    def test_metrics_scrape_parses_and_counts_jobs(self):
+        with ChaseService(workers=2, metrics=True) as service:
+            client = make_client(service)
+            for tag in ("m1", "m2"):
+                record = client.run_job(job_spec(tag), timeout=60.0)
+                assert record["state"] == "done"
+            client.run_job(job_spec("m1"), timeout=60.0)  # dedup/cache path
+            families = parse_prometheus_text(scrape(client))
+            assert histogram_consistency_errors(families) == []
+
+            def value(family, name, **labels):
+                return families[family]["samples"][
+                    (name, tuple(sorted(labels.items())))
+                ]
+
+            assert value("repro_jobs_submitted_total", "repro_jobs_submitted_total") >= 3
+            assert value("repro_jobs_executed_total", "repro_jobs_executed_total") >= 2
+            assert value("repro_uptime_seconds", "repro_uptime_seconds") > 0
+            assert families["repro_jobs_submitted_total"]["type"] == "counter"
+            # HTTP instrumentation observed the scrape-free requests with
+            # normalized routes: the per-job polls all collapse to one child.
+            requests = families["repro_http_requests_total"]["samples"]
+            routes = {dict(labels)["route"] for _, labels in requests}
+            assert "/jobs" in routes and "/jobs/{id}" in routes
+            latency = families["repro_http_request_seconds"]["samples"]
+            assert any(name.endswith("_count") for name, _ in latency)
+
+    def test_scrapes_are_monotone(self):
+        with ChaseService(workers=1, metrics=True) as service:
+            client = make_client(service)
+            client.run_job(job_spec("mono"), timeout=60.0)
+            first = parse_prometheus_text(scrape(client))
+            client.run_job(job_spec("mono2"), timeout=60.0)
+            second = parse_prometheus_text(scrape(client))
+
+            def executed(families):
+                return families["repro_jobs_executed_total"]["samples"][
+                    ("repro_jobs_executed_total", ())
+                ]
+
+            assert executed(second) >= executed(first) >= 1
+
+
+class TestAccessLog:
+    def test_access_log_lines_are_jsonl(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        with ChaseService(workers=1, access_log=str(log_path)) as service:
+            client = make_client(service)
+            client.healthz()
+            client.run_job(job_spec("log"), timeout=60.0)
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines, "access log stayed empty"
+        for record in lines:
+            assert {"ts", "remote", "method", "path", "status", "seconds"} <= set(record)
+        assert any(r["method"] == "POST" and r["path"] == "/jobs" for r in lines)
+        assert all(r["status"] < 500 for r in lines)
+
+
+class TestUptimeMonotonic:
+    def test_uptime_survives_wall_clock_steps(self):
+        with ChaseService(workers=1) as service:
+            client = make_client(service)
+            # Simulate an NTP step / manual clock change: the wall-clock
+            # start is yanked back to the epoch.  Uptime must not jump to
+            # ~56 years because it anchors on the monotonic clock.
+            service.started_at = 0.0
+            health = client.healthz()
+            assert 0.0 <= health["uptime_seconds"] < 300.0
+            stats = client.stats()
+            assert 0.0 <= stats["uptime_seconds"] < 300.0
+
+
+class TestTraceAccounting:
+    COMPONENTS = (
+        "job.queue_wait",
+        "job.admission",
+        "cache.lookup",
+        "snapshot.encode",
+        "job.execute",
+        "cache.write",
+    )
+
+    def test_component_spans_reconstruct_lifecycle(self, tmp_path):
+        trace_path = tmp_path / "service-trace.jsonl"
+        job_count = 24
+        with ChaseService(workers=2, trace_path=str(trace_path)) as service:
+            client = make_client(service)
+            for index in range(job_count):
+                record = client.run_job(job_spec(f"t{index}"), timeout=60.0)
+                assert record["state"] == "done"
+        events = load_trace(str(trace_path))
+        durations: dict = {}
+        for event in events:
+            if event.get("ph") == "X":
+                durations.setdefault(event["name"], []).append(event["dur"] / 1e6)
+        lifecycles = durations.get("job.lifecycle", [])
+        assert len(lifecycles) == job_count
+        lifecycle_total = sum(lifecycles)
+        component_total = sum(
+            sum(durations.get(name, [])) for name in self.COMPONENTS
+        )
+        # The components tile the lifecycle up to inter-span gaps
+        # (microseconds each); allow 5% relative plus a small absolute
+        # slack so a slow CI scheduler cannot flake the test.
+        assert component_total == pytest.approx(
+            lifecycle_total, rel=0.05, abs=0.25
+        )
+        # Every executed job contributed exactly one execute span.
+        assert len(durations.get("job.execute", [])) == job_count
