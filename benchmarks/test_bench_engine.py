@@ -39,6 +39,11 @@ def test_engine_speed_report(benchmark, report):
     # to keep the suite robust on loaded CI machines.
     assert all(row.measured["equivalent"] for row in rows)
     assert all("layout_speedup" in row.measured for row in rows)
+    # Profiled repeats ride along every row; the strict 1.10x overhead
+    # gate lives in 'bench-engine --quick' where repeats amortise noise
+    # — here we only guard against a per-trigger-clock-read regression,
+    # which shows up as a multiple, not a percentage.
+    assert all(row.measured["profile_overhead"] < 2.0 for row in rows)
     database, tgds = sl_lower_bound(2, 2, 2)
     benchmark.pedantic(
         lambda: semi_oblivious_chase(database, tgds, record_derivation=False),

@@ -24,6 +24,7 @@ from repro.model.store import Fact, FactStore
 from repro.model.terms import Null
 from repro.model.tgd import TGD, TGDSet
 from repro.obs.probe import ChaseProbe
+from repro.obs.profile import RuleProfiler
 from repro.chase.plan import CompiledRule, TriggerPipeline
 from repro.chase.store_plan import StoreCompiledRule, StoreTriggerPipeline
 from repro.chase.trigger import Trigger
@@ -143,6 +144,10 @@ class ChaseResult:
     #: round count when its snapshot carried one (else 0).
     resumed: bool = False
     base_rounds: int = 0
+    #: Per-rule attribution payload (``RuleProfiler.as_dict()``) when
+    #: the run carried a profiler; ``None`` otherwise — and then absent
+    #: from :meth:`summary`, exactly like ``telemetry``.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def instance(self) -> Instance:
@@ -214,6 +219,8 @@ class ChaseResult:
             summary["base_rounds"] = self.base_rounds
         if self.telemetry is not None:
             summary["telemetry"] = self.telemetry
+        if self.profile is not None:
+            summary["profile"] = self.profile
         return summary
 
     def expansion_ratio(self) -> float:
@@ -256,7 +263,8 @@ class BaseChaseEngine:
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
                  record_derivation: bool = True, compiled: bool = True,
                  engine: Optional[str] = None,
-                 probe: Optional[ChaseProbe] = None) -> None:
+                 probe: Optional[ChaseProbe] = None,
+                 profile: Optional[RuleProfiler] = None) -> None:
         self.tgds = tgds
         self.budget = budget or ChaseBudget()
         self.record_derivation = record_derivation
@@ -264,6 +272,11 @@ class BaseChaseEngine:
         #: default) keeps every driver loop on its probe-free path: one
         #: ``is None`` check per *round*, nothing per trigger.
         self.probe = probe
+        #: Optional per-rule attribution profiler.  ``None`` (the
+        #: default) keeps the drivers on their profile-free paths —
+        #: pending lists are rule-major, so the profiled paths only
+        #: read the clock at rule-segment boundaries.
+        self.profile = profile
         if engine is None:
             engine = "store" if compiled else "legacy"
         if engine not in ENGINES:
@@ -393,9 +406,42 @@ class BaseChaseEngine:
         applied: Set = set()
         outcome = ChaseOutcome.TERMINATED
         depth_truncated = False
-        pipeline = (
-            TriggerPipeline(self.tgds, selectivity=instance.count) if self.compiled else None
-        )
+        profiler = self.profile
+        if profiler is None:
+            driver_start = start
+            pipeline = (
+                TriggerPipeline(self.tgds, selectivity=instance.count)
+                if self.compiled
+                else None
+            )
+        else:
+            # The attribution denominator starts here: instance setup
+            # above is reported separately as setup_seconds.
+            driver_start = time.perf_counter()
+            compile_seconds = [0.0] * len(self.tgds)
+            pipeline = (
+                TriggerPipeline(
+                    self.tgds,
+                    selectivity=instance.count,
+                    compile_seconds=compile_seconds,
+                )
+                if self.compiled
+                else None
+            )
+            prof_slots = profiler.attach(t.rule_id for t in self.tgds)
+            if pipeline is not None:
+                profiler.add_compile_seconds(prof_slots, compile_seconds)
+            slot_of_rule_id = {
+                t.rule_id: prof_slots[i] for i, t in enumerate(self.tgds)
+            }
+            p_seconds = profiler.seconds
+            p_considered = profiler.considered
+            p_fired = profiler.fired
+            p_pruned = profiler.pruned
+            p_facts = profiler.facts
+            p_nulls = profiler.nulls
+            prof_seen_nulls: Set = set()
+            slot = -1
 
         delta: List[Atom] = list(instance)
         first_round = True
@@ -427,21 +473,76 @@ class BaseChaseEngine:
                     if first_round
                     else pipeline.delta_triggers(instance, delta)
                 )
-                pending = [(rule, sub, make_key(rule, sub)) for rule, sub in source]
-            else:
+                if profiler is None:
+                    pending = [(rule, sub, make_key(rule, sub)) for rule, sub in source]
+                else:
+                    # The pipeline yields rule-major, so enumeration
+                    # time is attributed per contiguous rule segment:
+                    # the clock is read only where the rule changes.
+                    pending = []
+                    append = pending.append
+                    seg_slot = -1
+                    seg_start = 0.0
+                    for rule, sub in source:
+                        s = prof_slots[rule.index]
+                        if s != seg_slot:
+                            now = time.perf_counter()
+                            if seg_slot >= 0:
+                                p_seconds[seg_slot] += now - seg_start
+                            seg_slot = s
+                            seg_start = now
+                        append((rule, sub, make_key(rule, sub)))
+                    if seg_slot >= 0:
+                        p_seconds[seg_slot] += time.perf_counter() - seg_start
+            elif profiler is None:
                 pending = [
                     (None, None, trigger)
                     for trigger in self._collect_triggers(instance, delta, first_round)
                 ]
+            else:
+                # Legacy rescan: _collect_triggers walks the TGDs in
+                # order, so its output is rule-major too.
+                pending = []
+                append = pending.append
+                seg_slot = -1
+                seg_start = 0.0
+                for trigger in self._collect_triggers(instance, delta, first_round):
+                    s = slot_of_rule_id[trigger.tgd.rule_id]
+                    if s != seg_slot:
+                        now = time.perf_counter()
+                        if seg_slot >= 0:
+                            p_seconds[seg_slot] += now - seg_start
+                        seg_slot = s
+                        seg_start = now
+                    append((None, None, trigger))
+                if seg_slot >= 0:
+                    p_seconds[seg_slot] += time.perf_counter() - seg_start
             first_round = False
             new_atoms_this_round: List[Atom] = []
             fired_any = False
             over_budget = False
+            apply_slot = -1
+            apply_start = 0.0
             for rule, binding, item in pending:
                 statistics.triggers_considered += 1
+                if profiler is not None:
+                    slot = (
+                        prof_slots[rule.index]
+                        if rule is not None
+                        else slot_of_rule_id[item.tgd.rule_id]
+                    )
+                    if slot != apply_slot:
+                        now = time.perf_counter()
+                        if apply_slot >= 0:
+                            p_seconds[apply_slot] += now - apply_start
+                        apply_slot = slot
+                        apply_start = now
+                    p_considered[slot] += 1
                 if rule is not None:
                     key = item
                     if key in applied:
+                        if profiler is not None:
+                            p_pruned[slot] += 1
                         continue
                     trigger = None
                     result_atoms = self.evaluate(instance, rule, binding)
@@ -449,6 +550,8 @@ class BaseChaseEngine:
                     trigger = item
                     key = self.trigger_key(trigger)
                     if key in applied:
+                        if profiler is not None:
+                            p_pruned[slot] += 1
                         continue
                     result_atoms = (
                         self.trigger_result(trigger)
@@ -457,6 +560,8 @@ class BaseChaseEngine:
                     )
                 if result_atoms is None:
                     applied.add(key)
+                    if profiler is not None:
+                        p_pruned[slot] += 1
                     continue
                 if (
                     self.budget.truncate_at_depth
@@ -478,6 +583,21 @@ class BaseChaseEngine:
                 statistics.triggers_applied += 1
                 statistics.atoms_created += len(added)
                 fired_any = True
+                if profiler is not None:
+                    p_fired[slot] += 1
+                    if added:
+                        p_facts[slot] += len(added)
+                        fresh_nulls = 0
+                        for atom in added:
+                            for term in atom.args:
+                                if (
+                                    isinstance(term, Null)
+                                    and term not in prof_seen_nulls
+                                ):
+                                    prof_seen_nulls.add(term)
+                                    fresh_nulls += 1
+                        if fresh_nulls:
+                            p_nulls[slot] += fresh_nulls
                 if added:
                     new_atoms_this_round.extend(added)
                     if self.record_derivation:
@@ -507,6 +627,8 @@ class BaseChaseEngine:
                     outcome = ChaseOutcome.TIME_BUDGET_EXCEEDED
                     over_budget = True
                     break
+            if profiler is not None and apply_slot >= 0:
+                p_seconds[apply_slot] += time.perf_counter() - apply_start
             statistics.rounds += 1
             if probe is not None:
                 nulls = 0
@@ -534,6 +656,12 @@ class BaseChaseEngine:
             delta = new_atoms_this_round
 
         statistics.wall_seconds = time.perf_counter() - start
+        if profiler is not None:
+            profiler.finish_run(
+                time.perf_counter() - driver_start,
+                setup_seconds=driver_start - start,
+                engine=self.engine,
+            )
         return ChaseResult(
             _materialized=instance,
             terminated=outcome is ChaseOutcome.TERMINATED,
@@ -544,6 +672,7 @@ class BaseChaseEngine:
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,
             telemetry=probe.as_dict() if probe is not None else None,
+            profile=profiler.as_dict() if profiler is not None else None,
         )
 
     def _run_store(
@@ -598,7 +727,30 @@ class BaseChaseEngine:
         applied: Set = set()
         outcome = ChaseOutcome.TERMINATED
         depth_truncated = False
-        pipeline = StoreTriggerPipeline(self.tgds, store)
+        profiler = self.profile
+        if profiler is None:
+            driver_start = start
+            prof_slots = None
+            enum_seconds = None
+            pipeline = StoreTriggerPipeline(self.tgds, store)
+        else:
+            # The attribution denominator starts here: store seeding
+            # and interning above are reported as setup_seconds.
+            driver_start = time.perf_counter()
+            compile_seconds = [0.0] * len(self.tgds)
+            pipeline = StoreTriggerPipeline(
+                self.tgds, store, compile_seconds=compile_seconds
+            )
+            prof_slots = profiler.attach(r.rule_id for r in pipeline.rules)
+            profiler.add_compile_seconds(prof_slots, compile_seconds)
+            enum_seconds = [0.0] * len(pipeline.rules)
+            p_seconds = profiler.seconds
+            p_considered = profiler.considered
+            p_fired = profiler.fired
+            p_pruned = profiler.pruned
+            p_facts = profiler.facts
+            p_nulls = profiler.nulls
+            slot = -1
         self._begin_store_run()
         budget = self.budget
         uses_frontier = self.uses_frontier_identity
@@ -615,12 +767,23 @@ class BaseChaseEngine:
             return self._run_store_columnar(
                 store, pipeline, delta, first_round, database_size, start,
                 resumed=resumed, base_rounds=base_rounds,
+                prof_slots=prof_slots, enum_seconds=enum_seconds,
+                driver_start=driver_start,
             )
 
         probe = self.probe
         round_delta = 0
         considered_before = applied_before = created_before = 0
         nulls_before = builds_before = 0
+        # Segment carry across rounds — see _run_store_columnar: a
+        # segment closes only where another opens, so round bookkeeping
+        # is attributed to the adjacent rule.
+        apply_slot = -1
+        apply_start = 0.0
+        seg_nulls = 0
+        if profiler is not None:
+            apply_start = time.perf_counter()
+            seg_nulls = store.null_count()
         while True:
             if statistics.rounds >= budget.max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
@@ -633,24 +796,52 @@ class BaseChaseEngine:
                 created_before = statistics.atoms_created
                 nulls_before = store.null_count()
                 builds_before = store.index_builds
+            if profiler is not None and apply_slot >= 0:
+                now = time.perf_counter()
+                p_seconds[apply_slot] += now - apply_start
+                p_nulls[apply_slot] += store.null_count() - seg_nulls
+                apply_slot = -1
             # Materialise the round's triggers up front; the pending
             # list aliases no live posting list, so applying triggers
             # below is free to mutate the store.
             pending = (
-                pipeline.initial_pending(store, uses_frontier)
+                pipeline.initial_pending(store, uses_frontier, enum_seconds)
                 if first_round
-                else pipeline.delta_pending(store, delta, uses_frontier)
+                else pipeline.delta_pending(store, delta, uses_frontier, enum_seconds)
             )
+            if profiler is not None:
+                apply_start = time.perf_counter()
+                seg_nulls = store.null_count()
             first_round = False
             new_facts: List[Fact] = []
             over_budget = False
             for rule, ids, key in pending:
                 statistics.triggers_considered += 1
+                if profiler is not None:
+                    slot = prof_slots[rule.index]
+                    if slot != apply_slot:
+                        # One clock read + one O(1) null_count per rule
+                        # segment; the pending list is rule-major so
+                        # nothing here is per trigger.  An opening
+                        # segment keeps the enumeration-end anchor.
+                        if apply_slot >= 0:
+                            now = time.perf_counter()
+                            null_mark = store.null_count()
+                            p_seconds[apply_slot] += now - apply_start
+                            p_nulls[apply_slot] += null_mark - seg_nulls
+                            apply_start = now
+                            seg_nulls = null_mark
+                        apply_slot = slot
+                    p_considered[slot] += 1
                 if key in applied:
+                    if profiler is not None:
+                        p_pruned[slot] += 1
                     continue
                 result_facts = store_evaluate(store, rule, ids, key)
                 if result_facts is None:
                     applied.add(key)
+                    if profiler is not None:
+                        p_pruned[slot] += 1
                     continue
                 if budget.truncate_at_depth and budget.max_depth is not None:
                     kept = [
@@ -669,6 +860,9 @@ class BaseChaseEngine:
                 added = [f for f in result_facts if add_fact(f[0], f[1])]
                 statistics.triggers_applied += 1
                 statistics.atoms_created += len(added)
+                if profiler is not None:
+                    p_fired[slot] += 1
+                    p_facts[slot] += len(added)
                 if added:
                     new_facts.extend(added)
                     if self.record_derivation:
@@ -717,6 +911,20 @@ class BaseChaseEngine:
             delta = new_facts
 
         statistics.wall_seconds = time.perf_counter() - start
+        if profiler is not None:
+            # Driver window closes before the O(store) observe_store
+            # sweep — profiler bookkeeping is not driver time.
+            driver_end = time.perf_counter()
+            if apply_slot >= 0:
+                p_seconds[apply_slot] += driver_end - apply_start
+                p_nulls[apply_slot] += store.null_count() - seg_nulls
+            profiler.add_rule_seconds(prof_slots, enum_seconds)
+            profiler.observe_store(store)
+            profiler.finish_run(
+                driver_end - driver_start,
+                setup_seconds=driver_start - start,
+                engine="store",
+            )
         return ChaseResult(
             _store=store,
             _atom_count=len(store),
@@ -728,6 +936,7 @@ class BaseChaseEngine:
             derivation=tuple(derivation),
             depth_truncated=depth_truncated,
             telemetry=probe.as_dict() if probe is not None else None,
+            profile=profiler.as_dict() if profiler is not None else None,
             resumed=resumed,
             base_rounds=base_rounds,
         )
@@ -742,6 +951,9 @@ class BaseChaseEngine:
         start: float,
         resumed: bool = False,
         base_rounds: int = 0,
+        prof_slots: Optional[List[int]] = None,
+        enum_seconds: Optional[List[float]] = None,
+        driver_start: Optional[float] = None,
     ) -> ChaseResult:
         """The arrays-layout driver loop (summary mode).
 
@@ -789,14 +1001,44 @@ class BaseChaseEngine:
         fired = 0
         created = 0
         probe = self.probe
+        profiler = self.profile
+        if profiler is not None:
+            p_seconds = profiler.seconds
+            p_considered = profiler.considered
+            p_fired = profiler.fired
+            p_pruned = profiler.pruned
+            p_facts = profiler.facts
+            p_nulls = profiler.nulls
         round_delta = len(store) if first_round else len(delta)
         considered_before = fired_before = created_before = 0
         nulls_before = builds_before = 0
         pending: Optional[List] = (
-            pipeline.initial_pending(store, uses_frontier)
+            pipeline.initial_pending(store, uses_frontier, enum_seconds)
             if first_round
-            else pipeline.delta_pending(store, delta, uses_frontier)
+            else pipeline.delta_pending(store, delta, uses_frontier, enum_seconds)
         )
+        # Attribution carries one open rule segment across round
+        # boundaries: a segment closes only where another opens (next
+        # rule, next enumeration, or end of run), so round bookkeeping
+        # — row marks, termination checks, the pending rebuild — lands
+        # on the adjacent rule instead of disappearing.  On many-round
+        # workloads (one trigger per round) that unattributed tail is
+        # what used to break the 90% attribution target.
+        #
+        # Counters are never bumped per trigger: the loop already
+        # maintains considered/fired/created locals, so every segment
+        # close derives its per-rule deltas from the anchors taken at
+        # segment open (pruned == considered − fired inside a segment —
+        # every trigger either fires or prunes in this loop).  The
+        # entire per-trigger profiled cost is one identity comparison.
+        apply_slot = -1
+        apply_start = 0.0
+        seg_nulls = 0
+        seg_rule = None
+        seg_considered = seg_fired = seg_created = 0
+        if profiler is not None:
+            apply_start = perf_counter()
+            seg_nulls = store.null_count()
         while True:
             if rounds >= max_rounds:
                 outcome = ChaseOutcome.ROUND_BUDGET_EXCEEDED
@@ -809,11 +1051,57 @@ class BaseChaseEngine:
                 nulls_before = store.null_count()
                 builds_before = store.index_builds
             if pending is None:
-                pending = pipeline.delta_pending_rows(store, marks, uses_frontier)
+                if profiler is not None:
+                    if apply_slot >= 0:
+                        now = perf_counter()
+                        p_seconds[apply_slot] += now - apply_start
+                        p_nulls[apply_slot] += store.null_count() - seg_nulls
+                        seg = considered - seg_considered
+                        hits = fired - seg_fired
+                        p_considered[apply_slot] += seg
+                        p_fired[apply_slot] += hits
+                        p_pruned[apply_slot] += seg - hits
+                        p_facts[apply_slot] += created - seg_created
+                    pending = pipeline.delta_pending_rows(
+                        store, marks, uses_frontier, enum_seconds
+                    )
+                    apply_slot = -1
+                    seg_rule = None
+                    apply_start = perf_counter()
+                    seg_nulls = store.null_count()
+                else:
+                    pending = pipeline.delta_pending_rows(
+                        store, marks, uses_frontier, enum_seconds
+                    )
             marks = store.row_marks()
             size_before = len(store)
             over_budget = False
             for rule, ids, key in pending:
+                if profiler is not None and rule is not seg_rule:
+                    # Rule-segment boundary: one clock read + one O(1)
+                    # null_count + counter-delta flush, nothing per
+                    # trigger.  An opening segment (apply_slot -1)
+                    # keeps the enumeration-end anchor, so the
+                    # row-mark and loop-entry gap is charged to the
+                    # first rule.
+                    if apply_slot >= 0:
+                        now = perf_counter()
+                        null_mark = store.null_count()
+                        p_seconds[apply_slot] += now - apply_start
+                        p_nulls[apply_slot] += null_mark - seg_nulls
+                        seg = considered - seg_considered
+                        hits = fired - seg_fired
+                        p_considered[apply_slot] += seg
+                        p_fired[apply_slot] += hits
+                        p_pruned[apply_slot] += seg - hits
+                        p_facts[apply_slot] += created - seg_created
+                        apply_start = now
+                        seg_nulls = null_mark
+                    seg_considered = considered
+                    seg_fired = fired
+                    seg_created = created
+                    seg_rule = rule
+                    apply_slot = prof_slots[rule.index]
                 considered += 1
                 if key in applied:
                     continue
@@ -922,6 +1210,27 @@ class BaseChaseEngine:
         statistics.triggers_applied = fired
         statistics.atoms_created = created
         statistics.wall_seconds = time.perf_counter() - start
+        if profiler is not None:
+            # The driver window closes *before* observe_store: the
+            # posting-memory sweep is O(store) profiler bookkeeping,
+            # not driver time to hold attribution accountable for.
+            driver_end = perf_counter()
+            if apply_slot >= 0:
+                p_seconds[apply_slot] += driver_end - apply_start
+                p_nulls[apply_slot] += store.null_count() - seg_nulls
+                seg = considered - seg_considered
+                hits = fired - seg_fired
+                p_considered[apply_slot] += seg
+                p_fired[apply_slot] += hits
+                p_pruned[apply_slot] += seg - hits
+                p_facts[apply_slot] += created - seg_created
+            profiler.add_rule_seconds(prof_slots, enum_seconds)
+            profiler.observe_store(store)
+            profiler.finish_run(
+                driver_end - driver_start,
+                setup_seconds=driver_start - start,
+                engine="store",
+            )
         return ChaseResult(
             _store=store,
             _atom_count=len(store),
@@ -933,6 +1242,7 @@ class BaseChaseEngine:
             derivation=(),
             depth_truncated=False,
             telemetry=probe.as_dict() if probe is not None else None,
+            profile=profiler.as_dict() if profiler is not None else None,
             resumed=resumed,
             base_rounds=base_rounds,
         )

@@ -58,6 +58,7 @@ def oblivious_chase(
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
+    profile: Optional[object] = None,
 ) -> ChaseResult:
     """Run the oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -68,6 +69,6 @@ def oblivious_chase(
     """
     chase_engine = ObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe,
+        engine=engine, probe=probe, profile=profile,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

@@ -20,6 +20,7 @@ precompiled index templates.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.model.atoms import Atom, Predicate
@@ -98,6 +99,7 @@ class CompiledRule:
     __slots__ = (
         "tgd",
         "rule_id",
+        "index",
         "body_plan",
         "delta_plans",
         "sorted_variables",
@@ -115,9 +117,13 @@ class CompiledRule:
         self,
         tgd: TGD,
         selectivity: Optional[Callable[[Predicate], int]] = None,
+        index: int = -1,
     ) -> None:
         self.tgd = tgd
         self.rule_id = tgd.rule_id
+        #: Position in the pipeline's rule list (profiler bucket index);
+        #: -1 for rules compiled outside a pipeline.
+        self.index = index
         body = tgd.body
         frontier = tgd.frontier()
         self.sorted_variables: Tuple[Variable, ...] = tuple(
@@ -238,8 +244,20 @@ class TriggerPipeline:
         self,
         tgds: TGDSet,
         selectivity: Optional[Callable[[Predicate], int]] = None,
+        compile_seconds: Optional[List[float]] = None,
     ) -> None:
-        self.rules: List[CompiledRule] = [CompiledRule(t, selectivity) for t in tgds]
+        if compile_seconds is None:
+            self.rules: List[CompiledRule] = [
+                CompiledRule(t, selectivity, i) for i, t in enumerate(tgds)
+            ]
+        else:
+            # Profiled construction: per-rule compile wall time lands in
+            # the caller's rule-indexed list.
+            self.rules = []
+            for i, t in enumerate(tgds):
+                compile_start = perf_counter()
+                self.rules.append(CompiledRule(t, selectivity, i))
+                compile_seconds[i] += perf_counter() - compile_start
         self.relevance: Dict[Predicate, List[Tuple[CompiledRule, int]]] = {}
         # Flat (rule, index, predicate) list in rule-major order: delta
         # rounds walk it so trigger order matches the classic rescan.

@@ -53,9 +53,10 @@ class RestrictedChase(BaseChaseEngine):
 
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
                  record_derivation: bool = True, compiled: bool = True,
-                 engine: Optional[str] = None, probe=None) -> None:
+                 engine: Optional[str] = None, probe=None, profile=None) -> None:
         super().__init__(tgds, budget=budget, record_derivation=record_derivation,
-                         compiled=compiled, engine=engine, probe=probe)
+                         compiled=compiled, engine=engine, probe=probe,
+                         profile=profile)
         self._fire_counter = itertools.count()
         self._satisfied_memo: set = set()
 
@@ -123,6 +124,7 @@ def restricted_chase(
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
+    profile: Optional[object] = None,
 ) -> ChaseResult:
     """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``.
 
@@ -137,6 +139,6 @@ def restricted_chase(
     """
     chase_engine = RestrictedChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe,
+        engine=engine, probe=probe, profile=profile,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

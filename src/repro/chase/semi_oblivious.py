@@ -55,6 +55,7 @@ def semi_oblivious_chase(
     resume_from: Optional[object] = None,
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
+    profile: Optional[object] = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -75,6 +76,6 @@ def semi_oblivious_chase(
     """
     chase_engine = SemiObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe,
+        engine=engine, probe=probe, profile=profile,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

@@ -22,6 +22,7 @@ can compare them homomorphism for homomorphism.
 from __future__ import annotations
 
 from operator import itemgetter
+from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.model.atoms import Atom, Predicate
@@ -626,10 +627,24 @@ class StoreTriggerPipeline:
     avoids per-trigger generator resumptions on the hottest path.
     """
 
-    def __init__(self, tgds: TGDSet, store: FactStore) -> None:
-        self.rules: List[StoreCompiledRule] = [
-            StoreCompiledRule(t, store, index) for index, t in enumerate(tgds)
-        ]
+    def __init__(
+        self,
+        tgds: TGDSet,
+        store: FactStore,
+        compile_seconds: Optional[List[float]] = None,
+    ) -> None:
+        if compile_seconds is None:
+            self.rules: List[StoreCompiledRule] = [
+                StoreCompiledRule(t, store, index) for index, t in enumerate(tgds)
+            ]
+        else:
+            # Profiled construction: per-rule compile wall time lands in
+            # the caller's rule-indexed list.
+            self.rules = []
+            for index, t in enumerate(tgds):
+                compile_start = perf_counter()
+                self.rules.append(StoreCompiledRule(t, store, index))
+                compile_seconds[index] += perf_counter() - compile_start
         self.relevance: Dict[int, List[Tuple[StoreCompiledRule, int]]] = {}
         self._delta_entries: List[Tuple[StoreCompiledRule, int, int]] = []
         for rule in self.rules:
@@ -639,21 +654,36 @@ class StoreTriggerPipeline:
                 self._delta_entries.append((rule, index, pid))
 
     def initial_pending(
-        self, store: FactStore, uses_frontier: bool
+        self,
+        store: FactStore,
+        uses_frontier: bool,
+        rule_seconds: Optional[List[float]] = None,
     ) -> List[PendingTrigger]:
-        """All body homomorphisms into the store, keyed (round one)."""
+        """All body homomorphisms into the store, keyed (round one).
+
+        ``rule_seconds`` (rule-indexed, from the profiler) receives each
+        rule's enumeration wall time; ``None`` skips all clock reads.
+        """
         pending: List[PendingTrigger] = []
         append = pending.append
         for rule in self.rules:
             rule_index = rule.index
             key_get = rule.frontier_get if uses_frontier else None
+            if rule_seconds is not None:
+                enum_start = perf_counter()
             for canonical in rule.initial_canonicals(store):
                 key = (rule_index, key_get(canonical) if key_get else canonical)
                 append((rule, canonical, key))
+            if rule_seconds is not None:
+                rule_seconds[rule_index] += perf_counter() - enum_start
         return pending
 
     def delta_pending(
-        self, store: FactStore, delta: Sequence[Fact], uses_frontier: bool
+        self,
+        store: FactStore,
+        delta: Sequence[Fact],
+        uses_frontier: bool,
+        rule_seconds: Optional[List[float]] = None,
     ) -> List[PendingTrigger]:
         """Keyed triggers whose body image uses at least one delta fact.
 
@@ -662,6 +692,11 @@ class StoreTriggerPipeline:
         permutation of the fact), and it has no second delta entry to
         collide with — such entries skip the round-local ``seen`` set
         entirely.
+
+        ``rule_seconds`` attributes enumeration time per rule.  The
+        entry walk is rule-major (every rule's body atoms are
+        consecutive), so the clock is read only where the owning rule
+        changes, never per forced fact or trigger.
         """
         by_pid: Dict[int, List[Tuple[int, ...]]] = {}
         relevance = self.relevance
@@ -674,7 +709,20 @@ class StoreTriggerPipeline:
         append = pending.append
         seen: Set[Tuple[int, CanonicalIds]] = set()
         seen_add = seen.add
+        seg_index = -1
+        # The first segment opens at function entry, not at the first
+        # boundary: per-call prologue (local binds, the seen set) lands
+        # on the first rule instead of vanishing from the attribution —
+        # µs of noise per call, but rounds can number in the hundreds
+        # of thousands.
+        seg_start = perf_counter() if rule_seconds is not None else 0.0
         for rule, index, pid in self._delta_entries:
+            if rule_seconds is not None and rule.index != seg_index:
+                if seg_index >= 0:
+                    now = perf_counter()
+                    rule_seconds[seg_index] += now - seg_start
+                    seg_start = now
+                seg_index = rule.index
             forced_facts = by_pid.get(pid)
             if not forced_facts:
                 continue
@@ -712,12 +760,18 @@ class StoreTriggerPipeline:
                     seen_add(dedup_key)
                     key = (rule_index, key_get(canonical) if key_get else canonical)
                     append((rule, canonical, key))
+        if rule_seconds is not None and seg_index >= 0:
+            rule_seconds[seg_index] += perf_counter() - seg_start
         return pending
 
     # (classic delta_pending above; columnar row-mark twin below)
 
     def delta_pending_rows(
-        self, store: FactStore, marks: Sequence[int], uses_frontier: bool
+        self,
+        store: FactStore,
+        marks: Sequence[int],
+        uses_frontier: bool,
+        rule_seconds: Optional[List[float]] = None,
     ) -> List[PendingTrigger]:
         """:meth:`delta_pending` over columnar row marks (arrays layout).
 
@@ -736,7 +790,17 @@ class StoreTriggerPipeline:
         seen: Set[Tuple[int, CanonicalIds]] = set()
         seen_add = seen.add
         rows_since = store.rows_since
+        seg_index = -1
+        # First segment opens at entry (see delta_pending): the per-call
+        # prologue is charged to the first rule.
+        seg_start = perf_counter() if rule_seconds is not None else 0.0
         for rule, index, pid in self._delta_entries:
+            if rule_seconds is not None and rule.index != seg_index:
+                if seg_index >= 0:
+                    now = perf_counter()
+                    rule_seconds[seg_index] += now - seg_start
+                    seg_start = now
+                seg_index = rule.index
             forced_facts = rows_since(pid, marks[pid])
             if not forced_facts:
                 continue
@@ -790,4 +854,6 @@ class StoreTriggerPipeline:
                     seen_add(dedup_key)
                     key = (rule_index, key_get(canonical) if key_get else canonical)
                     append((rule, canonical, key))
+        if rule_seconds is not None and seg_index >= 0:
+            rule_seconds[seg_index] += perf_counter() - seg_start
         return pending

@@ -10,18 +10,21 @@ Four subcommands mirror the library's main entry points::
                                                             [--format text|json] [--output FILE]
                                                             [--engine store|plans|legacy]
                                                             [--resume-from SNAP] [--save-snapshot FILE]
-                                                            [--trace FILE]
+                                                            [--trace FILE] [--profile [--top K]]
+                                                            [--conformance]
     python -m repro snapshot  dump database.facts --output FILE [--rules R [--variant V]]
     python -m repro snapshot  inspect FILE
     python -m repro snapshot  restore FILE [--output facts.txt]
     python -m repro batch     manifest.jsonl [--workers N] [--cache FILE] [--output FILE]
                                              [--timeout S] [--materialize] [--incremental]
-                                             [--trace FILE]
+                                             [--trace FILE] [--profile] [--conformance]
     python -m repro serve     [--host H] [--port P] [--workers N] [--cache FILE]
                               [--cache-max-entries N] [--queue-depth N] [--ttl S]
                               [--timeout S] [--materialize] [--metrics]
-                              [--access-log FILE] [--trace FILE]
-    python -m repro trace     inspect FILE
+                              [--access-log FILE [--access-log-max-bytes N]]
+                              [--trace FILE] [--conformance]
+    python -m repro trace     inspect FILE [--top N] [--top-rules]
+    python -m repro profile   FILE [--top K]
 
 ``serve`` starts the long-running chase service daemon: an HTTP job
 server (``POST /jobs``, ``POST /batches``, ``GET /jobs/<id>``,
@@ -30,11 +33,22 @@ streaming ``GET /batches/<id>``, ``GET /healthz``, ``GET /stats``,
 :mod:`repro.service`.  It runs until interrupted or shut down over
 HTTP, draining accepted jobs first.
 
-Three maintenance subcommands regenerate the benchmark reports::
+``--profile`` attributes wall time, triggers, facts and nulls to
+individual rules (``repro profile FILE`` re-renders a saved payload,
+``trace inspect --top-rules`` ranks from a trace file);
+``--conformance`` checks terminated runs against the paper's
+size/depth bounds for their TGD class.
+
+Three maintenance subcommands regenerate the benchmark reports, and
+each run appends a row set to ``benchmarks/history.jsonl``
+(``--history PATH`` / ``--no-history``) for regression tracking::
 
     python -m repro bench-engine  [--output BENCH_engine.json]  [--repeats N]
     python -m repro bench-runtime [--output BENCH_runtime.json] [--jobs N] [--workers N]
     python -m repro bench-service [--output BENCH_service.json] [--jobs N] [--clients N]
+    python -m repro bench history [--path FILE] [--limit N] [--experiment E]
+    python -m repro bench compare [--path FILE] [--baseline SHA] [--threshold F]
+                                  [--experiment E] [--fail-on-regression]
 
 Rule files contain one TGD per line (``R(x, y) -> exists z . S(y, z)``),
 database files one fact per line (``R(a, b).``); ``%`` and ``#`` start
@@ -166,6 +180,11 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         from repro.obs.probe import ChaseProbe
 
         probe = ChaseProbe()
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import RuleProfiler
+
+        profiler = RuleProfiler()
     result = runner(
         database,
         program,
@@ -174,7 +193,9 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         engine=engine,
         resume_from=resume_from,
         probe=probe,
+        profile=profiler,
     )
+    profile_payload = result.profile
     if args.trace:
         from repro.obs.trace import TraceRecorder
 
@@ -189,17 +210,22 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 "chase.round", cursor, cursor + wall, tid="chase", args=dict(sample)
             )
             cursor += wall
+        run_args = {
+            "rounds": result.statistics.rounds,
+            "size": result.size,
+            "terminated": result.terminated,
+            "sample_stride": telemetry.get("sample_stride"),
+        }
+        if profile_payload is not None:
+            # Embedded so 'trace inspect --top-rules' can rank rules
+            # straight from the trace file.
+            run_args["profile"] = profile_payload
         recorder.add_span(
             "chase.run",
             0.0,
             result.statistics.wall_seconds,
             tid="chase",
-            args={
-                "rounds": result.statistics.rounds,
-                "size": result.size,
-                "terminated": result.terminated,
-                "sample_stride": telemetry.get("sample_stride"),
-            },
+            args=run_args,
         )
         events = recorder.export_jsonl(args.trace)
         print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
@@ -228,13 +254,40 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         f"{result.statistics.wall_seconds:.3f}s",
         file=sys.stderr,
     )
+    if profile_payload is not None:
+        from repro.obs.profile import format_profile_table
+
+        print(format_profile_table(profile_payload, top=args.top), file=sys.stderr)
+    summary = result.summary()
+    if args.conformance:
+        from repro.obs.conformance import conformance_report
+
+        block = conformance_report(summary, program)
+        if block is None:
+            print(
+                "conformance: no paper bounds for this TGD class",
+                file=sys.stderr,
+            )
+        else:
+            summary["conformance"] = block
+            verdict = (
+                f"VIOLATED ({', '.join(block['violations'])})"
+                if block["violations"]
+                else "within bounds"
+            )
+            print(
+                f"conformance: class {block['class']}, "
+                f"size utilization {block['size_utilization']}, "
+                f"depth utilization {block['depth_utilization']} — {verdict}",
+                file=sys.stderr,
+            )
     text = instance_to_text(result.instance)
     if args.output:
         Path(args.output).write_text(text + "\n")
     if args.format == "json":
         document = {
             "status": status,
-            "summary": result.summary(),
+            "summary": summary,
             "wall_seconds": round(result.statistics.wall_seconds, 6),
             "instance": None if args.output else text,
         }
@@ -336,6 +389,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         engine=args.engine,
         incremental=args.incremental,
         tracer=tracer,
+        profile=args.profile,
+        conformance=args.conformance,
         **executor_kwargs,
     )
     if cache is not None:
@@ -390,7 +445,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission_analysis=args.admission_analysis,
         metrics=args.metrics,
         access_log=args.access_log,
+        access_log_max_bytes=args.access_log_max_bytes,
         trace_path=args.trace,
+        conformance=args.conformance,
     )
     service.start()
     print(
@@ -418,7 +475,143 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(json.dumps(summarize_trace(events), indent=2, sort_keys=True))
+    if args.top_rules:
+        from repro.obs.profile import format_profile_table
+
+        profiles = [
+            event["args"]["profile"]
+            for event in events
+            if isinstance(event.get("args"), dict)
+            and isinstance(event["args"].get("profile"), dict)
+        ]
+        if not profiles:
+            print(
+                "no embedded rule profiles in this trace "
+                "(record one with 'chase --trace FILE --profile')",
+                file=sys.stderr,
+            )
+            return 2
+        for profile in profiles:
+            print(format_profile_table(profile, top=args.top or 10))
+        return 0
+    print(json.dumps(summarize_trace(events, top=args.top), indent=2, sort_keys=True))
+    return 0
+
+
+def _profile_payloads(document: object) -> list:
+    """Every profile payload reachable in a loaded JSON document.
+
+    Accepts a raw ``RuleProfiler.as_dict()`` payload, a ``chase
+    --format json`` document, a run summary, or a batch/bench result
+    row — anywhere a ``profile`` block can end up.
+    """
+    if not isinstance(document, dict):
+        return []
+    if "rules" in document and "attributed_seconds" in document:
+        return [document]  # a raw profile payload
+    found = []
+    profile = document.get("profile")
+    if isinstance(profile, dict):
+        found.append(profile)
+    summary = document.get("summary")
+    if isinstance(summary, dict) and isinstance(summary.get("profile"), dict):
+        found.append(summary["profile"])
+    return found
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import format_profile_table
+
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profiles = []
+    try:
+        profiles = _profile_payloads(json.loads(text))
+    except json.JSONDecodeError:
+        # JSONL (batch results): scan each row for profile blocks.
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                profiles.extend(_profile_payloads(json.loads(line)))
+            except json.JSONDecodeError:
+                continue
+    if not profiles:
+        print(
+            f"no profile payloads in {args.file} "
+            "(produce one with 'chase --profile --format json')",
+            file=sys.stderr,
+        )
+        return 2
+    for index, profile in enumerate(profiles):
+        if index:
+            print()
+        print(format_profile_table(profile, top=args.top))
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from repro.obs.benchhist import format_history, load_history
+
+    entries = load_history(args.path)
+    if args.experiment:
+        entries = [e for e in entries if e.get("experiment") == args.experiment]
+    if not entries:
+        print(f"no history entries in {args.path}", file=sys.stderr)
+        return 2
+    print(format_history(entries, limit=args.limit))
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.benchhist import compare_entries, format_comparison, load_history
+
+    entries = load_history(args.path)
+    if args.experiment:
+        entries = [e for e in entries if e.get("experiment") == args.experiment]
+    by_experiment: dict = {}
+    for entry in entries:
+        by_experiment.setdefault(entry.get("experiment"), []).append(entry)
+    if not by_experiment:
+        print(f"no history entries in {args.path}", file=sys.stderr)
+        return 2
+    regressed = False
+    compared = False
+    for experiment in sorted(by_experiment, key=str):
+        history = by_experiment[experiment]
+        current = history[-1]
+        if args.baseline:
+            candidates = [
+                e
+                for e in history[:-1]
+                if str(e.get("git_sha", "")).startswith(args.baseline)
+            ]
+            if not candidates:
+                print(
+                    f"{experiment}: no baseline entry matching "
+                    f"{args.baseline!r}; skipping",
+                    file=sys.stderr,
+                )
+                continue
+            baseline = candidates[-1]
+        elif len(history) >= 2:
+            baseline = history[-2]
+        else:
+            print(f"{experiment}: only one entry, nothing to compare", file=sys.stderr)
+            continue
+        comparison = compare_entries(baseline, current, threshold=args.threshold)
+        compared = True
+        print(format_comparison(comparison))
+        if comparison["regressions"]:
+            regressed = True
+    if not compared:
+        return 2
+    if regressed and args.fail_on_regression:
+        return 1
     return 0
 
 
@@ -428,7 +621,9 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     rows, summary = service_benchmark_rows(
         job_count=args.jobs, clients=args.clients, workers=args.workers, seed=args.seed
     )
-    write_service_report(path=args.output, rows=rows, summary=summary)
+    write_service_report(
+        path=args.output, rows=rows, summary=summary, history_path=_history_path(args)
+    )
     print(format_table(rows))
     print(
         f"\n{summary['requests_per_second']} req/s with {summary['clients']} clients, "
@@ -467,7 +662,9 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         rows.append(snapshot_roundtrip_row(repeats=args.repeats))
         rows.append(incremental_rechase_row(repeats=args.repeats))
         rows.append(engine_memory_row())
-    report = write_engine_report(path=args.output, rows=rows, quick=args.quick)
+    report = write_engine_report(
+        path=args.output, rows=rows, quick=args.quick, history_path=_history_path(args)
+    )
     print(format_table(rows))
     summary = report["summary"]
     gates = ""
@@ -511,11 +708,23 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        overhead = summary.get("max_telemetry_overhead")
+        # The overhead gates read the *floor* ratios (min across the
+        # interleaved rounds): a genuine per-trigger cost shows up in
+        # every round so it cannot hide from the min, while a noisy CI
+        # neighbour slowing any single round cannot flake the gate.
+        overhead = summary.get("max_telemetry_overhead_floor")
         if overhead is not None and overhead > 1.10:
             print(
                 f"perf smoke FAILED: per-round telemetry costs "
                 f"{overhead}x the uninstrumented store run (gate: 1.10x)",
+                file=sys.stderr,
+            )
+            return 1
+        profile_overhead = summary.get("max_profile_overhead_floor")
+        if profile_overhead is not None and profile_overhead > 1.10:
+            print(
+                f"perf smoke FAILED: per-rule profiling costs "
+                f"{profile_overhead}x the unprofiled store run (gate: 1.10x)",
                 file=sys.stderr,
             )
             return 1
@@ -536,7 +745,9 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     rows, summary = runtime_benchmark_rows(
         job_count=args.jobs, workers=args.workers, repeats=args.repeats, seed=args.seed
     )
-    write_runtime_report(path=args.output, rows=rows, summary=summary)
+    write_runtime_report(
+        path=args.output, rows=rows, summary=summary, history_path=_history_path(args)
+    )
     print(format_table(rows))
     print(
         f"\npool speedup: {summary['pool_speedup']}x over serial "
@@ -629,6 +840,26 @@ def build_parser() -> argparse.ArgumentParser:
         "the chase entirely when it provably diverges, and include the "
         "analysis in --format json output",
     )
+    chase_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time, triggers, facts and nulls to individual "
+        "rules; prints a top-K table and adds a 'profile' key to the "
+        "--format json summary (and to the --trace file)",
+    )
+    chase_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows in the --profile table (default 10)",
+    )
+    chase_parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="compare the run against the paper's size/depth bounds for "
+        "its TGD class: prints the utilizations and adds a 'conformance' "
+        "key to the --format json summary",
+    )
     chase_parser.set_defaults(handler=_cmd_chase)
 
     snapshot_parser = subparsers.add_parser(
@@ -703,6 +934,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="record job-lifecycle spans (admission, cache lookup, snapshot "
         "encode, execute, cache write) and write Chrome-trace JSONL here",
     )
+    batch_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach a per-rule attribution profile to every executed "
+        "result's summary (inspect with 'repro profile RESULTS.jsonl')",
+    )
+    batch_parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="stamp a paper-bound conformance block (observed size/depth "
+        "vs the class's d_C/f_C bounds) into every SL/L/G result summary",
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
 
     serve_parser = subparsers.add_parser(
@@ -757,6 +1000,21 @@ def build_parser() -> argparse.ArgumentParser:
         "path, status, seconds) to this file",
     )
     serve_parser.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="rotate the access log once it reaches this size: the file "
+        "moves to <name>.1 (replacing any previous rollover) and a fresh "
+        "log starts (default 16 MiB)",
+    )
+    serve_parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="stamp paper-bound conformance blocks into result summaries "
+        "and export bound_utilization gauges / the bound-violation "
+        "counter at /metrics",
+    )
+    serve_parser.add_argument(
         "--trace",
         help="record job-lifecycle and request spans; the Chrome-trace "
         "JSONL is written here when the daemon stops",
@@ -772,7 +1030,83 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="validate a trace file and print a per-span summary"
     )
     trace_inspect.add_argument("trace_file", help="Chrome-trace JSONL file")
+    trace_inspect.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="also rank the N most expensive span names by total time",
+    )
+    trace_inspect.add_argument(
+        "--top-rules",
+        action="store_true",
+        help="print the per-rule attribution table embedded by "
+        "'chase --trace FILE --profile' instead of the span summary",
+    )
     trace_inspect.set_defaults(handler=_cmd_trace)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="print the top-K per-rule attribution table from a profiled "
+        "run's JSON output (chase --profile --format json, or batch JSONL)",
+    )
+    profile_parser.add_argument(
+        "file", help="JSON document or JSONL results file carrying 'profile' blocks"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, help="rows per table (default 10)"
+    )
+    profile_parser.set_defaults(handler=_cmd_profile)
+
+    bench_history_root = subparsers.add_parser(
+        "bench",
+        help="inspect and compare the benchmarks/history.jsonl perf log",
+    )
+    bench_history_subparsers = bench_history_root.add_subparsers(
+        dest="action", required=True
+    )
+    bench_history_cmd = bench_history_subparsers.add_parser(
+        "history", help="list recorded bench runs (newest last)"
+    )
+    bench_history_cmd.add_argument(
+        "--path", default="benchmarks/history.jsonl", help="history JSONL file"
+    )
+    bench_history_cmd.add_argument(
+        "--limit", type=int, default=20, help="show at most N entries"
+    )
+    bench_history_cmd.add_argument(
+        "--experiment", help="only entries of this experiment (e.g. engine-speed)"
+    )
+    bench_history_cmd.set_defaults(handler=_cmd_bench_history)
+    bench_compare_cmd = bench_history_subparsers.add_parser(
+        "compare",
+        help="compare each experiment's latest entry against a baseline and "
+        "flag per-row regressions beyond the noise threshold",
+    )
+    bench_compare_cmd.add_argument(
+        "--path", default="benchmarks/history.jsonl", help="history JSONL file"
+    )
+    bench_compare_cmd.add_argument(
+        "--baseline",
+        help="git SHA (prefix) of the baseline entry; default: the "
+        "previous entry of the same experiment",
+    )
+    bench_compare_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative slowdown tolerated before a row counts as a "
+        "regression (default 0.15 = 15%%)",
+    )
+    bench_compare_cmd.add_argument(
+        "--experiment", help="only compare this experiment (e.g. engine-speed)"
+    )
+    bench_compare_cmd.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any row regresses (CI gate; default is "
+        "report-only)",
+    )
+    bench_compare_cmd.set_defaults(handler=_cmd_bench_compare)
 
     bench_parser = subparsers.add_parser(
         "bench-engine",
@@ -795,6 +1129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "not ≥1.5x over the legacy rescan, the arrays layout regresses "
         "below 1.0x of the sets layout, or results diverge",
     )
+    _add_history_flags(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench_engine)
 
     bench_runtime_parser = subparsers.add_parser(
@@ -806,6 +1141,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_runtime_parser.add_argument("--workers", type=int, default=4)
     bench_runtime_parser.add_argument("--repeats", type=int, default=1)
     bench_runtime_parser.add_argument("--seed", type=int, default=7)
+    _add_history_flags(bench_runtime_parser)
     bench_runtime_parser.set_defaults(handler=_cmd_bench_runtime)
 
     bench_service_parser = subparsers.add_parser(
@@ -818,8 +1154,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service_parser.add_argument("--clients", type=int, default=4)
     bench_service_parser.add_argument("--workers", type=int, default=2)
     bench_service_parser.add_argument("--seed", type=int, default=7)
+    _add_history_flags(bench_service_parser)
     bench_service_parser.set_defaults(handler=_cmd_bench_service)
     return parser
+
+
+def _add_history_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history",
+        default="benchmarks/history.jsonl",
+        help="append this run's per-row metrics to the schema-versioned "
+        "perf log (compare runs with 'bench compare')",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not record this run in the bench history",
+    )
+
+
+def _history_path(args: argparse.Namespace) -> Optional[str]:
+    return None if args.no_history else args.history
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

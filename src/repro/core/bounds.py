@@ -43,6 +43,30 @@ def depth_bound(tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
     )
 
 
+def depth_bound_within(
+    tgds: TGDSet,
+    cap: int,
+    tgd_class: TGDClass | None = None,
+) -> Optional[int]:
+    """``d_C(Σ)`` when it is at most ``cap``, else ``None``.
+
+    The guarded depth bound contains ``2^(|sch|·ar^ar)``, which can be
+    astronomically large; like :func:`size_bound_within` this rejects
+    hopeless cases from the exponent alone (``2^e > cap`` whenever
+    ``e ≥ bitlen(cap)``) before materialising any big power, so the
+    conformance monitor can call it on every job.
+    """
+    tgd_class = tgd_class or classify(tgds)
+    if tgd_class is TGDClass.GUARDED:
+        schema_size = len(tgds.schema())
+        arity = max(tgds.arity(), 1)
+        exponent = schema_size * arity**arity
+        if exponent >= max(cap, 1).bit_length():
+            return None
+    value = depth_bound(tgds, tgd_class)
+    return value if value <= cap else None
+
+
 def size_bound_factor(tgds: TGDSet, tgd_class: TGDClass | None = None) -> int:
     """``f_C(Σ) = (d_C(Σ)+1) · ‖Σ‖^(2·ar(Σ)·(d_C(Σ)+1))``."""
     tgd_class = tgd_class or classify(tgds)

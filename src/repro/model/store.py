@@ -64,6 +64,7 @@ import json
 import os
 import sys
 from array import array
+from time import perf_counter
 from operator import itemgetter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -113,6 +114,7 @@ class FactStore:
         "_max_depth",
         "_has_foreign_nulls",
         "index_builds",
+        "_index_profile",
         "restored_rounds",
         # sets layout
         "_facts",
@@ -154,6 +156,11 @@ class FactStore:
         # cold build paths only — the add/probe hot paths never touch
         # it — so reading it is free visibility, not new overhead.
         self.index_builds = 0
+        # Per-predicate build attribution: pid -> [builds, seconds].
+        # Stamped only on the same cold paths as index_builds, so the
+        # add/probe hot paths stay untouched; read by the profiler via
+        # index_build_profile().
+        self._index_profile: Dict[int, List] = {}
         # Rounds stamped into the snapshot this store was restored
         # from, if any (``None`` for stores built from scratch).  Lets
         # a resumed chase report its base-run round offset.
@@ -484,6 +491,52 @@ class FactStore:
         """
         return len(self._null_ids)
 
+    def index_build_profile(self) -> Dict[str, Dict[str, object]]:
+        """Per-predicate lazy index construction: name -> builds/seconds.
+
+        Covers posting-column backfills and projection-signature
+        builds (the same events :attr:`index_builds` counts), with the
+        wall time each cost.  Empty for the sets layout, whose posting
+        sets are maintained eagerly on add.
+        """
+        return {
+            self._pred_of[pid].name: {"builds": entry[0], "seconds": entry[1]}
+            for pid, entry in self._index_profile.items()
+        }
+
+    def posting_memory(self) -> Dict[str, int]:
+        """Approximate per-predicate index memory (bytes), on demand.
+
+        Sums ``sys.getsizeof`` over the posting containers — built
+        columns and their buckets plus projection sets on the arrays
+        layout, fact buckets and posting sets on the sets layout.
+        Container overhead only (the packed fact tuples themselves are
+        shared with the row tables), which is the part the lazy index
+        strategy actually controls.  Walks every built bucket, so call
+        it at run end, not per round.
+        """
+        sizes: Dict[str, int] = {}
+        getsizeof = sys.getsizeof
+        if self.layout == "sets":
+            per_pid: Dict[int, int] = {
+                pid: getsizeof(bucket) for pid, bucket in enumerate(self._facts)
+            }
+            for (pid, _, _), entry in self._posting.items():
+                per_pid[pid] = per_pid.get(pid, 0) + getsizeof(entry)
+            for pid, total in per_pid.items():
+                sizes[self._pred_of[pid].name] = total
+            return sizes
+        for pid, predicate in enumerate(self._pred_of):
+            total = getsizeof(self._rows[pid])
+            for position in self._built[pid]:
+                column = self._cols[pid][position]
+                total += getsizeof(column)
+                total += sum(map(getsizeof, column.values()))
+            for entry in self._proj[pid].values():
+                total += getsizeof(entry[0])
+            sizes[predicate.name] = total
+        return sizes
+
     def fact_depth(self, ids: Tuple[int, ...]) -> int:
         """Depth of a fact: max over its terms' depths (0 if nullary)."""
         depths = self._depth_of_id
@@ -525,6 +578,7 @@ class FactStore:
         """
         column = self._cols[pid][position]
         if column is None:
+            build_start = perf_counter()
             self.index_builds += 1
             column = {}
             for ids in self._rows[pid]:
@@ -536,6 +590,12 @@ class FactStore:
                     bucket.append(ids)
             self._cols[pid][position] = column
             self._built[pid].append(position)
+            entry = self._index_profile.get(pid)
+            if entry is None:
+                self._index_profile[pid] = [1, perf_counter() - build_start]
+            else:
+                entry[0] += 1
+                entry[1] += perf_counter() - build_start
         return column
 
     def posting(self, pid: int, position: int, tid: int):
@@ -598,10 +658,17 @@ class FactStore:
         rows = self._rows[pid]
         entry = self._proj[pid].get(signature)
         if entry is None:
+            build_start = perf_counter()
             self.index_builds += 1
             getter = itemgetter(*signature)
             projections = set(map(getter, rows))
             self._proj[pid][signature] = [projections, len(rows), getter]
+            profile = self._index_profile.get(pid)
+            if profile is None:
+                self._index_profile[pid] = [1, perf_counter() - build_start]
+            else:
+                profile[0] += 1
+                profile[1] += perf_counter() - build_start
         else:
             projections, watermark, getter = entry
             if watermark != len(rows):

@@ -17,7 +17,16 @@ from .metrics import (
     histogram_consistency_errors,
     parse_prometheus_text,
 )
+from .benchhist import (
+    append_history,
+    compare_entries,
+    format_comparison,
+    format_history,
+    load_history,
+)
+from .conformance import conformance_report, record_conformance
 from .probe import ChaseProbe, RoundSample
+from .profile import RuleProfiler, format_profile_table, top_rules
 from .trace import TraceRecorder, load_trace, summarize_trace
 
 __all__ = [
@@ -35,4 +44,14 @@ __all__ = [
     "TraceRecorder",
     "load_trace",
     "summarize_trace",
+    "RuleProfiler",
+    "top_rules",
+    "format_profile_table",
+    "conformance_report",
+    "record_conformance",
+    "append_history",
+    "load_history",
+    "compare_entries",
+    "format_history",
+    "format_comparison",
 ]

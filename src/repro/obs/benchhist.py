@@ -1,0 +1,275 @@
+"""Machine-readable benchmark history and regression comparison.
+
+Every ``bench-*`` report is regenerated per PR, but until now the
+previous numbers were gone the moment the artifact was overwritten —
+regressions were only caught by the coarse quick-mode gates.  This
+module gives each report a durable trail: one schema-versioned JSON
+line per run appended to ``benchmarks/history.jsonl`` (experiment, git
+SHA, per-row wall-second metrics, telemetry/profile overheads), plus a
+comparator that pairs the rows of two entries and flags per-row
+slowdowns beyond a noise threshold.
+
+The comparison is a *soft* gate by design: benchmark runners (CI
+machines especially) are noisy, so a flagged regression is a prompt to
+look at the uploaded artifacts, not an automatic failure.  Callers
+that want a hard verdict (the CI smoke that injects a synthetic 2×
+slowdown to prove detection works) opt in via
+``exit_code=`` / ``--fail-on-regression``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_THRESHOLD",
+    "git_sha",
+    "row_metrics",
+    "history_entry",
+    "append_history",
+    "load_history",
+    "compare_entries",
+    "format_history",
+    "format_comparison",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+DEFAULT_HISTORY_PATH = "benchmarks/history.jsonl"
+
+#: Per-row slowdown tolerated before a metric is flagged (15%).
+DEFAULT_THRESHOLD = 0.15
+
+#: Row fields that identify *what* was measured (vs how long it took);
+#: together with ``label`` they form the pairing key between entries.
+_IDENTITY_FIELDS = (
+    "workload",
+    "variant",
+    "engine",
+    "layout",
+    "family",
+    "jobs",
+    "workers",
+    "clients",
+    "big",
+)
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git HEAD SHA, or ``None`` outside a repository."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def _row_key(row: Mapping[str, object], ordinal: int) -> str:
+    parts = [str(row.get("label", f"row{ordinal}"))]
+    for field in _IDENTITY_FIELDS:
+        if field in row:
+            parts.append(f"{field}={row[field]}")
+    return " ".join(parts)
+
+
+def row_metrics(row: Mapping[str, object]) -> Dict[str, float]:
+    """The comparable metrics of one flat report row.
+
+    Wall-second fields (``seconds``, ``*_seconds``) and instrumentation
+    overhead ratios (``*_overhead``) — the numbers whose growth means a
+    regression.  Throughput-style fields are deliberately excluded:
+    comparing seconds once is enough, and higher-is-better metrics
+    would need inverted thresholds.
+    """
+    metrics: Dict[str, float] = {}
+    for key, value in row.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key == "seconds" or key.endswith("_seconds") or key.endswith("_overhead"):
+            metrics[key] = float(value)
+    return metrics
+
+
+def history_entry(
+    report: Mapping[str, object],
+    sha: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """One history line for a ``write_*_report`` payload."""
+    rows = report.get("rows") or []
+    entry_rows = []
+    for ordinal, row in enumerate(rows):
+        metrics = row_metrics(row)
+        if not metrics:
+            continue
+        entry_rows.append({"key": _row_key(row, ordinal), "metrics": metrics})
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "experiment": report.get("experiment"),
+        "git_sha": sha if sha is not None else git_sha(),
+        "timestamp": round(timestamp if timestamp is not None else time.time(), 3),
+        "python": report.get("python"),
+        "rows": entry_rows,
+    }
+
+
+def append_history(
+    report: Mapping[str, object],
+    path: str = DEFAULT_HISTORY_PATH,
+    sha: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """Append one entry for ``report`` to the JSONL file at ``path``."""
+    entry = history_entry(report, sha=sha, timestamp=timestamp)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str = DEFAULT_HISTORY_PATH) -> List[Dict[str, object]]:
+    """All history entries at ``path`` in append order (oldest first).
+
+    Tolerates a missing file and skips corrupt or foreign-schema lines
+    (a newer writer's rows are not comparable) instead of failing the
+    whole read — history is an append-only log that survives schema
+    bumps.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries: List[Dict[str, object]] = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("schema") != HISTORY_SCHEMA_VERSION:
+            continue
+        entries.append(entry)
+    return entries
+
+
+def compare_entries(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Per-row metric deltas of ``current`` against ``baseline``.
+
+    A metric regresses when ``current > baseline · (1 + threshold)``;
+    the ratio is reported either way so improvements are visible too.
+    Rows or metrics present on only one side are listed under
+    ``unmatched`` (a structure change, not a regression).
+    """
+    baseline_rows = {row["key"]: row["metrics"] for row in baseline.get("rows", [])}
+    current_rows = {row["key"]: row["metrics"] for row in current.get("rows", [])}
+    deltas: List[Dict[str, object]] = []
+    regressions: List[Dict[str, object]] = []
+    unmatched: List[str] = []
+    for key in sorted(set(baseline_rows) | set(current_rows)):
+        base_metrics = baseline_rows.get(key)
+        cur_metrics = current_rows.get(key)
+        if base_metrics is None or cur_metrics is None:
+            unmatched.append(key)
+            continue
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            base = base_metrics.get(metric)
+            cur = cur_metrics.get(metric)
+            if base is None or cur is None:
+                unmatched.append(f"{key} :: {metric}")
+                continue
+            ratio = cur / base if base > 0 else (1.0 if cur == base else float("inf"))
+            delta = {
+                "row": key,
+                "metric": metric,
+                "baseline": base,
+                "current": cur,
+                "ratio": round(ratio, 4) if ratio != float("inf") else "inf",
+                "regressed": bool(ratio > 1.0 + threshold),
+            }
+            deltas.append(delta)
+            if delta["regressed"]:
+                regressions.append(delta)
+    return {
+        "experiment": current.get("experiment"),
+        "baseline_sha": baseline.get("git_sha"),
+        "current_sha": current.get("git_sha"),
+        "threshold": threshold,
+        "rows_compared": len(set(baseline_rows) & set(current_rows)),
+        "deltas": deltas,
+        "regressions": regressions,
+        "unmatched": unmatched,
+    }
+
+
+def format_history(entries: Sequence[Mapping[str, object]], limit: int = 20) -> str:
+    """Render the newest ``limit`` history entries as a text table."""
+    shown = list(entries)[-max(limit, 0):]
+    if not shown:
+        return "(no history entries)"
+    lines = [f"{'when':<20} {'experiment':<24} {'sha':<12} {'rows':>5} {'total_s':>9}"]
+    lines.append("-" * len(lines[0]))
+    for entry in shown:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.gmtime(float(entry.get("timestamp", 0)))
+        )
+        sha = str(entry.get("git_sha") or "-")[:12]
+        rows = entry.get("rows", [])
+        total = sum(
+            value
+            for row in rows
+            for name, value in row.get("metrics", {}).items()
+            if name == "seconds" or name.endswith("_seconds")
+        )
+        lines.append(
+            f"{when:<20} {str(entry.get('experiment'))[:24]:<24} {sha:<12} "
+            f"{len(rows):>5} {total:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: Mapping[str, object]) -> str:
+    """Render a :func:`compare_entries` result for terminals and CI logs."""
+    lines = [
+        f"experiment: {comparison.get('experiment')}",
+        f"baseline:   {comparison.get('baseline_sha') or '-'}",
+        f"current:    {comparison.get('current_sha') or '-'}",
+        f"rows compared: {comparison.get('rows_compared')} "
+        f"(threshold {float(comparison.get('threshold', 0)) * 100:.0f}%)",
+    ]
+    regressions = comparison.get("regressions", [])
+    if regressions:
+        lines.append(f"REGRESSIONS ({len(regressions)}):")
+        for delta in regressions:
+            lines.append(
+                f"  {delta['row']} :: {delta['metric']}: "
+                f"{delta['baseline']} -> {delta['current']} ({delta['ratio']}x)"
+            )
+    else:
+        lines.append("no regressions beyond threshold")
+    unmatched = comparison.get("unmatched", [])
+    if unmatched:
+        lines.append(f"unmatched rows/metrics: {len(unmatched)} (structure changed)")
+    return "\n".join(lines)

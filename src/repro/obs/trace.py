@@ -146,12 +146,15 @@ def load_trace(path: str) -> List[Dict[str, Any]]:
     return events
 
 
-def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+def summarize_trace(events: List[Dict[str, Any]], top: int = 0) -> Dict[str, Any]:
     """Aggregate a trace: per-span-name counts and total/mean durations.
 
     This powers ``python -m repro trace inspect`` and the span-sum
     acceptance check (compare e.g. ``job.execute`` total against
-    end-to-end wall time).
+    end-to-end wall time).  Span durations are reported in
+    milliseconds — the unit the probe/latency summaries already use
+    (``latency_p50_ms`` etc.); only the whole-trace wall stays in
+    seconds.  ``top > 0`` adds a ``top_spans`` ranking by total time.
     """
     by_name: Dict[str, Dict[str, float]] = {}
     first_ts = None
@@ -173,17 +176,23 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     spans = {
         name: {
             "count": int(stats["count"]),
-            "total_seconds": round(stats["total_us"] / 1e6, 6),
-            "mean_seconds": round(stats["total_us"] / stats["count"] / 1e6, 9),
-            "max_seconds": round(stats["max_us"] / 1e6, 6),
+            "total_ms": round(stats["total_us"] / 1e3, 3),
+            "mean_ms": round(stats["total_us"] / stats["count"] / 1e3, 6),
+            "max_ms": round(stats["max_us"] / 1e3, 3),
         }
         for name, stats in sorted(by_name.items())
     }
     wall = 0.0
     if first_ts is not None and last_end is not None:
         wall = round((last_end - first_ts) / 1e6, 6)
-    return {
+    summary: Dict[str, Any] = {
         "events": len(events),
         "spans": spans,
         "wall_seconds": wall,
     }
+    if top > 0:
+        ranked = sorted(spans.items(), key=lambda item: item[1]["total_ms"], reverse=True)
+        summary["top_spans"] = [
+            {"name": name, **stats} for name, stats in ranked[:top]
+        ]
+    return summary

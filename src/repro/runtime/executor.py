@@ -53,7 +53,9 @@ from repro.model.serialization import (
     program_to_text,
 )
 from repro.model.store import FactStore
+from repro.obs.conformance import conformance_report
 from repro.obs.probe import ChaseProbe
+from repro.obs.profile import RuleProfiler
 from repro.obs.trace import TraceRecorder
 from repro.runtime.budget_policy import BudgetDecision, BudgetPolicy
 from repro.runtime.cache import CacheEntry, ResultCache, lineage_cache_key, result_cache_key
@@ -145,6 +147,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         resume_snapshot = payload.get("resume_snapshot")
         database_size = payload.get("database_size")
         probe = ChaseProbe() if payload.get("telemetry") else None
+        profiler = RuleProfiler() if payload.get("profile") else None
         start = time.perf_counter()
         result = runner(
             database,
@@ -155,6 +158,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             resume_from=resume_snapshot,
             database_size=int(database_size) if database_size is not None else None,
             probe=probe,
+            profile=profiler,
         )
         status = (
             "timeout" if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED else "ok"
@@ -218,6 +222,16 @@ class BatchExecutor:
     #: stripped before caching (wall times are non-deterministic), so
     #: replays stay byte-identical to unprobed runs.
     telemetry: bool = False
+    #: Attach a per-rule :class:`~repro.obs.profile.RuleProfiler` to
+    #: every executed chase; its payload lands under
+    #: ``summary["profile"]``.  Stripped before caching for the same
+    #: byte-identity reason as telemetry.
+    profile: bool = False
+    #: Stamp a paper-bound ``conformance`` block
+    #: (:func:`~repro.obs.conformance.conformance_report`) into every
+    #: SL/L/G summary.  Computed post-cache from the summary itself, so
+    #: cached bytes stay identical and hits get the block too.
+    conformance: bool = False
     #: Optional :class:`~repro.obs.trace.TraceRecorder`: when set, each
     #: executed job emits ``job.admission`` / ``cache.lookup`` /
     #: ``snapshot.encode`` / ``job.execute`` spans.  ``None`` (the
@@ -288,6 +302,8 @@ class BatchExecutor:
             payload["want_snapshot"] = True
         if self.telemetry:
             payload["telemetry"] = True
+        if self.profile:
+            payload["profile"] = True
         return payload
 
     def _resume_base(self, job: ChaseJob) -> Optional[Tuple["CacheEntry", List[str]]]:
@@ -361,9 +377,11 @@ class BatchExecutor:
             # to an unprobed cold run, so the key is stripped before the
             # store (the caller's JobResult keeps it).
             cache_summary = result.summary
-            if "telemetry" in cache_summary:
+            if "telemetry" in cache_summary or "profile" in cache_summary:
                 cache_summary = {
-                    k: v for k, v in cache_summary.items() if k != "telemetry"
+                    k: v
+                    for k, v in cache_summary.items()
+                    if k not in ("telemetry", "profile")
                 }
             snapshot = record.get("snapshot")
             if resumed_from is not None:
@@ -396,12 +414,28 @@ class BatchExecutor:
                 )
             else:
                 self.cache.put(key, cache_summary, result.instance_text)
+        self._stamp_conformance(job, result)
         return result
+
+    def _stamp_conformance(self, job: ChaseJob, result: JobResult) -> None:
+        """Attach the paper-bound conformance block to ``result``.
+
+        Runs strictly *after* caching so the stored bytes never carry
+        the block; the block itself is deterministic (class + bounds +
+        observed counts), so hits and cold runs agree.
+        """
+        if not self.conformance or result.summary is None:
+            return
+        block = conformance_report(result.summary, job.program)
+        if block is None:
+            return
+        result.summary = dict(result.summary)
+        result.summary["conformance"] = block
 
     def _hit(
         self, job: ChaseJob, decision: BudgetDecision, key: str, entry, wall_seconds: float
     ) -> JobResult:
-        return JobResult(
+        result = JobResult(
             job_id=job.job_id,
             status="ok",
             summary=entry.summary,
@@ -414,6 +448,8 @@ class BatchExecutor:
             instance_text=entry.instance_text if self.materialize else None,
             tags=job.tags,
         )
+        self._stamp_conformance(job, result)
+        return result
 
     # -- execution --------------------------------------------------------
 

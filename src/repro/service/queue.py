@@ -91,6 +91,7 @@ class ChaseScheduler:
         workers: int = 2,
         max_queue: int = 64,
         before_execute: Optional[Callable[[ChaseJob], None]] = None,
+        on_result: Optional[Callable[[JobResult], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -107,6 +108,12 @@ class ChaseScheduler:
         #: before a group's job executes (used to hold a worker still
         #: while concurrent submissions pile onto the dedup map).
         self.before_execute = before_execute
+        #: Observer called with every JobResult (cache hits included)
+        #: from the worker thread, under the scheduler lock; the server
+        #: uses it to mirror conformance blocks into the metrics
+        #: registry.  Failures are swallowed — an observer bug must
+        #: never kill a worker or lose a result.
+        self.on_result = on_result
         self._queue: "queue_module.Queue[Optional[ExecutionGroup]]" = queue_module.Queue()
         self._inflight: Dict[str, ExecutionGroup] = {}
         self._lock = threading.Lock()
@@ -388,6 +395,11 @@ class ChaseScheduler:
         self._outcome_counts[str(outcome)] = self._outcome_counts.get(str(outcome), 0) + 1
         if outcome in _BUDGET_STOP_OUTCOMES:
             self._stats["budget_stops"] += 1
+        if self.on_result is not None:
+            try:
+                self.on_result(result)
+            except Exception:  # noqa: BLE001 - observer bugs stay observer bugs
+                pass
 
     # -- lifecycle --------------------------------------------------------
 

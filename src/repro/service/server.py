@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -39,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.termination_analysis import DIVERGING, TerminationAnalyzer
+from repro.obs.conformance import record_conformance
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
@@ -153,6 +155,12 @@ class ChaseService:
     #: disables it for trusted embedded use.
     DEFAULT_PER_JOB_TIMEOUT = 60.0
 
+    #: Default access-log rotation cap.  The access log grows with every
+    #: request a long-running daemon serves; at the cap the file rolls
+    #: over to a single ``<path>.1`` sibling (the previous generation is
+    #: replaced), bounding disk at ~2× the cap.
+    DEFAULT_ACCESS_LOG_MAX_BYTES = 16 * 1024 * 1024
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -169,7 +177,9 @@ class ChaseService:
         admission_analysis: bool = False,
         metrics: bool = False,
         access_log: Optional[str] = None,
+        access_log_max_bytes: int = DEFAULT_ACCESS_LOG_MAX_BYTES,
         trace_path: Optional[str] = None,
+        conformance: bool = False,
     ) -> None:
         self.host = host
         self.max_body_bytes = max_body_bytes
@@ -183,7 +193,9 @@ class ChaseService:
         self.trace_path = trace_path
         self.tracer = TraceRecorder() if trace_path is not None else None
         self.access_log_path = access_log
+        self.access_log_max_bytes = access_log_max_bytes
         self._access_log_handle = None
+        self._access_log_bytes = 0
         self._access_log_lock = threading.Lock()
         self.cache = (
             cache
@@ -201,6 +213,12 @@ class ChaseService:
         self.analysis_rejections = 0
         if policy is None:
             policy = BudgetPolicy(analyzer=self.analyzer) if admission_analysis else BudgetPolicy()
+        # Opt-in paper-bound conformance: every SL/L/G result carries a
+        # ``conformance`` block, and (when metrics are also on) the
+        # utilizations and violation counter surface at /metrics.  A
+        # violation means the classifier or an engine is wrong — the one
+        # service condition that is a bug by construction.
+        self.conformance = conformance
         executor = BatchExecutor(
             workers=1,
             policy=policy,
@@ -208,12 +226,14 @@ class ChaseService:
             materialize=materialize,
             per_job_timeout=per_job_timeout,
             tracer=self.tracer,
+            conformance=conformance,
         )
         self.cache.tracer = self.tracer
         self.registry = JobRegistry(ttl_seconds=ttl_seconds)
         self.registry.tracer = self.tracer
         self.scheduler = ChaseScheduler(
-            self.registry, executor=executor, workers=workers, max_queue=max_queue
+            self.registry, executor=executor, workers=workers, max_queue=max_queue,
+            on_result=self._observe_result if conformance else None,
         )
         self.started_at = time.time()
         # Wall-clock start is kept for display, but uptime arithmetic
@@ -226,6 +246,12 @@ class ChaseService:
         self._stop_lock = threading.Lock()
         self._stopped = False
         self._stopped_event = threading.Event()
+
+    def _observe_result(self, result) -> None:
+        """Mirror a finished job's conformance block into ``/metrics``."""
+        if result.summary is None:
+            return
+        record_conformance(self.metrics, result.summary.get("conformance"))
 
     # -- lifecycle --------------------------------------------------------
 
@@ -244,6 +270,9 @@ class ChaseService:
             raise RuntimeError("service already started")
         if self.access_log_path is not None:
             self._access_log_handle = open(self.access_log_path, "a")
+            # Seed the rotation counter from what a previous daemon left
+            # behind so restarts keep honouring the cap.
+            self._access_log_bytes = self._access_log_handle.tell()
         handler = type("BoundHandler", (_ChaseRequestHandler,), {"service": self})
         self._httpd = _BoundedThreadingHTTPServer(
             (self.host, self._requested_port), handler, self.max_connections
@@ -366,13 +395,33 @@ class ChaseService:
         return document
 
     def write_access_log(self, record: Dict[str, object]) -> None:
-        """Append one JSONL access-log line (no-op when not configured)."""
+        """Append one JSONL access-log line (no-op when not configured).
+
+        Size-rotated: once the file reaches
+        :attr:`access_log_max_bytes` it is rolled to ``<path>.1``
+        (replacing the previous rollover) and a fresh file started, so
+        the daemon's disk use stays bounded at roughly twice the cap.
+        """
         with self._access_log_lock:
             handle = self._access_log_handle
             if handle is None:
                 return
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            line = json.dumps(record, sort_keys=True) + "\n"
+            handle.write(line)
             handle.flush()
+            self._access_log_bytes += len(line)
+            if self._access_log_bytes >= self.access_log_max_bytes:
+                handle.close()
+                try:
+                    os.replace(self.access_log_path, self.access_log_path + ".1")
+                except OSError:
+                    # Rotation failing (exotic filesystems) must not
+                    # take down request handling; keep appending.
+                    logger.exception(
+                        "failed to rotate access log %s", self.access_log_path
+                    )
+                self._access_log_handle = open(self.access_log_path, "a")
+                self._access_log_bytes = self._access_log_handle.tell()
 
     def metrics_text(self) -> str:
         """The ``/metrics`` body: live metrics plus mirrored stats.

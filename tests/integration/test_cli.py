@@ -203,6 +203,7 @@ class TestBenchRuntime:
         args = [
             "bench-runtime", "--output", str(out),
             "--jobs", "12", "--workers", "2", "--repeats", "1",
+            "--no-history",  # keep test runs out of benchmarks/history.jsonl
         ]
         assert main(args) == 0
         report = json.loads(out.read_text())

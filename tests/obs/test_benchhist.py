@@ -1,0 +1,123 @@
+"""Bench regression history (obs/benchhist.py).
+
+The history log is the machine-readable perf trajectory: appends are
+schema-versioned JSONL, loads tolerate foreign/corrupt lines, and the
+comparison pairs rows by identity (label + workload parameters) so a
+synthetic 2x slowdown on one row is flagged while re-ordered or
+renamed rows surface as unmatched instead of silently vanishing.
+"""
+
+import json
+
+from repro.obs.benchhist import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    compare_entries,
+    format_comparison,
+    format_history,
+    git_sha,
+    history_entry,
+    load_history,
+    row_metrics,
+)
+
+
+def _report(seconds=1.0, extra_row=None):
+    rows = [
+        {
+            "label": "big-sl-l",
+            "workload": "sl(3,3)",
+            "engine": "store",
+            "seconds": seconds,
+            "store_seconds": seconds,
+            "telemetry_overhead": 1.02,
+            "equivalent": True,  # non-metric fields are ignored
+        },
+        {"label": "restricted-heavy", "workload": "rh(3,2)", "engine": "store", "seconds": 0.5},
+    ]
+    if extra_row is not None:
+        rows.append(extra_row)
+    return {
+        "experiment": "engine-speed",
+        "description": "store vs legacy",
+        "python": "3.11",
+        "rows": rows,
+    }
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_report(), str(path), sha="abc1234", timestamp=10.0)
+        append_history(_report(seconds=1.1), str(path), sha="def5678", timestamp=20.0)
+        entries = load_history(str(path))
+        assert len(entries) == 2
+        assert entries[0]["schema"] == HISTORY_SCHEMA_VERSION
+        assert entries[0]["git_sha"] == "abc1234"
+        assert entries[1]["timestamp"] == 20.0
+        assert len(entries[0]["rows"]) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "history.jsonl"
+        append_history(_report(), str(path), sha=None, timestamp=1.0)
+        assert len(load_history(str(path))) == 1
+
+    def test_load_skips_corrupt_and_foreign_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_report(), str(path), sha="abc1234", timestamp=10.0)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"schema": 999, "experiment": "other"}) + "\n")
+            handle.write(json.dumps({"no": "schema"}) + "\n")
+        entries = load_history(str(path))
+        assert len(entries) == 1
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_row_metrics_selects_seconds_and_overheads(self):
+        metrics = row_metrics(_report()["rows"][0])
+        assert set(metrics) == {"seconds", "store_seconds", "telemetry_overhead"}
+
+    def test_git_sha_tolerates_non_repos(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) is None
+
+
+class TestCompare:
+    def test_synthetic_2x_slowdown_is_flagged(self, tmp_path):
+        baseline = history_entry(_report(seconds=1.0), sha="aaa", timestamp=1.0)
+        current = history_entry(_report(seconds=2.0), sha="bbb", timestamp=2.0)
+        comparison = compare_entries(baseline, current, threshold=0.15)
+        assert comparison["rows_compared"] == 2
+        regressions = comparison["regressions"]
+        # Both slowed metrics of the one doctored row, nothing else.
+        assert regressions and all("big-sl-l" in r["row"] for r in regressions)
+        assert {r["metric"] for r in regressions} == {"seconds", "store_seconds"}
+        rendered = format_comparison(comparison)
+        assert "REGRESSIONS" in rendered
+
+    def test_noise_below_threshold_is_not_a_regression(self):
+        baseline = history_entry(_report(seconds=1.0), sha="aaa", timestamp=1.0)
+        current = history_entry(_report(seconds=1.1), sha="bbb", timestamp=2.0)
+        comparison = compare_entries(baseline, current, threshold=0.15)
+        assert comparison["regressions"] == []
+        assert comparison["deltas"]
+
+    def test_structure_change_surfaces_as_unmatched(self):
+        baseline = history_entry(_report(), sha="aaa", timestamp=1.0)
+        current = history_entry(
+            _report(extra_row={"label": "new-row", "workload": "x", "seconds": 0.1}),
+            sha="bbb",
+            timestamp=2.0,
+        )
+        comparison = compare_entries(baseline, current, threshold=0.15)
+        assert any("new-row" in key for key in comparison["unmatched"])
+
+    def test_format_history_lists_entries(self):
+        entries = [
+            history_entry(_report(), sha="aaa1111", timestamp=1.0),
+            history_entry(_report(seconds=1.2), sha="bbb2222", timestamp=2.0),
+        ]
+        rendered = format_history(entries)
+        assert "engine-speed" in rendered
+        assert "aaa1111" in rendered and "bbb2222" in rendered

@@ -84,9 +84,18 @@ class TestRecorder:
         summary = summarize_trace(recorder.events())
         assert summary["events"] == 3
         assert summary["spans"]["a"]["count"] == 2
-        assert summary["spans"]["a"]["total_seconds"] == pytest.approx(0.3)
-        assert summary["spans"]["a"]["max_seconds"] == pytest.approx(0.2)
+        assert summary["spans"]["a"]["total_ms"] == pytest.approx(300.0)
+        assert summary["spans"]["a"]["max_ms"] == pytest.approx(200.0)
         assert summary["wall_seconds"] == pytest.approx(1.0)
+        assert "top_spans" not in summary
+
+    def test_summarize_top_ranking(self):
+        recorder = TraceRecorder()
+        recorder.add_span("a", 0.0, 0.2)
+        recorder.add_span("b", 0.0, 1.0)
+        recorder.add_span("c", 0.0, 0.5)
+        summary = summarize_trace(recorder.events(), top=2)
+        assert [row["name"] for row in summary["top_spans"]] == ["b", "c"]
 
 
 class TestExecutorSpans:

@@ -109,6 +109,41 @@ class TestAccessLog:
         assert any(r["method"] == "POST" and r["path"] == "/jobs" for r in lines)
         assert all(r["status"] < 500 for r in lines)
 
+    def test_access_log_rotates_at_the_size_cap(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        rolled_path = tmp_path / "access.jsonl.1"
+        cap = 400  # a few requests' worth
+        with ChaseService(
+            workers=1, access_log=str(log_path), access_log_max_bytes=cap
+        ) as service:
+            client = make_client(service)
+            for _ in range(30):
+                client.healthz()
+            assert rolled_path.exists(), "rotation never happened"
+            # Single-rollover policy: exactly one .1 file, no .2 etc.
+            assert not (tmp_path / "access.jsonl.2").exists()
+            # The live file restarted below the cap after the last roll.
+            assert log_path.stat().st_size < cap + 200
+        # Every line in both generations is intact JSONL: rotation
+        # happens on line boundaries, never mid-record.
+        for path in (log_path, rolled_path):
+            for line in path.read_text().splitlines():
+                if line.strip():
+                    json.loads(line)
+
+    def test_rotation_counter_seeds_from_existing_file(self, tmp_path):
+        # A restarted daemon must honour bytes already in the log.
+        log_path = tmp_path / "access.jsonl"
+        log_path.write_text('{"pre": "existing"}\n' * 20)
+        pre_size = log_path.stat().st_size
+        with ChaseService(
+            workers=1, access_log=str(log_path), access_log_max_bytes=pre_size + 50
+        ) as service:
+            client = make_client(service)
+            for _ in range(5):
+                client.healthz()
+        assert (tmp_path / "access.jsonl.1").exists()
+
 
 class TestUptimeMonotonic:
     def test_uptime_survives_wall_clock_steps(self):
@@ -161,3 +196,35 @@ class TestTraceAccounting:
         )
         # Every executed job contributed exactly one execute span.
         assert len(durations.get("job.execute", [])) == job_count
+
+
+class TestConformance:
+    def test_conformance_block_and_gauges_surface_at_metrics(self):
+        with ChaseService(workers=1, metrics=True, conformance=True) as service:
+            client = make_client(service)
+            record = client.run_job(
+                {
+                    "id": "conf-sl",
+                    "program": "P(x) -> Q(x)\nQ(x) -> R(x)",
+                    "database": "P(a)\nP(b)",
+                    "variant": "semi-oblivious",
+                },
+                timeout=60.0,
+            )
+            assert record["state"] == "done"
+            block = record["result"]["summary"]["conformance"]
+            assert block["terminated"] is True
+            assert block["violations"] == []
+            text = scrape(client)
+        assert 'repro_bound_utilization{kind="size"}' in text
+        assert 'repro_bound_utilization{kind="depth"}' in text
+        assert "repro_bound_violations_total 0" in text
+
+    def test_conformance_off_keeps_summaries_clean(self):
+        with ChaseService(workers=1, metrics=True) as service:
+            client = make_client(service)
+            record = client.run_job(job_spec("noconf"), timeout=60.0)
+            assert record["state"] == "done"
+            assert "conformance" not in record["result"]["summary"]
+            text = scrape(client)
+        assert "repro_bound_utilization" not in text
