@@ -27,6 +27,13 @@ def test_runtime_report(benchmark, report):
     assert summary["cache_hits_byte_identical"]
     assert summary["all_cacheable_jobs_hit"]
     assert summary["auto_budgeted_sl_l_within_budget"]
+    # A mid-run kill must resume from the round checkpoint, re-execute
+    # fewer rounds than the cold run, and reproduce its summary bytes.
+    checkpoint = summary["checkpoint_resume"]
+    assert checkpoint["resumed_from_checkpoint"]
+    assert checkpoint["base_rounds"] > 0
+    assert checkpoint["resumed_rounds"] < checkpoint["cold_rounds"]
+    assert checkpoint["byte_identical"]
     jobs = mixed_workload_jobs(job_count=10, seed=7)
     benchmark.pedantic(
         lambda: BatchExecutor(workers=1).run_all(jobs),

@@ -942,6 +942,91 @@ def _maybe_append_history(report: Dict[str, object], history_path: Optional[str]
 # --------------------------------------------------------------------------
 
 
+def _checkpoint_resume_measurement(
+    kill_at_round: int = 16,
+    checkpoint_every: int = 4,
+    max_rounds: int = 24,
+) -> Dict[str, object]:
+    """Kill a long linear chase mid-run; measure the checkpointed retry.
+
+    The probe is a single-rule linear chain chased for ``max_rounds``
+    rounds under an explicit budget — long enough that a kill at round
+    ``kill_at_round`` lands well past several checkpoint boundaries.
+    The injected ``worker.round`` kill (serial mode: a transient
+    failure) forces one retry, which must resume from the newest intact
+    checkpoint rather than restart cold.
+    """
+    import shutil
+    import tempfile
+
+    from repro.model.parser import parse_database, parse_program
+    from repro.runtime import BatchExecutor, ChaseJob
+    from repro.runtime.faults import ENV_VAR, FaultPlan, FaultSpec, reset_injector
+
+    def probe() -> ChaseJob:
+        return ChaseJob(
+            program=parse_program("E(x, y) -> exists z . E(y, z)"),
+            database=parse_database("E(a, b)."),
+            job_id="checkpoint-probe",
+            variant="semi-oblivious",
+            budget_mode="explicit",
+            budget=ChaseBudget(max_rounds=max_rounds, max_atoms=10**6),
+        )
+
+    cold_start = time.perf_counter()
+    cold = BatchExecutor(workers=1).run_all([probe()])[0]
+    cold_seconds = time.perf_counter() - cold_start
+    cold_rounds = int(cold.summary["rounds"]) if cold.summary else 0
+    scratch = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(
+                point="worker.round",
+                action="kill",
+                at_round=kill_at_round,
+                match="checkpoint-probe",
+            ),
+        ),
+        seed=13,
+        state_dir=os.path.join(scratch, "faults"),
+    )
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = plan.to_env()
+    reset_injector()
+    try:
+        executor = BatchExecutor(
+            workers=1,
+            max_retries=1,
+            checkpoint_every_rounds=checkpoint_every,
+            checkpoint_dir=os.path.join(scratch, "ckpt"),
+        )
+        resumed_start = time.perf_counter()
+        resumed = executor.run_all([probe()])[0]
+        resumed_seconds = time.perf_counter() - resumed_start
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        reset_injector()
+        shutil.rmtree(scratch, ignore_errors=True)
+    provenance = resumed.as_dict().get("checkpoint") or {}
+    base_rounds = int(provenance.get("base_rounds", 0))
+    resumed_rounds = int(provenance.get("resumed_rounds", 0))
+    return {
+        "kill_at_round": kill_at_round,
+        "checkpoint_every_rounds": checkpoint_every,
+        "cold_rounds": cold_rounds,
+        "cold_seconds": round(cold_seconds, 3),
+        "base_rounds": base_rounds,
+        "resumed_rounds": resumed_rounds,
+        "killed_seconds": round(resumed_seconds, 3),
+        "resumed_from_checkpoint": 0 < base_rounds and resumed_rounds < cold_rounds,
+        "byte_identical": resumed.status == cold.status
+        and resumed.summary_json() == cold.summary_json(),
+    }
+
+
 def runtime_benchmark_rows(
     job_count: int = 200,
     workers: int = 4,
@@ -959,7 +1044,12 @@ def runtime_benchmark_rows(
     4. **auto-budgets** — over the serial results: auto-budgeted SL/L
        jobs tagged ``terminating`` must never report
        ``ATOM_BUDGET_EXCEEDED`` (or any budget outcome — the paper's
-       bounds guarantee termination fits inside them).
+       bounds guarantee termination fits inside them);
+    5. **checkpoint-resume** — a long linear job is killed mid-run by
+       an injected ``worker.round`` fault; the retry must resume from
+       its last round checkpoint (``base_rounds > 0``), re-execute
+       fewer rounds than the cold run, and still produce the cold
+       run's summary bytes.
 
     Returns the rows plus a machine-readable summary.
     """
@@ -1029,6 +1119,8 @@ def runtime_benchmark_rows(
         r.summary["outcome"] if r.summary else r.status for r in serial_results
     )
 
+    checkpoint_summary = _checkpoint_resume_measurement()
+
     cpu_count = os.cpu_count() or 1
     speedup = round(serial_seconds / max(pool_seconds, 1e-9), 2)
     rows = [
@@ -1068,6 +1160,20 @@ def runtime_benchmark_rows(
                 "all_within_budget": auto_within_budget,
             },
         ),
+        SweepRow(
+            label="runtime-checkpoint-resume",
+            parameters={
+                "kill_at_round": checkpoint_summary["kill_at_round"],
+                "checkpoint_every_rounds": checkpoint_summary["checkpoint_every_rounds"],
+            },
+            measured={
+                key: checkpoint_summary[key]
+                for key in (
+                    "cold_rounds", "base_rounds", "resumed_rounds",
+                    "resumed_from_checkpoint", "byte_identical",
+                )
+            },
+        ),
     ]
     summary = {
         "job_count": len(jobs),
@@ -1083,6 +1189,7 @@ def runtime_benchmark_rows(
         "cache_hits_byte_identical": cache_identical,
         "all_cacheable_jobs_hit": all_cacheable_hit,
         "auto_budgeted_sl_l_within_budget": auto_within_budget,
+        "checkpoint_resume": checkpoint_summary,
         "outcomes": dict(sorted(outcome_histogram.items())),
     }
     return rows, summary

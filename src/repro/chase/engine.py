@@ -98,6 +98,29 @@ class ChaseStatistics:
     wall_seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """Frozen mid-run loop state a retried job resumes from.
+
+    Produced by the executor from a :mod:`repro.runtime.checkpoint`
+    blob.  Unlike ``resume_from`` (an incremental re-chase over a
+    database delta), a checkpoint resumes the *same* run: the store
+    blob is the instance as of a round boundary, ``marks`` are the
+    per-predicate row counts delimiting that round's frontier, and the
+    counters seed the statistics so the final summary is byte-identical
+    to an uninterrupted run.  Only the arrays-layout summary driver
+    (the executor's configuration) supports it.
+    """
+
+    store_blob: bytes
+    marks: Tuple[int, ...]
+    rounds: int
+    considered: int
+    applied: int
+    created: int
+    database_size: int
+
+
 @dataclass
 class ChaseResult:
     """The outcome of a chase run.
@@ -264,10 +287,19 @@ class BaseChaseEngine:
                  record_derivation: bool = True, compiled: bool = True,
                  engine: Optional[str] = None,
                  probe: Optional[ChaseProbe] = None,
-                 profile: Optional[RuleProfiler] = None) -> None:
+                 profile: Optional[RuleProfiler] = None,
+                 round_hook=None) -> None:
         self.tgds = tgds
         self.budget = budget or ChaseBudget()
         self.record_derivation = record_derivation
+        #: Optional per-round callback ``hook(rounds, store, marks,
+        #: (considered, applied, created))`` fired at every completed
+        #: round boundary — the executor's checkpointer and the fault
+        #: injector's ``worker.round`` point.  ``store``/``marks`` are
+        #: ``None`` outside the store/columnar drivers.  ``None`` (the
+        #: default) keeps every loop on its hook-free path: one
+        #: ``is None`` check per round.
+        self.round_hook = round_hook
         #: Optional round-level telemetry probe.  ``None`` (the
         #: default) keeps every driver loop on its probe-free path: one
         #: ``is None`` check per *round*, nothing per trigger.
@@ -367,6 +399,7 @@ class BaseChaseEngine:
         database,
         resume_from: Optional[object] = None,
         database_size: Optional[int] = None,
+        checkpoint: Optional[EngineCheckpoint] = None,
     ) -> ChaseResult:
         """Chase ``database`` (a :class:`Database` or ground instance).
 
@@ -387,10 +420,26 @@ class BaseChaseEngine:
           caller usually passes only the delta as ``database`` and the
           full database's size as ``database_size`` (which otherwise
           defaults to ``len(database)``).
+        * ``checkpoint`` restarts an *interrupted* run from its last
+          mid-run checkpoint instead of cold: the store, frontier marks
+          and statistics are seeded from the checkpoint and the loop
+          continues where the dead run stopped.  Mutually exclusive
+          with ``resume_from``; ``database`` is ignored (its facts are
+          already in the checkpointed store).
         """
+        if checkpoint is not None and resume_from is not None:
+            raise ValueError("checkpoint and resume_from are mutually exclusive")
         if self.engine == "store" and self.supports_store_engine:
             return self._run_store(
-                database, resume_from=resume_from, database_size=database_size
+                database,
+                resume_from=resume_from,
+                database_size=database_size,
+                checkpoint=checkpoint,
+            )
+        if checkpoint is not None:
+            raise ValueError(
+                "checkpoint resume requires the store engine "
+                f"(this run uses engine={self.engine!r})"
             )
         if resume_from is not None:
             raise ValueError(
@@ -646,6 +695,17 @@ class BaseChaseEngine:
                 )
             if over_budget:
                 break
+            if self.round_hook is not None:
+                self.round_hook(
+                    statistics.rounds,
+                    None,
+                    None,
+                    (
+                        statistics.triggers_considered,
+                        statistics.triggers_applied,
+                        statistics.atoms_created,
+                    ),
+                )
             if not new_atoms_this_round:
                 if not fired_any:
                     outcome = ChaseOutcome.TERMINATED
@@ -680,6 +740,7 @@ class BaseChaseEngine:
         database,
         resume_from: Optional[object] = None,
         database_size: Optional[int] = None,
+        checkpoint: Optional[EngineCheckpoint] = None,
     ) -> ChaseResult:
         """The store-backed driver: the :meth:`run` loop over id tuples.
 
@@ -700,7 +761,18 @@ class BaseChaseEngine:
         delta: List[Fact]
         first_round = True
         resumed = resume_from is not None
-        if resume_from is not None:
+        if checkpoint is not None:
+            # Same-run restart: the checkpointed store already holds the
+            # database and every derived fact up to the checkpoint round,
+            # so nothing is interned here; the saved marks delimit the
+            # frontier the loop resumes from.  resumed stays False — the
+            # seeded statistics make the final summary read exactly like
+            # an uninterrupted run's.
+            store = FactStore.restore(checkpoint.store_blob)
+            delta = []
+            first_round = False
+            database_size = checkpoint.database_size
+        elif resume_from is not None:
             store = (
                 resume_from
                 if isinstance(resume_from, FactStore)
@@ -769,6 +841,16 @@ class BaseChaseEngine:
                 resumed=resumed, base_rounds=base_rounds,
                 prof_slots=prof_slots, enum_seconds=enum_seconds,
                 driver_start=driver_start,
+                checkpoint=checkpoint,
+            )
+        if checkpoint is not None:
+            # The executor only checkpoints runs it started on this
+            # driver, so reaching here means the configuration changed
+            # between attempts — refuse rather than silently terminate
+            # on an empty delta.
+            raise ValueError(
+                "checkpoint resume requires the arrays-layout summary driver "
+                "(no derivation recording, no depth truncation)"
             )
 
         probe = self.probe
@@ -905,6 +987,17 @@ class BaseChaseEngine:
                 )
             if over_budget:
                 break
+            if self.round_hook is not None:
+                self.round_hook(
+                    statistics.rounds,
+                    store,
+                    None,
+                    (
+                        statistics.triggers_considered,
+                        statistics.triggers_applied,
+                        statistics.atoms_created,
+                    ),
+                )
             if not new_facts:
                 outcome = ChaseOutcome.TERMINATED
                 break
@@ -954,6 +1047,7 @@ class BaseChaseEngine:
         prof_slots: Optional[List[int]] = None,
         enum_seconds: Optional[List[float]] = None,
         driver_start: Optional[float] = None,
+        checkpoint: Optional[EngineCheckpoint] = None,
     ) -> ChaseResult:
         """The arrays-layout driver loop (summary mode).
 
@@ -996,10 +1090,24 @@ class BaseChaseEngine:
         max_seconds = budget.max_seconds
         perf_counter = time.perf_counter
         applied_add = applied.add
-        rounds = 0
-        considered = 0
-        fired = 0
-        created = 0
+        round_hook = self.round_hook
+        if checkpoint is not None:
+            # Same-run restart: the counters continue from the
+            # checkpoint so the final statistics equal an uninterrupted
+            # run's.  The applied memo is *not* restored — any trigger
+            # first enumerable after the checkpoint round has a body
+            # fact in that round's delta, so it was never enumerable
+            # before; within-round duplicates re-prune against the
+            # fresh memo.
+            rounds = checkpoint.rounds
+            considered = checkpoint.considered
+            fired = checkpoint.applied
+            created = checkpoint.created
+        else:
+            rounds = 0
+            considered = 0
+            fired = 0
+            created = 0
         probe = self.probe
         profiler = self.profile
         if profiler is not None:
@@ -1012,11 +1120,23 @@ class BaseChaseEngine:
         round_delta = len(store) if first_round else len(delta)
         considered_before = fired_before = created_before = 0
         nulls_before = builds_before = 0
-        pending: Optional[List] = (
-            pipeline.initial_pending(store, uses_frontier, enum_seconds)
-            if first_round
-            else pipeline.delta_pending(store, delta, uses_frontier, enum_seconds)
-        )
+        if checkpoint is not None:
+            # Resume the semi-naive loop exactly where the checkpoint
+            # froze it: the saved marks delimit the checkpoint round's
+            # appended rows, so the first iteration's
+            # delta_pending_rows(store, marks) re-derives precisely the
+            # frontier the interrupted run was about to expand.  The
+            # marks cover every pipeline predicate because the original
+            # run took them after pipeline compile interned the
+            # program's schema, and restore preserves interning.
+            pending = None
+            marks = list(checkpoint.marks)
+        else:
+            pending = (
+                pipeline.initial_pending(store, uses_frontier, enum_seconds)
+                if first_round
+                else pipeline.delta_pending(store, delta, uses_frontier, enum_seconds)
+            )
         # Attribution carries one open rule segment across round
         # boundaries: a segment closes only where another opens (next
         # rule, next enumeration, or end of run), so round bookkeeping
@@ -1035,7 +1155,7 @@ class BaseChaseEngine:
         apply_start = 0.0
         seg_nulls = 0
         seg_rule = None
-        seg_considered = seg_fired = seg_created = 0
+        seg_considered, seg_fired, seg_created = considered, fired, created
         if profiler is not None:
             apply_start = perf_counter()
             seg_nulls = store.null_count()
@@ -1200,6 +1320,10 @@ class BaseChaseEngine:
                 round_delta = len(store) - size_before
             if over_budget:
                 break
+            if round_hook is not None:
+                # marks still delimits this round's appended rows — the
+                # exact frontier a checkpoint must freeze.
+                round_hook(rounds, store, marks, (considered, fired, created))
             if len(store) == size_before:
                 outcome = ChaseOutcome.TERMINATED
                 break

@@ -59,6 +59,8 @@ def oblivious_chase(
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
     profile: Optional[object] = None,
+    round_hook: Optional[object] = None,
+    checkpoint: Optional[object] = None,
 ) -> ChaseResult:
     """Run the oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -69,6 +71,11 @@ def oblivious_chase(
     """
     chase_engine = ObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe, profile=profile,
+        engine=engine, probe=probe, profile=profile, round_hook=round_hook,
     )
-    return chase_engine.run(database, resume_from=resume_from, database_size=database_size)
+    return chase_engine.run(
+        database,
+        resume_from=resume_from,
+        database_size=database_size,
+        checkpoint=checkpoint,
+    )

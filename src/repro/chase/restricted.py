@@ -53,10 +53,11 @@ class RestrictedChase(BaseChaseEngine):
 
     def __init__(self, tgds: TGDSet, budget: Optional[ChaseBudget] = None,
                  record_derivation: bool = True, compiled: bool = True,
-                 engine: Optional[str] = None, probe=None, profile=None) -> None:
+                 engine: Optional[str] = None, probe=None, profile=None,
+                 round_hook=None) -> None:
         super().__init__(tgds, budget=budget, record_derivation=record_derivation,
                          compiled=compiled, engine=engine, probe=probe,
-                         profile=profile)
+                         profile=profile, round_hook=round_hook)
         self._fire_counter = itertools.count()
         self._satisfied_memo: set = set()
 
@@ -125,6 +126,8 @@ def restricted_chase(
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
     profile: Optional[object] = None,
+    round_hook: Optional[object] = None,
+    checkpoint: Optional[object] = None,
 ) -> ChaseResult:
     """Run one fair restricted-chase derivation of ``database`` w.r.t. ``tgds``.
 
@@ -137,8 +140,13 @@ def restricted_chase(
     family) the two agree up to fire numbering
     (:func:`~repro.model.serialization.fire_invariant_instance_key`).
     """
+    if checkpoint is not None:
+        # A checkpoint cannot restore the per-run fire counter that
+        # numbers restricted-chase nulls, so a resumed run would reuse
+        # labels and silently merge facts.  Restricted retries run cold.
+        raise ValueError("the restricted chase does not support checkpoint resume")
     chase_engine = RestrictedChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe, profile=profile,
+        engine=engine, probe=probe, profile=profile, round_hook=round_hook,
     )
     return chase_engine.run(database, resume_from=resume_from, database_size=database_size)

@@ -56,6 +56,8 @@ def semi_oblivious_chase(
     database_size: Optional[int] = None,
     probe: Optional[object] = None,
     profile: Optional[object] = None,
+    round_hook: Optional[object] = None,
+    checkpoint: Optional[object] = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase of ``database`` w.r.t. ``tgds``.
 
@@ -76,6 +78,11 @@ def semi_oblivious_chase(
     """
     chase_engine = SemiObliviousChase(
         tgds, budget=budget, record_derivation=record_derivation, compiled=compiled,
-        engine=engine, probe=probe, profile=profile,
+        engine=engine, probe=probe, profile=profile, round_hook=round_hook,
     )
-    return chase_engine.run(database, resume_from=resume_from, database_size=database_size)
+    return chase_engine.run(
+        database,
+        resume_from=resume_from,
+        database_size=database_size,
+        checkpoint=checkpoint,
+    )

@@ -357,10 +357,43 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_faults(args: argparse.Namespace):
+    """Honour ``--inject-faults`` (inline JSON or ``@plan.json``).
+
+    Publishes the plan through the ``REPRO_FAULTS`` environment
+    variable — the same channel forked pool workers inherit it by —
+    and returns the armed injector (or ``None`` when faults are off).
+    """
+    import os
+
+    from repro.runtime.faults import ENV_VAR, FaultPlanError, get_injector, reset_injector
+
+    plan_text = getattr(args, "inject_faults", None)
+    if plan_text:
+        os.environ[ENV_VAR] = plan_text
+        reset_injector()
+    injector = get_injector()
+    if plan_text and not injector.enabled:
+        raise FaultPlanError(f"--inject-faults parsed to an empty plan: {plan_text!r}")
+    return injector if injector.enabled else None
+
+
+def _fault_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        help="arm the deterministic fault-injection layer: inline JSON "
+        '({"faults": [{"point": "worker.round", "action": "kill", '
+        '"at_round": 3}], "seed": 1, ...}) or @path to a plan file; '
+        "equivalently set the REPRO_FAULTS environment variable",
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.runtime import BatchExecutor, ResultCache, read_manifest_lenient
     from repro.runtime.jobs import ManifestError
 
+    injector = _arm_faults(args)
     items = read_manifest_lenient(args.manifest)
     jobs = [item for item in items if not isinstance(item, ManifestError)]
     bad = [item for item in items if isinstance(item, ManifestError)]
@@ -381,6 +414,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         from repro.obs.trace import TraceRecorder
 
         tracer = TraceRecorder(process_name="repro-batch")
+    checkpoint_dir = args.checkpoint_dir
+    if args.checkpoint_every_rounds is not None and checkpoint_dir is None:
+        import tempfile
+
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     executor = BatchExecutor(
         workers=args.workers,
         cache=cache,
@@ -391,6 +431,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         tracer=tracer,
         profile=args.profile,
         conformance=args.conformance,
+        max_retries=args.max_retries,
+        checkpoint_every_rounds=args.checkpoint_every_rounds,
+        checkpoint_dir=checkpoint_dir,
+        stuck_timeout_seconds=args.stuck_timeout,
         **executor_kwargs,
     )
     if cache is not None:
@@ -425,14 +469,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         + (f"; cache {cache.stats()}" if cache is not None else ""),
         file=sys.stderr,
     )
+    if injector is not None:
+        print(
+            f"faults: {injector.fired_total()} injected {dict(injector.fired_counts())}; "
+            f"recovery {executor.fault_stats}",
+            file=sys.stderr,
+        )
     return 1 if counts["error"] else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.runtime.cache import ResultCache
     from repro.service import ChaseService
 
+    _arm_faults(args)
     cache = ResultCache(args.cache or None, max_entries=args.cache_max_entries)
+    checkpoint_dir = args.checkpoint_dir
+    if args.checkpoint_every_rounds is not None and checkpoint_dir is None:
+        import tempfile
+
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
     service = ChaseService(
         host=args.host,
         port=args.port,
@@ -448,8 +509,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         access_log_max_bytes=args.access_log_max_bytes,
         trace_path=args.trace,
         conformance=args.conformance,
+        checkpoint_every_rounds=args.checkpoint_every_rounds,
+        checkpoint_dir=checkpoint_dir,
     )
     service.start()
+
+    def _sigterm(_signum, _frame) -> None:
+        # Graceful drain: running jobs finish (checkpointing per the
+        # configured cadence), queued-but-unstarted jobs go back to the
+        # registry as requeueable instead of being dropped.  The actual
+        # stop runs off the signal frame so the handler returns fast.
+        print("SIGTERM: finishing running jobs, requeueing the rest...", file=sys.stderr)
+        threading.Thread(
+            target=service.stop, kwargs={"requeue_queued": True},
+            name="chase-sigterm", daemon=True,
+        ).start()
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
     print(
         f"chase service listening on {service.url} "
         f"({args.workers} workers, queue depth {args.queue_depth}"
@@ -463,7 +539,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupt: draining accepted jobs...", file=sys.stderr)
         service.stop()
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
     print(f"stopped; final stats: {service.scheduler.stats()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.runtime.cache import verify_spill
+
+    target = Path(args.cache_file)
+    if not target.exists():
+        print(f"error: no such file: {target}", file=sys.stderr)
+        return 2
+    report = verify_spill(target, repair=args.repair)
+    print(json.dumps(report, sort_keys=True))
+    damaged = report["crc_mismatch"] + report["torn"] + report["corrupt"]
+    if damaged and not args.repair:
+        print(
+            f"{target}: {damaged} damaged line(s); re-run with --repair to drop them",
+            file=sys.stderr,
+        )
+        return 1
+    if report["repaired"]:
+        print(f"{target}: repaired ({damaged} damaged line(s) dropped)", file=sys.stderr)
     return 0
 
 
@@ -946,6 +1045,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="stamp a paper-bound conformance block (observed size/depth "
         "vs the class's d_C/f_C bounds) into every SL/L/G result summary",
     )
+    batch_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="bounded re-executions of a job after a transient failure "
+        "(crashed worker, injected fault); deterministic failures are "
+        "never retried (default 2)",
+    )
+    batch_parser.add_argument(
+        "--checkpoint-every-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable checkpoint every N chase rounds so a "
+        "retried job resumes from its last checkpoint instead of round 0 "
+        "(semi-oblivious/oblivious jobs on the store engine)",
+    )
+    batch_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for round checkpoints (default: a fresh temp dir "
+        "when --checkpoint-every-rounds is set)",
+    )
+    batch_parser.add_argument(
+        "--stuck-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="pool watchdog: recycle worker processes stuck on one job "
+        "longer than this; the job retries (from its checkpoint, if any)",
+    )
+    _fault_flag(batch_parser)
     batch_parser.set_defaults(handler=_cmd_batch)
 
     serve_parser = subparsers.add_parser(
@@ -1019,7 +1150,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="record job-lifecycle and request spans; the Chrome-trace "
         "JSONL is written here when the daemon stops",
     )
+    serve_parser.add_argument(
+        "--checkpoint-every-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a resumable checkpoint every N chase rounds so a "
+        "SIGTERM drain (or crash) leaves running jobs resumable on disk",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for round checkpoints (default: a fresh temp dir "
+        "when --checkpoint-every-rounds is set)",
+    )
+    _fault_flag(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect and repair JSONL result-cache spill files",
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="action", required=True)
+    cache_verify = cache_subparsers.add_parser(
+        "verify",
+        help="audit a spill file's per-line CRC32 integrity; --repair "
+        "rewrites it keeping only healthy lines (checksums re-stamped)",
+    )
+    cache_verify.add_argument("cache_file", help="JSONL spill file to audit")
+    cache_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite the file in place, dropping torn/corrupt/checksum-"
+        "failed lines and stamping checksums on legacy lines",
+    )
+    cache_verify.set_defaults(handler=_cmd_cache_verify)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -1129,6 +1294,7 @@ def build_parser() -> argparse.ArgumentParser:
         "not ≥1.5x over the legacy rescan, the arrays layout regresses "
         "below 1.0x of the sets layout, or results diverge",
     )
+    _fault_flag(bench_parser)
     _add_history_flags(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench_engine)
 
@@ -1141,6 +1307,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_runtime_parser.add_argument("--workers", type=int, default=4)
     bench_runtime_parser.add_argument("--repeats", type=int, default=1)
     bench_runtime_parser.add_argument("--seed", type=int, default=7)
+    _fault_flag(bench_runtime_parser)
     _add_history_flags(bench_runtime_parser)
     bench_runtime_parser.set_defaults(handler=_cmd_bench_runtime)
 
@@ -1154,6 +1321,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_service_parser.add_argument("--clients", type=int, default=4)
     bench_service_parser.add_argument("--workers", type=int, default=2)
     bench_service_parser.add_argument("--seed", type=int, default=7)
+    _fault_flag(bench_service_parser)
     _add_history_flags(bench_service_parser)
     bench_service_parser.set_defaults(handler=_cmd_bench_service)
     return parser
@@ -1180,6 +1348,10 @@ def _history_path(args: argparse.Namespace) -> Optional[str]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "inject_faults", None):
+        # Arm before the handler touches any fault point (handlers that
+        # need the injector reference re-arm idempotently).
+        _arm_faults(args)
     return args.handler(args)
 
 

@@ -37,11 +37,12 @@ import base64
 import json
 import threading
 import warnings
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 try:  # POSIX advisory locks guard the shared spill across processes
     import fcntl
@@ -69,7 +70,51 @@ def _flocked(handle):
         fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 from repro.chase.engine import ChaseBudget
+from repro.runtime.faults import FaultError, get_injector
 from repro.runtime.jobs import ChaseJob
+
+#: Separator between a spill line's JSON payload and its checksum.
+#: Chosen so it can never appear inside the JSON (tabs are escaped).
+_CRC_TOKEN = "\tcrc32="
+
+
+def _encode_spill_line(entry: "CacheEntry") -> str:
+    """One spill line: canonical JSON plus a CRC32 of those bytes.
+
+    The checksum detects *partial* corruption — a line that is valid
+    JSON but was bit-flipped or truncated-and-rejoined on disk would
+    otherwise replay a wrong summary as if it were authoritative.
+    """
+    text = json.dumps(entry.as_dict(), sort_keys=True)
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{text}{_CRC_TOKEN}{crc:08x}\n"
+
+
+def _decode_spill_line(line: str) -> Tuple[Optional[Dict[str, object]], str]:
+    """Decode one spill line; returns ``(record, status)``.
+
+    ``status`` is ``"ok"``, ``"crc_mismatch"`` (checksum present but
+    wrong — the payload is *not* returned), or ``"corrupt"`` (not
+    parseable at all).  Lines without a checksum (written by older
+    builds) decode normally: the CRC is an integrity upgrade, not a
+    format break.
+    """
+    payload = line
+    if _CRC_TOKEN in line:
+        payload, _, stamp = line.rpartition(_CRC_TOKEN)
+        try:
+            expected = int(stamp, 16)
+        except ValueError:
+            return None, "corrupt"
+        if (zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF) != expected:
+            return None, "crc_mismatch"
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        return None, "corrupt"
+    if not isinstance(record, dict):
+        return None, "corrupt"
+    return record, "ok"
 
 #: Version stamp of the persisted entry format *and* of the summary
 #: payload inside it.  Bump whenever ``ChaseResult.summary()`` (or the
@@ -205,6 +250,13 @@ class ResultCache:
         self.stores = 0
         self.evictions = 0
         self.version_skipped = 0
+        #: Corrupt final spill line seen at load (a crash mid-append).
+        self.torn_lines = 0
+        #: Spill lines whose CRC32 did not match their payload.
+        self.crc_mismatches = 0
+        #: True once a spill write failed: the cache keeps serving (and
+        #: storing) from memory but stops touching the file.
+        self.degraded = False
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -233,12 +285,30 @@ class ResultCache:
                 handle.write(text)
                 handle.flush()
                 sidecar.unlink()
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+        lines = [stripped for stripped in (l.strip() for l in text.splitlines()) if stripped]
+        for index, line in enumerate(lines):
+            record, verdict = _decode_spill_line(line)
+            if verdict == "crc_mismatch":
+                self.crc_mismatches += 1
+                warnings.warn(
+                    f"{self.path}: spill line {index + 1} failed its CRC32 check; "
+                    "dropping the entry (it will be re-run, not replayed)",
+                    stacklevel=2,
+                )
+                continue
+            if record is None:
+                if index == len(lines) - 1:
+                    # A torn *trailing* line is the signature of a crash
+                    # mid-append — say so instead of dropping it silently.
+                    self.torn_lines += 1
+                    warnings.warn(
+                        f"{self.path}: dropped a torn trailing spill line "
+                        "(likely a crash mid-append); run "
+                        "`python -m repro cache verify --repair` to clean the file",
+                        stacklevel=2,
+                    )
                 continue
             try:
-                record = json.loads(line)
                 version = record.get("schema_version")
                 if version != SCHEMA_VERSION:
                     # A file written by an older (or newer) build: its
@@ -250,15 +320,14 @@ class ResultCache:
                     continue
                 entry = CacheEntry.from_record(record)
             except (
-                json.JSONDecodeError,
                 KeyError,
                 TypeError,
                 AttributeError,
                 ValueError,
                 # base64 failures raise binascii.Error, a ValueError.
             ):
-                # A truncated or corrupt line (e.g. the process died
-                # mid-append) costs one entry, not the whole cache.
+                # A structurally broken record costs one entry, not the
+                # whole cache.
                 continue
             # Later lines are more recent appends: inserting in file
             # order leaves the newest entries at the LRU's fresh end.
@@ -351,9 +420,22 @@ class ResultCache:
         # flock (a long compact()) must stall only this store, not
         # every concurrent lookup.  O_APPEND + the flock keep lines
         # whole; duplicate keys from racing appends dedup on load.
-        if self.path is not None:
-            with self.path.open("a") as handle, _flocked(handle):
-                handle.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+        if self.path is not None and not self.degraded:
+            try:
+                get_injector().fire("cache.spill_write", key=key)
+                with self.path.open("a") as handle, _flocked(handle):
+                    handle.write(_encode_spill_line(entry))
+            except (OSError, FaultError) as exc:
+                # A failing spill (ENOSPC, permission loss, injected
+                # fault) must not take job execution down with it: the
+                # cache degrades to memory-only and stops touching the
+                # file, keeping every in-memory guarantee intact.
+                self.degraded = True
+                warnings.warn(
+                    f"{self.path}: spill write failed ({exc}); cache degraded to "
+                    "memory-only for the rest of this process",
+                    stacklevel=2,
+                )
         if tracer is not None:
             tracer.add_span(
                 "cache.write", mark, tracer.now(),
@@ -383,7 +465,11 @@ class ResultCache:
         tracer = self.tracer
         mark = tracer.now() if tracer is not None else 0.0
         with self._lock:
-            if self.path is None:
+            if self.path is None or self.degraded:
+                # A degraded cache no longer owns its file: another
+                # process may still be appending healthily, and a
+                # rewrite from our (possibly stale) view could lose
+                # its entries.
                 return len(self._entries)
             with self.path.open("a+") as handle, _flocked(handle):
                 handle.seek(0)
@@ -392,13 +478,14 @@ class ResultCache:
                     line = line.strip()
                     if not line:
                         continue
+                    record, verdict = _decode_spill_line(line)
+                    if record is None:
+                        continue
                     try:
-                        record = json.loads(line)
                         if record.get("schema_version") != SCHEMA_VERSION:
                             continue
                         entry = CacheEntry.from_record(record)
                     except (
-                        json.JSONDecodeError,
                         KeyError,
                         TypeError,
                         AttributeError,
@@ -414,8 +501,7 @@ class ResultCache:
                     merged.pop(key, None)
                     merged[key] = entry
                 content = "".join(
-                    json.dumps(entry.as_dict(), sort_keys=True) + "\n"
-                    for entry in merged.values()
+                    _encode_spill_line(entry) for entry in merged.values()
                 )
                 sidecar = self.path.with_suffix(self.path.suffix + ".compacting")
                 sidecar.write_text(content)
@@ -462,4 +548,79 @@ class ResultCache:
                 "stores": self.stores,
                 "evictions": self.evictions,
                 "version_skipped": self.version_skipped,
+                "torn_lines": self.torn_lines,
+                "crc_mismatches": self.crc_mismatches,
+                "degraded": int(self.degraded),
             }
+
+
+def verify_spill(path: str | Path, repair: bool = False) -> Dict[str, int]:
+    """Audit (and optionally repair) a spill file's line integrity.
+
+    Classifies every line as ``ok`` (parseable, checksum valid when
+    present), ``unchecksummed`` (healthy line from a build predating
+    the CRC stamp), ``crc_mismatch``, ``torn`` (unparseable final
+    line), or ``corrupt`` (unparseable elsewhere).  Schema-stale lines
+    count as ``stale_version`` but are kept: an older build may still
+    be using the file.
+
+    With ``repair=True`` the file is rewritten in place under the same
+    advisory lock every ``put`` takes, keeping only the healthy lines
+    and re-stamping all of them with checksums.  The rewrite reuses the
+    ``.compacting`` sidecar protocol, so a crash mid-repair is restored
+    by the next :class:`ResultCache` load.
+    """
+    target = Path(path)
+    report = {
+        "lines": 0, "ok": 0, "unchecksummed": 0, "crc_mismatch": 0,
+        "torn": 0, "corrupt": 0, "stale_version": 0, "repaired": 0,
+    }
+    if not target.exists():
+        return report
+    with target.open("a+") as handle, _flocked(handle):
+        handle.seek(0)
+        lines = [s for s in (l.strip() for l in handle.read().splitlines()) if s]
+        report["lines"] = len(lines)
+        kept: List[str] = []
+        restamped = 0
+        for index, line in enumerate(lines):
+            record, verdict = _decode_spill_line(line)
+            if record is None:
+                if verdict == "crc_mismatch":
+                    report["crc_mismatch"] += 1
+                elif index == len(lines) - 1:
+                    report["torn"] += 1
+                else:
+                    report["corrupt"] += 1
+                continue
+            stale = record.get("schema_version") != SCHEMA_VERSION
+            if stale:
+                report["stale_version"] += 1
+            elif _CRC_TOKEN in line:
+                report["ok"] += 1
+            else:
+                report["unchecksummed"] += 1
+            if _CRC_TOKEN in line:
+                kept.append(line)
+            else:
+                restamped += 1
+                kept.append(_restamp(line))
+        damaged = report["crc_mismatch"] + report["torn"] + report["corrupt"]
+        needs_rewrite = bool(damaged or restamped)
+        if repair and needs_rewrite:
+            content = "".join(line + "\n" for line in kept)
+            sidecar = target.with_suffix(target.suffix + ".compacting")
+            sidecar.write_text(content)
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content)
+            handle.flush()
+            sidecar.unlink(missing_ok=True)
+            report["repaired"] = 1
+    return report
+
+
+def _restamp(payload: str) -> str:
+    """Stamp a checksum onto a legacy (unchecksummed) spill line."""
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{payload}{_CRC_TOKEN}{crc:08x}"

@@ -37,15 +37,19 @@ chase driver checks after every trigger application.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.chase import VARIANT_RUNNERS
-from repro.chase.engine import ChaseBudget, ChaseOutcome
+from repro.chase.engine import ChaseBudget, ChaseOutcome, EngineCheckpoint
 from repro.model.parser import parse_database, parse_program
 from repro.model.serialization import (
     database_to_text,
@@ -59,6 +63,13 @@ from repro.obs.profile import RuleProfiler
 from repro.obs.trace import TraceRecorder
 from repro.runtime.budget_policy import BudgetDecision, BudgetPolicy
 from repro.runtime.cache import CacheEntry, ResultCache, lineage_cache_key, result_cache_key
+from repro.runtime.checkpoint import RoundCheckpointer, load_checkpoint
+from repro.runtime.faults import (
+    backoff_schedule,
+    classify_failure,
+    get_injector,
+    mark_worker_process,
+)
 from repro.runtime.jobs import ChaseJob
 
 
@@ -81,6 +92,17 @@ class JobResult:
     #: Cache key of the snapshot this run resumed from (incremental
     #: re-chase), None for cold runs.
     resumed_from: Optional[str] = None
+    #: Transient-failure retries this job consumed (0 on the first
+    #: successful attempt — and then absent from :meth:`as_dict`, so
+    #: fault-free batch rows keep their exact pre-existing shape).
+    retries: int = 0
+    #: Checkpoint-resume provenance (``base_rounds`` already executed
+    #: before the crash, ``resumed_rounds`` re-executed after it) when a
+    #: retry resumed from a mid-run checkpoint; ``None`` otherwise and
+    #: then absent from :meth:`as_dict`.  Deliberately *not* part of the
+    #: summary: a resumed run's summary is byte-identical to a cold
+    #: run's, and this records how little work that identity cost.
+    checkpoint: Optional[Dict[str, object]] = None
 
     @property
     def outcome(self) -> Optional[str]:
@@ -88,7 +110,7 @@ class JobResult:
 
     def as_dict(self) -> Dict[str, object]:
         """The JSONL row ``python -m repro batch`` emits."""
-        return {
+        row: Dict[str, object] = {
             "id": self.job_id,
             "status": self.status,
             "outcome": self.outcome,
@@ -103,6 +125,11 @@ class JobResult:
             "tags": list(self.tags),
             "resumed_from": self.resumed_from,
         }
+        if self.retries:
+            row["retries"] = self.retries
+        if self.checkpoint is not None:
+            row["checkpoint"] = self.checkpoint
+        return row
 
     def summary_json(self) -> str:
         """Canonical bytes of the summary (cache byte-identity checks)."""
@@ -133,6 +160,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     for the cache's lineage index.
     """
     try:
+        injector = get_injector()
         program = parse_program(
             str(payload["program_text"]), name=str(payload.get("program_name", "Sigma"))
         )
@@ -148,6 +176,51 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         database_size = payload.get("database_size")
         probe = ChaseProbe() if payload.get("telemetry") else None
         profiler = RuleProfiler() if payload.get("profile") else None
+        job_id = str(payload["job_id"])
+        # Crash-safe execution: a checkpoint path makes the run persist
+        # its loop state every N round boundaries, and — on a retry — a
+        # decodable checkpoint left by a dead attempt turns this run
+        # into a same-run resume instead of a cold start.  A corrupt or
+        # truncated checkpoint silently falls back to cold (costs time,
+        # never correctness).
+        checkpoint_path = payload.get("checkpoint_path")
+        checkpoint_every = payload.get("checkpoint_every_rounds")
+        engine_checkpoint: Optional[EngineCheckpoint] = None
+        checkpointer: Optional[RoundCheckpointer] = None
+        if checkpoint_path and checkpoint_every:
+            loaded = load_checkpoint(str(checkpoint_path))
+            if loaded is not None:
+                header, blob = loaded
+                engine_checkpoint = EngineCheckpoint(
+                    store_blob=blob,
+                    marks=tuple(int(m) for m in header["marks"]),
+                    rounds=int(header["rounds"]),
+                    considered=int(header["considered"]),
+                    applied=int(header["applied"]),
+                    created=int(header["created"]),
+                    database_size=int(header["database_size"]),
+                )
+            checkpointer = RoundCheckpointer(
+                str(checkpoint_path),
+                int(checkpoint_every),  # type: ignore[arg-type]
+                database_size=(
+                    int(database_size) if database_size is not None else len(database)
+                ),
+                injector=injector if injector.enabled else None,
+            )
+        round_hook = None
+        if checkpointer is not None or injector.enabled:
+            fire = injector.fire if injector.enabled else None
+
+            def round_hook(rounds, store, marks, stats,
+                           _ckpt=checkpointer, _fire=fire, _job=job_id):
+                # Checkpoint before the fault fires: a kill at round N
+                # must find the round-N state already durable.
+                if _ckpt is not None:
+                    _ckpt(rounds, store, marks, stats)
+                if _fire is not None:
+                    _fire("worker.round", job=_job, round=rounds)
+
         start = time.perf_counter()
         result = runner(
             database,
@@ -159,6 +232,8 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             database_size=int(database_size) if database_size is not None else None,
             probe=probe,
             profile=profiler,
+            round_hook=round_hook,
+            checkpoint=engine_checkpoint,
         )
         status = (
             "timeout" if result.outcome is ChaseOutcome.TIME_BUDGET_EXCEEDED else "ok"
@@ -178,6 +253,14 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             "error": None,
             "snapshot": snapshot_out,
         }
+        if engine_checkpoint is not None:
+            record["checkpoint"] = {
+                "base_rounds": engine_checkpoint.rounds,
+                "resumed_rounds": result.statistics.rounds - engine_checkpoint.rounds,
+            }
+        if checkpointer is not None:
+            # The run reached a verdict; there is nothing left to resume.
+            checkpointer.discard()
         return record
     except Exception as exc:  # noqa: BLE001 - worker faults become job errors
         return {
@@ -188,6 +271,7 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
             "instance_text": None,
             "error": f"{type(exc).__name__}: {exc}",
             "snapshot": None,
+            "failure_kind": classify_failure(exc),
         }
 
 
@@ -237,6 +321,30 @@ class BatchExecutor:
     #: ``snapshot.encode`` / ``job.execute`` spans.  ``None`` (the
     #: default) keeps the run loops span-free.
     tracer: Optional[TraceRecorder] = None
+    #: Bounded per-job retries for *transient* failures (dead workers,
+    #: broken pools, injected faults, I/O blips).  Deterministic
+    #: failures — the kind that would fail identically again — are
+    #: never retried.  0 restores the old one-error-row behaviour.
+    max_retries: int = 2
+    #: First retry delay; attempt ``i`` sleeps ``base * 2**i`` (capped),
+    #: a deterministic schedule with no jitter so retried batches stay
+    #: reproducible.
+    retry_backoff_base: float = 0.05
+    #: Persist a mid-run checkpoint every N round boundaries (requires
+    #: ``checkpoint_dir``); a retried job then resumes from its last
+    #: checkpoint instead of cold.  Only the store engine's summary
+    #: driver checkpoints, and only for the variants whose null
+    #: labelling is restart-invariant (semi-oblivious, oblivious) —
+    #: other jobs simply retry cold.  ``None`` disables checkpointing.
+    checkpoint_every_rounds: Optional[int] = None
+    #: Directory for checkpoint files (one per cache key, deleted when
+    #: the job reaches a verdict).
+    checkpoint_dir: Optional[str] = None
+    #: Pool mode only: when a worker makes no progress for this many
+    #: seconds past a job's submission, the pool's processes are
+    #: recycled and the outstanding jobs retried (from their
+    #: checkpoints where available).  ``None`` disables the watchdog.
+    stuck_timeout_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Wire the tracer into the cache so ``cache.write`` /
@@ -244,6 +352,20 @@ class BatchExecutor:
         # caller having to remember the second hookup.
         if self.cache is not None and self.tracer is not None:
             self.cache.tracer = self.tracer
+        #: Fault-recovery counters surfaced on the service's /metrics
+        #: (``repro_job_retries_total``, ``repro_checkpoint_resumes_total``).
+        self.fault_stats: Dict[str, int] = {"retries": 0, "checkpoint_resumes": 0}
+        self._fault_stats_lock = threading.Lock()
+        # Checkpoint writes deliberately swallow OSError (a checkpoint
+        # is an optimisation), so a missing directory would silently
+        # disable them — create it up front instead.
+        if self.checkpoint_dir is not None:
+            Path(self.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+
+    def _count(self, stat: str, amount: int = 1) -> None:
+        if amount:
+            with self._fault_stats_lock:
+                self.fault_stats[stat] = self.fault_stats.get(stat, 0) + amount
 
     # -- job preparation --------------------------------------------------
 
@@ -282,7 +404,11 @@ class BatchExecutor:
         return self.engine in (None, "store")
 
     def _payload(
-        self, job: ChaseJob, budget: ChaseBudget, include_database: bool = True
+        self,
+        job: ChaseJob,
+        budget: ChaseBudget,
+        include_database: bool = True,
+        key: Optional[str] = None,
     ) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "job_id": job.job_id,
@@ -304,7 +430,31 @@ class BatchExecutor:
             payload["telemetry"] = True
         if self.profile:
             payload["profile"] = True
+        if self._checkpoint_capable(job) and key is not None:
+            payload["checkpoint_every_rounds"] = self.checkpoint_every_rounds
+            payload["checkpoint_path"] = str(
+                Path(self.checkpoint_dir)  # type: ignore[arg-type]
+                / (hashlib.sha256(key.encode("utf-8")).hexdigest()[:24] + ".ckpt")
+            )
         return payload
+
+    def _checkpoint_capable(self, job: ChaseJob) -> bool:
+        """Whether this job's runs persist (and resume from) checkpoints.
+
+        Checkpoints freeze the columnar summary driver's loop state, so
+        they need the store engine and a variant whose null labelling
+        survives a restart (the restricted chase's per-run fire counter
+        does not).  Probed/profiled runs are excluded: their payloads
+        sample per-round, and a resume would observe only the tail.
+        """
+        return (
+            self.checkpoint_every_rounds is not None
+            and self.checkpoint_dir is not None
+            and self._snapshot_capable()
+            and job.variant in ("semi-oblivious", "oblivious")
+            and not self.telemetry
+            and not self.profile
+        )
 
     def _resume_base(self, job: ChaseJob) -> Optional[Tuple["CacheEntry", List[str]]]:
         """A cached snapshot this job can resume from, plus the delta.
@@ -338,14 +488,14 @@ class BatchExecutor:
         return payload
 
     def _build_payload(
-        self, job: ChaseJob, budget: ChaseBudget
+        self, job: ChaseJob, budget: ChaseBudget, key: Optional[str] = None
     ) -> Tuple[Dict[str, object], Optional[str]]:
         """The payload to execute, plus the resumed-from key (if any)."""
         base = self._resume_base(job)
         if base is not None:
             entry, delta = base
             return self._resume_payload(job, budget, entry, delta), entry.key
-        return self._payload(job, budget), None
+        return self._payload(job, budget, key=key), None
 
     def _wrap(
         self,
@@ -355,7 +505,11 @@ class BatchExecutor:
         record: Dict[str, object],
         wall_seconds: float,
         resumed_from: Optional[str] = None,
+        retries: int = 0,
     ) -> JobResult:
+        checkpoint = record.get("checkpoint")
+        if checkpoint is not None:
+            self._count("checkpoint_resumes")
         result = JobResult(
             job_id=job.job_id,
             status=str(record["status"]),
@@ -370,6 +524,8 @@ class BatchExecutor:
             error=record.get("error"),  # type: ignore[arg-type]
             tags=job.tags,
             resumed_from=resumed_from,
+            retries=retries,
+            checkpoint=checkpoint,  # type: ignore[arg-type]
         )
         if self.cache is not None and result.status == "ok" and result.summary is not None:
             # Telemetry carries wall-clock round timings, which are not
@@ -464,6 +620,38 @@ class BatchExecutor:
         """Run the whole batch and return the results as a list."""
         return list(self.run(jobs))
 
+    @staticmethod
+    def _transient_error(record: Dict[str, object]) -> bool:
+        return (
+            record.get("status") == "error"
+            and record.get("failure_kind") == "transient"
+        )
+
+    def _execute_with_retries(
+        self, payload: Dict[str, object]
+    ) -> Tuple[Dict[str, object], int]:
+        """Run a payload in-process, retrying transient failures.
+
+        Deterministic failures return immediately; transient ones are
+        re-executed up to ``max_retries`` times under the deterministic
+        backoff schedule.  A checkpointed payload resumes from its last
+        checkpoint on each retry (``execute_payload`` reads the file).
+        Returns ``(record, retries_consumed)``.
+        """
+        record = execute_payload(payload)
+        retries = 0
+        if not self._transient_error(record) or self.max_retries <= 0:
+            return record, retries
+        for delay in backoff_schedule(self.retry_backoff_base, self.max_retries):
+            retries += 1
+            self._count("retries")
+            if delay > 0:
+                time.sleep(delay)
+            record = execute_payload(payload)
+            if not self._transient_error(record):
+                break
+        return record, retries
+
     def _cache_get(self, key: str):
         """A usable cache entry for this executor, or ``None``.
 
@@ -495,7 +683,7 @@ class BatchExecutor:
                     yield self._hit(job, decision, key, entry, time.perf_counter() - start)
                     continue
             mark = tracer.now() if tracer is not None else 0.0
-            payload, resumed_from = self._build_payload(job, budget)
+            payload, resumed_from = self._build_payload(job, budget, key=key)
             if tracer is not None:
                 # Payload building is dominated by the database snapshot
                 # encode (or the text serialisation fallback).
@@ -503,7 +691,7 @@ class BatchExecutor:
                     "snapshot.encode", mark, tracer.now(), args={"job": job.job_id}
                 )
                 mark = tracer.now()
-            record = execute_payload(payload)
+            record, retries = self._execute_with_retries(payload)
             if tracer is not None:
                 tracer.add_span(
                     "job.execute", mark, tracer.now(),
@@ -511,23 +699,74 @@ class BatchExecutor:
                 )
             yield self._wrap(
                 job, decision, key, record, time.perf_counter() - start,
-                resumed_from=resumed_from,
+                resumed_from=resumed_from, retries=retries,
             )
 
     def _run_pool(self, jobs: Iterable[ChaseJob]) -> Iterator[JobResult]:
         jobs = list(jobs)
         tracer = self.tracer
-        pending: Dict[
-            object, Tuple[ChaseJob, BudgetDecision, str, float, Optional[str]]
-        ] = {}
-        submit_marks: Dict[object, float] = {}
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
+
+        def new_pool() -> ProcessPoolExecutor:
+            # The initializer arms hard "kill" faults: only a real
+            # worker process may honour one with os._exit.
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=mark_worker_process,
+            )
+
+        pool = new_pool()
+        # future -> mutable in-flight entry; entries survive their
+        # future (a retry resubmits the same entry to a fresh future).
+        pending: Dict[object, Dict[str, object]] = {}
         submitted_keys: set = set()
         duplicates: List[Tuple[ChaseJob, BudgetDecision, str]] = []
-        with ProcessPoolExecutor(max_workers=self.workers, mp_context=context) as pool:
+        # Pool-level collateral (a dead worker breaks every in-flight
+        # future) is retried without consuming per-job budgets, bounded
+        # globally so a crash-looping worker cannot respawn forever.
+        respawns = 0
+        max_respawns = max(8, 4 * self.workers)
+
+        def submit(entry: Dict[str, object]) -> None:
+            # A kill fault can break the pool *between* our bookkeeping
+            # and this submit (or break the fresh replacement before we
+            # reach it), in which case submit itself raises
+            # BrokenProcessPool synchronously — respawn and retry here
+            # too, under the same global budget.
+            nonlocal pool, respawns
+            while True:
+                try:
+                    future = pool.submit(execute_payload, entry["payload"])
+                    break
+                except BrokenProcessPool:
+                    if respawns >= max_respawns:
+                        raise
+                    pool.shutdown(wait=False)
+                    pool = new_pool()
+                    respawns += 1
+                    self._count("pool_respawns")
+            entry["pool"] = pool
+            entry.pop("running_since", None)
+            pending[future] = entry
+            if tracer is not None:
+                entry["mark"] = tracer.now()
+
+        def error_record(job: ChaseJob, exc: BaseException) -> Dict[str, object]:
+            return {
+                "job_id": job.job_id,
+                "status": "error",
+                "summary": None,
+                "worker_seconds": None,
+                "instance_text": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "failure_kind": classify_failure(exc),
+            }
+
+        try:
             for job in jobs:
                 start = time.perf_counter()
                 decision, budget, key = self._resolve(job)
@@ -542,41 +781,87 @@ class BatchExecutor:
                         duplicates.append((job, decision, key))
                         continue
                     submitted_keys.add(key)
-                payload, resumed_from = self._build_payload(job, budget)
-                future = pool.submit(execute_payload, payload)
-                pending[future] = (job, decision, key, start, resumed_from)
-                if tracer is not None:
-                    submit_marks[future] = tracer.now()
-            outstanding = set(pending)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                payload, resumed_from = self._build_payload(job, budget, key=key)
+                submit({
+                    "job": job, "decision": decision, "key": key, "start": start,
+                    "resumed_from": resumed_from, "payload": payload, "retries": 0,
+                })
+            watchdog = self.stuck_timeout_seconds
+            tick = None if watchdog is None else max(0.05, min(0.5, watchdog / 4.0))
+            while pending:
+                done, _ = wait(set(pending), timeout=tick, return_when=FIRST_COMPLETED)
+                if not done:
+                    # Watchdog tick: a future that has been *running*
+                    # (not queued) past the stuck budget means a wedged
+                    # worker — recycle the pool's processes; the broken
+                    # futures surface below and retry from their
+                    # checkpoints.
+                    now = time.monotonic()
+                    stuck = False
+                    for future, entry in pending.items():
+                        if entry["pool"] is not pool or not future.running():  # type: ignore[attr-defined]
+                            continue
+                        since = entry.setdefault("running_since", now)
+                        if now - since > watchdog:  # type: ignore[operator]
+                            stuck = True
+                    if stuck:
+                        self._count("stuck_recycles")
+                        for process in list(getattr(pool, "_processes", {}).values()):
+                            process.terminate()
+                    continue
+                resubmit: List[Dict[str, object]] = []
                 for future in done:
-                    job, decision, key, start, resumed_from = pending.pop(future)
+                    entry = pending.pop(future)
+                    job = entry["job"]  # type: ignore[assignment]
+                    broken = False
                     try:
                         record = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        record = error_record(job, exc)
                     except Exception as exc:  # noqa: BLE001 - a dead worker
-                        # (OOM kill, BrokenProcessPool) costs one error
-                        # row, not the rest of the batch.
-                        record = {
-                            "job_id": job.job_id,
-                            "status": "error",
-                            "summary": None,
-                            "worker_seconds": None,
-                            "instance_text": None,
-                            "error": f"{type(exc).__name__}: {exc}",
-                        }
+                        # costs a bounded retry, not the rest of the batch.
+                        record = error_record(job, exc)
+                    if broken:
+                        if entry["pool"] is pool:
+                            # First casualty of this pool: respawn once;
+                            # later casualties just resubmit to the
+                            # replacement.
+                            pool.shutdown(wait=False)
+                            pool = new_pool()
+                            respawns += 1
+                            self._count("pool_respawns")
+                        if respawns <= max_respawns:
+                            resubmit.append(entry)
+                            continue
+                        # Respawn budget exhausted: fall through to the
+                        # per-job retry accounting.
+                    if (
+                        self._transient_error(record)
+                        and int(entry["retries"]) < self.max_retries  # type: ignore[call-overload]
+                    ):
+                        entry["retries"] = int(entry["retries"]) + 1  # type: ignore[call-overload]
+                        self._count("retries")
+                        resubmit.append(entry)
+                        continue
                     if tracer is not None:
                         # Pool spans run submit-to-completion: they
                         # include queueing inside the pool, which is
                         # the latency the caller actually observes.
                         tracer.add_span(
-                            "job.execute", submit_marks.pop(future), tracer.now(),
+                            "job.execute", entry.get("mark", 0.0), tracer.now(),
                             args={"job": job.job_id, "status": str(record["status"])},
                         )
                     yield self._wrap(
-                        job, decision, key, record, time.perf_counter() - start,
-                        resumed_from=resumed_from,
+                        job, entry["decision"], entry["key"], record,  # type: ignore[arg-type]
+                        time.perf_counter() - float(entry["start"]),  # type: ignore[arg-type]
+                        resumed_from=entry["resumed_from"],  # type: ignore[arg-type]
+                        retries=int(entry["retries"]),  # type: ignore[call-overload]
                     )
+                for entry in resubmit:
+                    submit(entry)
+        finally:
+            pool.shutdown(wait=True)
         for job, decision, key in duplicates:
             start = time.perf_counter()
             entry = self._cache_get(key) if self.cache is not None else None
@@ -584,9 +869,9 @@ class BatchExecutor:
                 yield self._hit(job, decision, key, entry, time.perf_counter() - start)
             else:  # the in-flight twin failed or timed out: run it here
                 decision, budget, key = self._resolve(job)
-                payload, resumed_from = self._build_payload(job, budget)
-                record = execute_payload(payload)
+                payload, resumed_from = self._build_payload(job, budget, key=key)
+                record, retries = self._execute_with_retries(payload)
                 yield self._wrap(
                     job, decision, key, record, time.perf_counter() - start,
-                    resumed_from=resumed_from,
+                    resumed_from=resumed_from, retries=retries,
                 )

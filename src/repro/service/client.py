@@ -11,6 +11,7 @@ documents.  Submissions accept either a manifest-entry ``dict`` or a
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 import urllib.error
@@ -21,14 +22,23 @@ from repro.runtime.jobs import ChaseJob, manifest_entry
 
 JobSpec = Union[ChaseJob, Dict[str, object]]
 
+#: Statuses that mean "come back later", usually with a Retry-After.
+_BACKPRESSURE_STATUSES = frozenset({429, 503})
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response, carrying the HTTP status and decoded body."""
 
-    def __init__(self, status: int, document: Dict[str, object]) -> None:
-        super().__init__(f"HTTP {status}: {document.get('error', document)}")
+    def __init__(
+        self, status: int, document: Dict[str, object], attempts: int = 1
+    ) -> None:
+        suffix = f" (after {attempts} attempts)" if attempts > 1 else ""
+        super().__init__(f"HTTP {status}: {document.get('error', document)}{suffix}")
         self.status = status
         self.document = document
+        #: Total request attempts made before this error surfaced
+        #: (> 1 when a retry budget was exhausted).
+        self.attempts = attempts
 
 
 def _entry(spec: JobSpec) -> Dict[str, object]:
@@ -36,13 +46,54 @@ def _entry(spec: JobSpec) -> Dict[str, object]:
 
 
 class ChaseServiceClient:
-    """Talks to one daemon at ``base_url`` (e.g. ``http://127.0.0.1:8080``)."""
+    """Talks to one daemon at ``base_url`` (e.g. ``http://127.0.0.1:8080``).
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Fault tolerance, all client-side and bounded:
+
+    * Transient network failures (``ConnectionResetError``,
+      ``URLError``, socket timeouts) on **idempotent GETs** are retried
+      up to ``max_retries`` times with capped exponential backoff; POST
+      bodies are never replayed on a network error (a submission whose
+      response was lost may still have been admitted).  When the budget
+      is exhausted the original exception is re-raised with the attempt
+      count attached as a note.
+    * Backpressure responses (429/503) are retried only when
+      ``backpressure_retries`` > 0 (POSTs included: the daemon rejected
+      the work, so a replay cannot double-submit).  The server's
+      ``Retry-After`` header drives the delay, capped at
+      ``backoff_cap`` seconds and jittered so a fleet of clients does
+      not reconverge on the same instant.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        backpressure_retries: int = 0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backpressure_retries = backpressure_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random()
 
     # -- plumbing ---------------------------------------------------------
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> float:
+        """Capped, jittered delay before retry number ``attempt`` + 1."""
+        delay = self.backoff_base * (2 ** attempt)
+        if retry_after is not None:
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                pass
+        delay = min(self.backoff_cap, delay)
+        return delay * self._rng.uniform(0.5, 1.0)
 
     def _request(
         self,
@@ -58,15 +109,38 @@ class ChaseServiceClient:
             method=method,
             headers={"Content-Type": content_type} if body is not None else {},
         )
-        try:
-            return urllib.request.urlopen(request, timeout=timeout or self.timeout)
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        attempt = 0
+        while True:
             try:
-                document = json.loads(raw)
-            except json.JSONDecodeError:
-                document = {"error": raw.decode("utf-8", "replace")}
-            raise ServiceError(exc.code, document) from None
+                return urllib.request.urlopen(request, timeout=timeout or self.timeout)
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    document = json.loads(raw)
+                except json.JSONDecodeError:
+                    document = {"error": raw.decode("utf-8", "replace")}
+                if (
+                    exc.code in _BACKPRESSURE_STATUSES
+                    and attempt < self.backpressure_retries
+                ):
+                    time.sleep(self._backoff(attempt, exc.headers.get("Retry-After")))
+                    attempt += 1
+                    continue
+                raise ServiceError(exc.code, document, attempts=attempt + 1) from None
+            except (
+                ConnectionError,
+                socket.timeout,
+                urllib.error.URLError,
+            ) as exc:
+                # Only GETs are safely replayable: the request provably
+                # had no server-side effect or is idempotent to repeat.
+                if method == "GET" and attempt < self.max_retries:
+                    time.sleep(self._backoff(attempt, None))
+                    attempt += 1
+                    continue
+                if attempt:
+                    exc.add_note(f"giving up after {attempt + 1} attempts")
+                raise
 
     def _json(self, method: str, path: str, body: Optional[bytes] = None, **kwargs) -> Dict[str, object]:
         with self._request(method, path, body, **kwargs) as response:

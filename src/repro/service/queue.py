@@ -431,6 +431,51 @@ class ChaseScheduler:
             thread.join(timeout)
         return drained and all(not t.is_alive() for t in self._threads)
 
+    def quiesce(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """SIGTERM-style drain: finish running work, requeue the rest.
+
+        Stops admissions, pulls every *unstarted* group off the queue
+        and returns its members to the registry as ``queued`` (via
+        :meth:`JobRegistry.mark_requeued`) so a successor daemon — or
+        an operator reading the registry — can resubmit them, then
+        waits only for the groups already executing and joins the pool.
+        Under a deep queue this terminates in one job's time instead of
+        the whole backlog's, and no accepted job is silently dropped.
+
+        Returns ``{"requeued": n, "drained": bool}``.
+        """
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        requeued = 0
+        while True:
+            try:
+                group = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if group is None:  # another shutdown's sentinel: put it back
+                self._queue.put(None)
+                break
+            # A worker may race this loop for the same queue; whatever
+            # it wins it executes normally (the group counts as
+            # running, not queued, by the time it leaves the queue).
+            with self._idle:
+                self._inflight.pop(group.key, None)
+                self._queued -= 1
+                for record, _ in group.members:
+                    self.registry.mark_requeued(record.job_id)
+                    requeued += 1
+                self._stats["requeued"] += len(group.members)
+                self._idle.notify_all()
+            self._queue.task_done()
+        drained = self.drain(timeout)
+        if not already:
+            for _ in self._threads:
+                self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+        return {"requeued": requeued, "drained": drained}
+
     # -- reporting --------------------------------------------------------
 
     @property

@@ -50,6 +50,7 @@ from repro.obs.trace import TraceRecorder
 from repro.runtime.budget_policy import BudgetPolicy
 from repro.runtime.cache import SCHEMA_VERSION, ResultCache
 from repro.runtime.executor import BatchExecutor
+from repro.runtime.faults import get_injector
 from repro.runtime.jobs import (
     ChaseJob,
     ManifestError,
@@ -94,6 +95,7 @@ class _BoundedThreadingHTTPServer(ThreadingHTTPServer):
                 "HTTP/1.1 503 Service Unavailable\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                "Retry-After: 1\r\n"
                 "Connection: close\r\n\r\n"
             ).encode("ascii")
             try:
@@ -180,6 +182,8 @@ class ChaseService:
         access_log_max_bytes: int = DEFAULT_ACCESS_LOG_MAX_BYTES,
         trace_path: Optional[str] = None,
         conformance: bool = False,
+        checkpoint_every_rounds: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.host = host
         self.max_body_bytes = max_body_bytes
@@ -227,6 +231,11 @@ class ChaseService:
             per_job_timeout=per_job_timeout,
             tracer=self.tracer,
             conformance=conformance,
+            # With checkpointing configured, long-running jobs write
+            # periodic round checkpoints: a SIGTERM drain (or a crash)
+            # leaves resumable state on disk instead of losing the run.
+            checkpoint_every_rounds=checkpoint_every_rounds,
+            checkpoint_dir=checkpoint_dir,
         )
         self.cache.tracer = self.tracer
         self.registry = JobRegistry(ttl_seconds=ttl_seconds)
@@ -285,8 +294,14 @@ class ChaseService:
         logger.info("chase service listening on %s", self.url)
         return self
 
-    def stop(self, timeout: Optional[float] = None) -> bool:
+    def stop(self, timeout: Optional[float] = None, requeue_queued: bool = False) -> bool:
         """Drain the scheduler, stop the HTTP server; True on clean drain.
+
+        With ``requeue_queued`` (the SIGTERM path) queued-but-unstarted
+        jobs are returned to the registry as requeueable instead of
+        being executed: only already-running jobs are waited for, so
+        termination stays prompt under a deep queue while no accepted
+        job is silently dropped.
 
         A concurrent second caller (e.g. Ctrl-C while an HTTP-initiated
         shutdown is draining) blocks until the first caller's stop
@@ -297,7 +312,10 @@ class ChaseService:
             self._stopped = True
         if already:
             return self._stopped_event.wait(timeout)
-        drained = self.scheduler.shutdown(timeout)
+        if requeue_queued:
+            drained = self.scheduler.quiesce(timeout)["drained"]
+        else:
+            drained = self.scheduler.shutdown(timeout)
         if self.cache.path is not None:
             self.cache.compact()
         if self._httpd is not None:
@@ -460,6 +478,24 @@ class ChaseService:
         metrics.gauge(
             "repro_cache_entries", "Result cache resident entries.",
         ).set(int(cache_stats.get("entries", 0)))
+        metrics.gauge(
+            "repro_cache_degraded",
+            "1 when a spill-write failure degraded the result cache to "
+            "memory-only, 0 otherwise.",
+        ).set(int(cache_stats.get("degraded", 0)))
+        fault_stats = getattr(self.scheduler.executor, "fault_stats", {}) or {}
+        metrics.counter(
+            "repro_job_retries_total",
+            "Job executions retried after a transient failure.",
+        ).set_to(int(fault_stats.get("retries", 0)))
+        metrics.counter(
+            "repro_checkpoint_resumes_total",
+            "Retried jobs that resumed from a mid-run round checkpoint.",
+        ).set_to(int(fault_stats.get("checkpoint_resumes", 0)))
+        metrics.counter(
+            "repro_faults_injected_total",
+            "Faults fired by the opt-in injection layer (REPRO_FAULTS).",
+        ).set_to(get_injector().fired_total())
         metrics.counter(
             "repro_admission_rejections_total",
             "Jobs rejected at admission by static termination analysis.",
@@ -549,11 +585,27 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
                 }
             )
 
-    def _send_json(self, status: int, document: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        document: Dict[str, object],
+        retry_after: Optional[int] = None,
+    ) -> None:
+        # Chaos hook: "delay" sleeps inside fire(); "drop" closes the
+        # connection with no response at all — the signature of a
+        # response lost on the wire, which the client's retry loop must
+        # absorb.
+        if get_injector().fire("http.response", key=self.path) == "drop":
+            self.close_connection = True
+            return
         body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Backpressure statuses (429/503) tell the client *when* to
+            # come back; ChaseServiceClient honours this.
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
@@ -762,6 +814,7 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
                     "queue_depth": self.service.scheduler.queue_depth(),
                     "max_queue": self.service.scheduler.max_queue,
                 },
+                retry_after=1,
             )
             return
         assert record is not None
@@ -827,6 +880,7 @@ class _ChaseRequestHandler(BaseHTTPRequestHandler):
                         "queue_depth": scheduler.queue_depth(),
                         "max_queue": scheduler.max_queue,
                     },
+                    retry_after=1,
                 )
                 return
             job_ids = [record.job_id for record, _ in admitted]

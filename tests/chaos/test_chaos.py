@@ -1,0 +1,241 @@
+"""Chaos suite: seeded fault schedules over the 200-job mixed batch.
+
+Each test replays the same deterministic 200-job manifest
+(:func:`repro.generators.workloads.mixed_workload_jobs`) under a named
+:class:`~repro.runtime.faults.FaultPlan` and asserts the two invariants
+the fault-injection layer promises:
+
+* **zero lost jobs** — every submitted job id comes back with a row;
+* **byte-identical summaries** — every job that completes ``ok`` both
+  with and without faults produces exactly the fault-free summary
+  bytes.
+
+The only tolerated divergence is ``ok`` <-> ``timeout`` flips on the
+``random-*`` families, whose 2-second wall-clock budgets are genuinely
+timing-sensitive even without faults (the fault-free baseline itself
+flips a job across back-to-back runs).  A job that comes back
+``error``, or not at all, fails the suite.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import random
+
+import pytest
+
+from repro.generators.workloads import mixed_workload_jobs
+from repro.runtime.executor import BatchExecutor
+from repro.runtime.cache import ResultCache
+from repro.runtime.faults import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    get_injector,
+    reset_injector,
+)
+
+JOB_COUNT = 200
+WORKLOAD_SEED = 7
+
+#: Statuses a wall-clock-budgeted job may legitimately flip between.
+_SOFT_STATUSES = {"ok", "timeout"}
+
+
+def _run_batch(**executor_kwargs):
+    """Run the canonical 200-job manifest; map id -> (status, summary)."""
+    jobs = mixed_workload_jobs(job_count=JOB_COUNT, seed=WORKLOAD_SEED)
+    executor = BatchExecutor(**executor_kwargs)
+    rows = {}
+    for result in executor.run(jobs):
+        row = result.as_dict()
+        rows[row["id"]] = (row["status"], json.dumps(row.get("summary"), sort_keys=True))
+    return rows, executor
+
+
+@contextlib.contextmanager
+def active_plan(plan: FaultPlan):
+    """Arm ``plan`` via the environment for the with-block, then disarm."""
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = plan.to_env()
+    reset_injector()
+    try:
+        yield get_injector()
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        reset_injector()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free reference run (faults explicitly disarmed)."""
+    previous = os.environ.pop(ENV_VAR, None)
+    reset_injector()
+    try:
+        rows, _ = _run_batch(workers=2)
+    finally:
+        if previous is not None:
+            os.environ[ENV_VAR] = previous
+        reset_injector()
+    return rows
+
+
+def assert_matches_baseline(chaos_rows, baseline):
+    """Zero lost jobs; byte-identical summaries for deterministic jobs."""
+    assert set(chaos_rows) == set(baseline), (
+        f"lost jobs: {sorted(set(baseline) - set(chaos_rows))[:5]} "
+        f"extra jobs: {sorted(set(chaos_rows) - set(baseline))[:5]}"
+    )
+    flips = []
+    for job_id in sorted(baseline):
+        base_status, base_summary = baseline[job_id]
+        chaos_status, chaos_summary = chaos_rows[job_id]
+        if base_status == chaos_status == "ok":
+            assert chaos_summary == base_summary, (
+                f"{job_id}: summary diverged under faults"
+            )
+        elif base_status == chaos_status:
+            # Same non-ok verdict (e.g. both timeout): the partial
+            # summaries are wall-clock shaped; status equality is the
+            # meaningful invariant.
+            continue
+        else:
+            assert {base_status, chaos_status} <= _SOFT_STATUSES, (
+                f"{job_id}: {base_status!r} -> {chaos_status!r} under faults"
+            )
+            assert job_id.startswith("random-"), (
+                f"{job_id}: status flip on a job without a wall-clock budget"
+            )
+            flips.append(job_id)
+    # The soft allowance is for borderline stragglers, not a loophole
+    # big enough to hide a broken recovery path.
+    assert len(flips) <= 5, f"too many ok/timeout flips: {flips}"
+
+
+def test_worker_kills_recover_with_checkpoints(tmp_path, baseline):
+    """Two hard worker kills at round 2: pool respawns, jobs resume."""
+    state = tmp_path / "state"
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(point="worker.round", action="kill", at_round=2, times=2),
+        ),
+        seed=101,
+        state_dir=str(state),
+    )
+    with active_plan(plan) as injector:
+        rows, executor = _run_batch(
+            workers=2,
+            max_retries=2,
+            checkpoint_every_rounds=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        assert injector.fired_counts().get("worker.round", 0) == 2
+    assert_matches_baseline(rows, baseline)
+    assert executor.fault_stats.get("pool_respawns", 0) >= 1
+    log = state / "fault_log.jsonl"
+    assert log.exists() and len(log.read_text().splitlines()) == 2
+
+
+def test_spill_and_checkpoint_faults_degrade_gracefully(tmp_path, baseline):
+    """ENOSPC on spill + torn checkpoint + a transient round error.
+
+    The cache degrades to memory-only, the truncated checkpoint is
+    rejected (the retry starts cold), and the batch output is still
+    byte-identical.
+    """
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(point="cache.spill_write", action="enospc", times=1, after=3),
+            FaultSpec(point="checkpoint.write", action="truncate", times=1),
+            FaultSpec(point="worker.round", action="error", times=1, at_round=4),
+        ),
+        seed=202,
+        state_dir=str(tmp_path / "state"),
+    )
+    cache = ResultCache(path=str(tmp_path / "spill.jsonl"))
+    with active_plan(plan) as injector:
+        rows, executor = _run_batch(
+            workers=2,
+            cache=cache,
+            max_retries=2,
+            checkpoint_every_rounds=2,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        fired = injector.fired_counts()
+        assert fired.get("cache.spill_write", 0) == 1
+    assert_matches_baseline(rows, baseline)
+    assert cache.degraded is True
+    assert cache.stats()["degraded"] == 1
+
+
+def test_randomized_seeded_schedule_is_survivable(tmp_path, baseline):
+    """A seeded generator mixes kills and transient errors; no job lost."""
+    rng = random.Random(31337)
+    faults = tuple(
+        FaultSpec(
+            point="worker.round",
+            action=rng.choice(("error", "kill")),
+            times=1,
+            after=rng.randint(0, 120),
+        )
+        for _ in range(5)
+    )
+    plan = FaultPlan(faults=faults, seed=31337, state_dir=str(tmp_path / "state"))
+    with active_plan(plan) as injector:
+        rows, executor = _run_batch(
+            workers=2,
+            max_retries=3,
+            checkpoint_every_rounds=3,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        assert injector.fired_total() >= 1
+    assert_matches_baseline(rows, baseline)
+    recovered = (
+        executor.fault_stats.get("retries", 0)
+        + executor.fault_stats.get("pool_respawns", 0)
+    )
+    assert recovered >= 1
+
+
+def test_stuck_worker_is_recycled(tmp_path, baseline):
+    """A worker hanging mid-round trips the watchdog and is replaced."""
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(
+                point="worker.round", action="hang", seconds=8.0, times=1, at_round=1
+            ),
+        ),
+        seed=404,
+        state_dir=str(tmp_path / "state"),
+    )
+    # The watchdog threshold must clear the longest *legitimate* job
+    # (the random-* families chase for up to 2 wall seconds) or healthy
+    # workers get recycled as stuck.
+    with active_plan(plan) as injector:
+        rows, executor = _run_batch(
+            workers=2,
+            max_retries=2,
+            stuck_timeout_seconds=3.0,
+        )
+        assert injector.fired_counts().get("worker.round", 0) == 1
+    assert_matches_baseline(rows, baseline)
+    assert executor.fault_stats.get("stuck_recycles", 0) >= 1
+    assert executor.fault_stats.get("pool_respawns", 0) >= 1
+
+
+def test_faults_off_plan_object_is_inert(tmp_path):
+    """An armed-then-disarmed environment leaves the injector disabled."""
+    plan = FaultPlan(
+        faults=(FaultSpec(point="worker.round", action="error"),),
+        seed=1,
+        state_dir=str(tmp_path / "state"),
+    )
+    with active_plan(plan) as injector:
+        assert injector.enabled
+    assert not get_injector().enabled
+    assert get_injector().fire("worker.round", job="x", round=1) is None

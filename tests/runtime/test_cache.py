@@ -72,6 +72,9 @@ class TestResultCache:
             "stores": 1,
             "evictions": 0,
             "version_skipped": 0,
+            "torn_lines": 0,
+            "crc_mismatches": 0,
+            "degraded": 0,
         }
 
     def test_get_require_instance_misses_instanceless_entries(self):
@@ -103,7 +106,8 @@ class TestResultCache:
         # The file is line-oriented JSON.
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 2
-        assert json.loads(lines[0])["key"] == "k1"
+        payload = lines[0].rpartition("\tcrc32=")[0]
+        assert json.loads(payload)["key"] == "k1"
 
 
 class TestLRUEviction:
@@ -152,7 +156,7 @@ class TestSchemaVersioning:
     def test_entries_are_stamped(self, tmp_path):
         path = tmp_path / "cache.jsonl"
         ResultCache(path).put("k", {"size": 1})
-        record = json.loads(path.read_text())
+        record = json.loads(path.read_text().rpartition("\tcrc32=")[0])
         assert record["schema_version"] == SCHEMA_VERSION
 
     def test_stale_version_lines_skipped_with_warning(self, tmp_path):
@@ -180,7 +184,8 @@ class TestSchemaVersioning:
         assert cache.compact() == 1
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 1
-        assert json.loads(lines[0])["summary"] == {"size": 2}
+        payload = lines[0].rpartition("\tcrc32=")[0]
+        assert json.loads(payload)["summary"] == {"size": 2}
         # A reload sees exactly the compacted state, warning-free.
         reloaded = ResultCache(path)
         assert len(reloaded) == 1 and reloaded.version_skipped == 0

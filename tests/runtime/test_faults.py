@@ -1,0 +1,231 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.faults import (
+    ENV_VAR,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    backoff_schedule,
+    classify_failure,
+    get_injector,
+    reset_injector,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(point="worker.round", action="explode")
+
+    def test_times_and_after_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(point="p", action="error", times=0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(point="p", action="error", after=-1)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"point": "p", "action": "error", "when": "later"})
+
+    def test_missing_point_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"action": "error"})
+
+
+class TestPlanRoundtrip:
+    def make_plan(self, tmp_path):
+        return FaultPlan(
+            faults=(
+                FaultSpec(point="worker.round", action="kill", at_round=3, times=2),
+                FaultSpec(point="cache.spill_write", action="enospc", after=1),
+                FaultSpec(point="http.response", action="delay", seconds=0.25),
+            ),
+            seed=42,
+            state_dir=str(tmp_path / "state"),
+        )
+
+    def test_inline_env_roundtrip(self, tmp_path):
+        plan = self.make_plan(tmp_path)
+        assert FaultPlan.from_env_value(plan.to_env()) == plan
+
+    def test_at_path_env_roundtrip(self, tmp_path):
+        plan = self.make_plan(tmp_path)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_env())
+        assert FaultPlan.from_env_value(f"@{path}") == plan
+
+    def test_missing_plan_file_fails_loudly(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_env_value("@/nonexistent/plan.json")
+
+    def test_malformed_json_fails_loudly(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_env_value("{not json")
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"faults": [], "chaos_level": 11})
+
+
+class TestFiring:
+    def test_after_and_times_gate_occurrences(self):
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(point="p", action="error", after=1, times=2),))
+        )
+        injector.fire("p")  # occurrence 1: skipped by after
+        with pytest.raises(FaultError):
+            injector.fire("p")  # 2: fires
+        with pytest.raises(FaultError):
+            injector.fire("p")  # 3: fires
+        assert injector.fire("p") is None  # 4: exhausted
+        assert injector.fired_counts() == {"p": 2}
+
+    def test_at_round_filter_does_not_consume_occurrences(self):
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(point="p", action="error", at_round=5),))
+        )
+        for round_number in range(5):
+            assert injector.fire("p", round=round_number) is None
+        with pytest.raises(FaultError):
+            injector.fire("p", round=5)
+
+    def test_match_checks_job_and_key(self):
+        injector = FaultInjector(
+            FaultPlan(
+                faults=(FaultSpec(point="p", action="error", match="victim", times=9),)
+            )
+        )
+        assert injector.fire("p", job="innocent") is None
+        with pytest.raises(FaultError):
+            injector.fire("p", job="the-victim-job")
+        with pytest.raises(FaultError):
+            injector.fire("p", key="cache-key-victim-1")
+
+    def test_truncate_and_drop_are_cooperative_effects(self):
+        injector = FaultInjector(
+            FaultPlan(
+                faults=(
+                    FaultSpec(point="checkpoint.write", action="truncate"),
+                    FaultSpec(point="http.response", action="drop"),
+                )
+            )
+        )
+        assert injector.fire("checkpoint.write") == "truncate"
+        assert injector.fire("http.response") == "drop"
+        assert injector.fire("checkpoint.write") is None  # one-shot
+
+    def test_enospc_raises_oserror(self):
+        import errno
+
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(point="cache.spill_write", action="enospc"),))
+        )
+        with pytest.raises(OSError) as excinfo:
+            injector.fire("cache.spill_write")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_kill_degrades_to_transient_error_outside_workers(self):
+        injector = FaultInjector(
+            FaultPlan(faults=(FaultSpec(point="worker.round", action="kill"),))
+        )
+        with pytest.raises(FaultError) as excinfo:
+            injector.fire("worker.round", job="j", round=1)
+        assert excinfo.value.transient
+
+    def test_disabled_injector_is_inert(self):
+        injector = FaultInjector(None)
+        assert not injector.enabled
+        assert injector.fire("worker.round", job="x", round=1) is None
+        assert injector.fired_total() == 0
+
+
+class TestCrossProcessState:
+    def test_state_dir_shares_occurrences_across_injectors(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec(point="p", action="error", times=1),),
+            state_dir=str(tmp_path / "state"),
+        )
+        first, second = FaultInjector(plan), FaultInjector(plan)
+        with pytest.raises(FaultError):
+            first.fire("p")
+        # A fresh injector (a respawned worker) sees the spec exhausted.
+        assert second.fire("p") is None
+
+    def test_fault_log_records_context(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec(point="worker.round", action="error"),),
+            state_dir=str(tmp_path / "state"),
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(FaultError):
+            injector.fire("worker.round", job="job-7", round=3)
+        log = tmp_path / "state" / "fault_log.jsonl"
+        rows = [json.loads(line) for line in log.read_text().splitlines()]
+        assert rows[0]["point"] == "worker.round"
+        assert rows[0]["job"] == "job-7" and rows[0]["round"] == 3
+        # fired_counts reads the shared log, so parent processes see
+        # faults that fired inside workers.
+        assert injector.fired_counts() == {"worker.round": 1}
+
+
+class TestEnvironmentWiring:
+    def test_get_injector_tracks_env_changes(self, tmp_path):
+        reset_injector()
+        previous = os.environ.pop(ENV_VAR, None)
+        try:
+            assert not get_injector().enabled
+            plan = FaultPlan(faults=(FaultSpec(point="p", action="error"),))
+            os.environ[ENV_VAR] = plan.to_env()
+            assert get_injector().enabled  # re-parses on change, no reset needed
+            del os.environ[ENV_VAR]
+            assert not get_injector().enabled
+        finally:
+            if previous is not None:
+                os.environ[ENV_VAR] = previous
+            reset_injector()
+
+    def test_malformed_env_plan_raises(self):
+        reset_injector()
+        previous = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = "{broken"
+        try:
+            with pytest.raises(FaultPlanError):
+                get_injector()
+        finally:
+            if previous is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = previous
+            reset_injector()
+
+
+class TestFailureClassification:
+    def test_fault_errors_follow_their_flag(self):
+        assert classify_failure(FaultError("x", transient=True)) == "transient"
+        assert classify_failure(FaultError("x", transient=False)) == "deterministic"
+
+    def test_broken_pool_and_io_are_transient(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert classify_failure(BrokenProcessPool("died")) == "transient"
+        assert classify_failure(OSError("disk")) == "transient"
+        assert classify_failure(ConnectionResetError()) == "transient"
+
+    def test_logic_errors_are_deterministic(self):
+        assert classify_failure(ValueError("bad program")) == "deterministic"
+        assert classify_failure(TypeError("bad types")) == "deterministic"
+
+
+def test_backoff_schedule_is_deterministic_and_capped():
+    assert backoff_schedule(0.05, 4) == [0.05, 0.1, 0.2, 0.4]
+    assert backoff_schedule(0.5, 5, cap=2.0) == [0.5, 1.0, 2.0, 2.0, 2.0]
+    assert backoff_schedule(0.1, 0) == []

@@ -1,0 +1,140 @@
+"""Client-side fault tolerance: transient GET retries and backpressure.
+
+These tests never open a socket: ``urllib.request.urlopen`` is
+monkeypatched with scripted outcomes, and ``time.sleep`` is captured so
+the backoff schedule itself is asserted.
+"""
+
+from __future__ import annotations
+
+import email.message
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ChaseServiceClient, ServiceError
+
+
+def http_error(code: int, retry_after: str | None = None) -> urllib.error.HTTPError:
+    headers = email.message.Message()
+    if retry_after is not None:
+        headers["Retry-After"] = retry_after
+    body = io.BytesIO(json.dumps({"error": f"status {code}"}).encode())
+    return urllib.error.HTTPError("http://test/x", code, "nope", headers, body)
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    """Capture backoff delays instead of actually sleeping."""
+    delays = []
+    monkeypatch.setattr("repro.service.client.time.sleep", delays.append)
+    return delays
+
+
+def script_urlopen(monkeypatch, outcomes):
+    """Each call pops the next outcome: an exception to raise, or a body."""
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append(request)
+        outcome = outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return io.BytesIO(json.dumps(outcome).encode())
+
+    monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+    return calls
+
+
+class TestTransientNetworkRetries:
+    def test_get_retries_connection_resets_then_succeeds(self, monkeypatch, no_sleep):
+        calls = script_urlopen(
+            monkeypatch,
+            [ConnectionResetError("peer reset"), ConnectionResetError("again"), {"ok": True}],
+        )
+        client = ChaseServiceClient("http://test", max_retries=3, backoff_base=0.1)
+        assert client.healthz() == {"ok": True}
+        assert len(calls) == 3
+        # Deterministic exponential spine (0.1, 0.2) with jitter in [0.5, 1.0].
+        assert len(no_sleep) == 2
+        assert 0.05 <= no_sleep[0] <= 0.1
+        assert 0.1 <= no_sleep[1] <= 0.2
+
+    def test_get_retries_urlerror(self, monkeypatch, no_sleep):
+        calls = script_urlopen(
+            monkeypatch,
+            [urllib.error.URLError(OSError("connection refused")), {"ok": True}],
+        )
+        client = ChaseServiceClient("http://test")
+        assert client.stats() == {"ok": True}
+        assert len(calls) == 2
+
+    def test_exhausted_budget_reraises_with_attempt_count(self, monkeypatch, no_sleep):
+        script_urlopen(monkeypatch, [ConnectionResetError(f"reset {i}") for i in range(3)])
+        client = ChaseServiceClient("http://test", max_retries=2)
+        with pytest.raises(ConnectionResetError) as excinfo:
+            client.healthz()
+        assert "giving up after 3 attempts" in "".join(
+            getattr(excinfo.value, "__notes__", [])
+        )
+
+    def test_post_never_replays_on_network_error(self, monkeypatch, no_sleep):
+        calls = script_urlopen(monkeypatch, [ConnectionResetError("mid-response")])
+        client = ChaseServiceClient("http://test", max_retries=5)
+        with pytest.raises(ConnectionResetError):
+            client._json("POST", "/jobs", b"{}")
+        assert len(calls) == 1  # the POST is not idempotent: one attempt only
+        assert no_sleep == []
+
+
+class TestBackpressureRetries:
+    def test_429_raises_immediately_by_default(self, monkeypatch, no_sleep):
+        calls = script_urlopen(monkeypatch, [http_error(429, retry_after="1")])
+        client = ChaseServiceClient("http://test")
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("POST", "/jobs", b"{}")
+        assert excinfo.value.status == 429
+        assert excinfo.value.attempts == 1
+        assert len(calls) == 1 and no_sleep == []
+
+    def test_retry_after_drives_the_delay(self, monkeypatch, no_sleep):
+        calls = script_urlopen(
+            monkeypatch, [http_error(429, retry_after="0.8"), {"job_id": "j1"}]
+        )
+        client = ChaseServiceClient(
+            "http://test", backpressure_retries=2, backoff_base=0.1
+        )
+        assert client._json("POST", "/jobs", b"{}") == {"job_id": "j1"}
+        assert len(calls) == 2
+        # Retry-After (0.8s) overrides the exponential base, jittered down.
+        assert len(no_sleep) == 1 and 0.4 <= no_sleep[0] <= 0.8
+
+    def test_retry_after_is_capped(self, monkeypatch, no_sleep):
+        script_urlopen(monkeypatch, [http_error(503, retry_after="3600"), {"ok": 1}])
+        client = ChaseServiceClient(
+            "http://test", backpressure_retries=1, backoff_cap=0.5
+        )
+        assert client._json("GET", "/stats") == {"ok": 1}
+        assert no_sleep[0] <= 0.5
+
+    def test_exhausted_backpressure_surfaces_attempts(self, monkeypatch, no_sleep):
+        script_urlopen(monkeypatch, [http_error(503), http_error(503)])
+        client = ChaseServiceClient("http://test", backpressure_retries=1)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert excinfo.value.attempts == 2
+        assert "after 2 attempts" in str(excinfo.value)
+
+    def test_non_backpressure_http_errors_never_retry(self, monkeypatch, no_sleep):
+        calls = script_urlopen(monkeypatch, [http_error(404)])
+        client = ChaseServiceClient(
+            "http://test", backpressure_retries=5, max_retries=5
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 404 and excinfo.value.attempts == 1
+        assert len(calls) == 1 and no_sleep == []

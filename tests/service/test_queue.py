@@ -203,6 +203,59 @@ class TestDedupAndAdmission:
         assert scheduler.stats()["requeued"] == 1
         scheduler.shutdown(timeout=10.0)
 
+    def test_members_rerun_when_primary_execution_crashes(self):
+        """A worker *crash* (not a timeout) must not fan out to members.
+
+        The primary's execution is killed by an injected worker crash
+        with the retry budget at zero, so its record is a transient
+        error row.  The dedup member must be requeued and re-run on its
+        own — where the (exhausted) fault no longer fires — to a clean
+        verdict.
+        """
+        import os
+
+        from repro.runtime.faults import ENV_VAR, FaultPlan, FaultSpec, reset_injector
+
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(point="worker.round", action="kill", match="crash-primary"),
+            ),
+            seed=9,
+        )
+        previous = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = plan.to_env()
+        reset_injector()
+        try:
+            registry, scheduler = make_scheduler(
+                executor=BatchExecutor(workers=1, cache=ResultCache(), max_retries=0)
+            )
+            base = make_job("crashy")
+            primary_job = ChaseJob(
+                program=base.program, database=base.database, job_id="crash-primary"
+            )
+            member_job = ChaseJob(
+                program=base.program, database=base.database, job_id="crash-member"
+            )
+            primary, d1 = scheduler.submit(primary_job)
+            member, d2 = scheduler.submit(member_job)
+            assert d1 == ACCEPTED and d2 == DEDUPED
+            assert scheduler.drain(timeout=30.0)
+            crashed = registry.job(primary.job_id)
+            assert crashed.result["status"] == "error"
+            assert "injected fault" in crashed.result["error"]
+            survivor = registry.job(member.job_id)
+            assert survivor.result["status"] == "ok"
+            assert survivor.result["outcome"] == "terminated"
+            assert survivor.deduped_of is None  # re-ran on its own terms
+            assert scheduler.stats()["requeued"] == 1
+            scheduler.shutdown(timeout=10.0)
+        finally:
+            if previous is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = previous
+            reset_injector()
+
     def test_submit_atomic_all_or_nothing_and_dedup_aware(self):
         gate, started = threading.Event(), threading.Event()
 
@@ -346,6 +399,33 @@ class TestDrainAndStats:
         assert stats["budget_stops"] == 1
         assert stats["cache"]["stores"] == 2
         scheduler.shutdown(timeout=10.0)
+
+    def test_quiesce_finishes_running_and_requeues_the_backlog(self):
+        """SIGTERM-style drain: running jobs finish, queued jobs requeue."""
+        gate, started = threading.Event(), threading.Event()
+
+        def hold(job):
+            started.set()
+            gate.wait(timeout=30.0)
+
+        registry, scheduler = make_scheduler(workers=1, before_execute=hold)
+        blocker, _ = scheduler.submit(make_job("blocker"))
+        assert started.wait(timeout=30.0)  # the worker holds the blocker
+        backlog = [scheduler.submit(make_job(f"bk{i}"))[0] for i in range(3)]
+        gate.set()
+        outcome = scheduler.quiesce(timeout=30.0)
+        assert outcome["requeued"] == 3 and outcome["drained"] is True
+        # The running job ran to a verdict; nothing was silently dropped.
+        finished = registry.job(blocker.job_id)
+        assert finished.terminal and finished.result["status"] == "ok"
+        for record in backlog:
+            requeued = registry.job(record.job_id)
+            assert not requeued.terminal
+            assert requeued.state == "queued"
+            assert requeued.started_at is None
+        assert scheduler.stats()["requeued"] == 3
+        # The scheduler is drained and refuses new work.
+        assert scheduler.submit(make_job("late"))[1] == REJECTED
 
     def test_worker_survives_before_execute_crash(self):
         def explode(job):

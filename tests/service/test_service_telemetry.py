@@ -75,6 +75,33 @@ class TestMetricsEndpoint:
             latency = families["repro_http_request_seconds"]["samples"]
             assert any(name.endswith("_count") for name, _ in latency)
 
+    def test_fault_recovery_metrics_are_exposed(self):
+        """The four crash-safety series are always present on /metrics."""
+        with ChaseService(workers=1, metrics=True) as service:
+            client = make_client(service)
+            client.run_job(job_spec("faultless"), timeout=60.0)
+            families = parse_prometheus_text(scrape(client))
+
+            def value(family):
+                return families[family]["samples"][(family, ())]
+
+            # Fault-free run: every recovery counter sits at zero.
+            assert families["repro_job_retries_total"]["type"] == "counter"
+            assert families["repro_checkpoint_resumes_total"]["type"] == "counter"
+            assert families["repro_faults_injected_total"]["type"] == "counter"
+            assert families["repro_cache_degraded"]["type"] == "gauge"
+            assert value("repro_job_retries_total") == 0
+            assert value("repro_checkpoint_resumes_total") == 0
+            assert value("repro_faults_injected_total") == 0
+            assert value("repro_cache_degraded") == 0
+            # The counters mirror the executor's live fault_stats (the
+            # chaos suite exercises the real recovery paths end to end).
+            service.scheduler.executor.fault_stats["retries"] = 3
+            service.scheduler.executor.fault_stats["checkpoint_resumes"] = 2
+            families = parse_prometheus_text(scrape(client))
+            assert value("repro_job_retries_total") == 3
+            assert value("repro_checkpoint_resumes_total") == 2
+
     def test_scrapes_are_monotone(self):
         with ChaseService(workers=1, metrics=True) as service:
             client = make_client(service)
